@@ -1,0 +1,237 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Ablations of the design choices DESIGN.md calls out:
+//   1. Serial fallback policy for capacity aborts: the paper's
+//      "go serial immediately" versus "retry in hardware and hope" (the
+//      alternative Sec. 5 discusses for transient capacity aborts).
+//   2. Contention-management retry budget before serializing.
+//   3. ABI dispatch cost: statically linked + LTO (inlined barriers, the
+//      paper's configuration) versus a dynamically linked TM library.
+//   4. TM versus a single global lock (the lock-elision motivation).
+//   5. Fallback strategy: serial-irrevocable (the paper's ASF-TM) versus a
+//      PhasedTM-style system-wide software phase (the alternative Sec. 3.2
+//      names), on a workload whose transactions exceed the LLB.
+//   6. L1 associativity sensitivity of the w/-L1 read-set tracking variants
+//      (the paper: "usable capacity is dependent on address layout" because
+//      the L1 is two-way set associative).
+//   7. Lock elision (Sec. 3): an elided lock versus a conventional one on
+//      disjoint critical sections.
+//   8. ASF1 vs ASF2 (Sec. 6): the predecessor's static protected set (no
+//      expansion after the first speculative store) forces read-then-write
+//      workloads into the fallback; ASF2's dynamic expansion is what makes
+//      ASF-TM possible without software versioning.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/harness/experiment.h"
+#include "src/harness/run_threads.h"
+#include "src/tm/lock_elision.h"
+
+namespace {
+
+harness::IntsetResult Run(harness::IntsetConfig cfg) { return harness::RunIntset(cfg); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  const uint64_t ops = opt.quick ? 300 : 1200;
+
+  std::printf("Ablation studies of ASF-TM design choices\n\n");
+
+  {
+    asfcommon::Table table(
+        "1. Capacity-abort policy (rb-tree range=8192, LLB-8, 8 threads, tx/us)");
+    table.SetHeader({"policy", "tx/us", "serial-commits", "hw-commits", "capacity-aborts"});
+    for (int serial : {1, 0}) {
+      harness::IntsetConfig cfg;
+      cfg.structure = "rb";
+      cfg.key_range = 8192;
+      cfg.threads = 8;
+      cfg.ops_per_thread = ops;
+      cfg.variant = asf::AsfVariant::Llb8();
+      cfg.capacity_goes_serial = serial;
+      harness::IntsetResult r = Run(cfg);
+      table.AddRow({serial != 0 ? "serialize on capacity (paper)" : "retry in hardware",
+                    asfcommon::Table::Num(r.tx_per_us, 2),
+                    asfcommon::Table::Int(static_cast<long long>(r.tm.serial_commits)),
+                    asfcommon::Table::Int(static_cast<long long>(r.tm.hw_commits)),
+                    asfcommon::Table::Int(static_cast<long long>(
+                        r.tm.Aborts(asfcommon::AbortCause::kCapacity)))});
+    }
+    table.Print();
+  }
+
+  {
+    asfcommon::Table table(
+        "2. Contention retry budget (linked list range=28, LLB-256, 8 threads)");
+    table.SetHeader({"max retries", "tx/us", "contention-aborts", "serial-commits"});
+    for (int retries : {1, 4, 8, 32}) {
+      harness::IntsetConfig cfg;
+      cfg.structure = "list";
+      cfg.key_range = 28;
+      cfg.threads = 8;
+      cfg.ops_per_thread = ops;
+      cfg.variant = asf::AsfVariant::Llb256();
+      cfg.max_contention_retries = retries;
+      harness::IntsetResult r = Run(cfg);
+      table.AddRow({std::to_string(retries), asfcommon::Table::Num(r.tx_per_us, 2),
+                    asfcommon::Table::Int(static_cast<long long>(
+                        r.tm.Aborts(asfcommon::AbortCause::kContention))),
+                    asfcommon::Table::Int(static_cast<long long>(r.tm.serial_commits))});
+    }
+    table.Print();
+  }
+
+  {
+    asfcommon::Table table(
+        "3. ABI dispatch cost (rb-tree range=1024, 1 thread): inlined (LTO) vs "
+        "dynamic library barriers");
+    table.SetHeader({"runtime", "barrier-instr", "tx/us"});
+    for (auto rt : {harness::RuntimeKind::kAsfTm, harness::RuntimeKind::kTinyStm}) {
+      for (int extra : {-1, 12}) {
+        harness::IntsetConfig cfg;
+        cfg.structure = "rb";
+        cfg.key_range = 1024;
+        cfg.threads = 1;
+        cfg.ops_per_thread = ops;
+        cfg.runtime = rt;
+        cfg.barrier_instructions = extra;
+        harness::IntsetResult r = Run(cfg);
+        table.AddRow({harness::RuntimeKindName(rt), extra < 0 ? "inlined (default)" : "+12",
+                      asfcommon::Table::Num(r.tx_per_us, 2)});
+      }
+    }
+    table.Print();
+  }
+
+  {
+    asfcommon::Table table("4. ASF-TM vs a single global lock (hash set range=8192, 100% upd.)");
+    table.SetHeader({"runtime", "1thr", "2thr", "4thr", "8thr"});
+    for (auto rt : {harness::RuntimeKind::kAsfTm, harness::RuntimeKind::kGlobalLock}) {
+      std::vector<std::string> row = {harness::RuntimeKindName(rt)};
+      for (uint32_t threads : benchutil::ThreadCounts()) {
+        harness::IntsetConfig cfg;
+        cfg.structure = "hash";
+        cfg.key_range = 8192;
+        cfg.update_pct = 100;
+        cfg.threads = threads;
+        cfg.ops_per_thread = ops;
+        cfg.runtime = rt;
+        harness::IntsetResult r = Run(cfg);
+        row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  {
+    asfcommon::Table table(
+        "5. Fallback strategy for over-capacity transactions (rb-tree range=8192, "
+        "LLB-8, 8 threads)");
+    table.SetHeader({"fallback", "tx/us", "hw-commits", "serial-commits", "stm-commits"});
+    for (auto rt : {harness::RuntimeKind::kAsfTm, harness::RuntimeKind::kPhasedTm}) {
+      harness::IntsetConfig cfg;
+      cfg.structure = "rb";
+      cfg.key_range = 8192;
+      cfg.threads = 8;
+      cfg.ops_per_thread = ops;
+      cfg.variant = asf::AsfVariant::Llb8();
+      cfg.runtime = rt;
+      harness::IntsetResult r = Run(cfg);
+      table.AddRow({rt == harness::RuntimeKind::kAsfTm ? "serial-irrevocable (paper)"
+                                                       : "PhasedTM software phase",
+                    asfcommon::Table::Num(r.tx_per_us, 2),
+                    asfcommon::Table::Int(static_cast<long long>(r.tm.hw_commits)),
+                    asfcommon::Table::Int(static_cast<long long>(r.tm.serial_commits)),
+                    asfcommon::Table::Int(static_cast<long long>(r.tm.stm_commits))});
+    }
+    table.Print();
+  }
+
+  {
+    asfcommon::Table table(
+        "6. L1 associativity sensitivity of read-set tracking "
+        "(list range=512, LLB-256 w/ L1, 8 threads)");
+    table.SetHeader({"L1 configuration", "tx/us", "capacity-aborts", "serial-commits"});
+    for (uint32_t ways : {2u, 4u, 8u}) {
+      harness::IntsetConfig cfg;
+      cfg.structure = "list";
+      cfg.key_range = 512;
+      cfg.threads = 8;
+      cfg.ops_per_thread = ops;
+      cfg.variant = asf::AsfVariant::Llb256WithL1();
+      // Custom machine parameters: vary the L1 associativity only.
+      asf::MachineParams mp =
+          harness::PaperMachineParams(cfg.variant, cfg.threads, cfg.timer_interrupts);
+      mp.mem.l1.ways = ways;
+      harness::IntsetResult r = harness::RunIntsetOnParams(cfg, mp);
+      table.AddRow({std::to_string(ways) + "-way 64 KiB",
+                    asfcommon::Table::Num(r.tx_per_us, 2),
+                    asfcommon::Table::Int(static_cast<long long>(
+                        r.tm.Aborts(asfcommon::AbortCause::kCapacity))),
+                    asfcommon::Table::Int(static_cast<long long>(r.tm.serial_commits))});
+    }
+    table.Print();
+  }
+
+  {
+    asfcommon::Table table(
+        "7. Lock elision on disjoint critical sections (1 lock, 8 threads, ops/us)");
+    table.SetHeader({"mode", "ops/us", "real-acquisitions"});
+    for (bool elide : {true, false}) {
+      asf::MachineParams mp = harness::PaperMachineParams(asf::AsfVariant::Llb8(), 8, true);
+      asf::Machine m(mp);
+      asftm::ElisionParams ep;
+      ep.always_acquire = !elide;
+      asftm::ElidableLock lock(m, ep);
+      struct alignas(64) Slot {
+        uint64_t value = 0;
+      };
+      auto* slots = m.arena().NewArray<Slot>(8);
+      m.mem().PretouchPages(reinterpret_cast<uint64_t>(slots), 8 * sizeof(Slot));
+      const uint64_t per_thread = ops;
+      harness::RunThreads(m, 8, [&](asfsim::SimThread& t, uint32_t tid) -> asfsim::Task<void> {
+        for (uint64_t i = 0; i < per_thread; ++i) {
+          co_await lock.CriticalSection(t, [&](bool elided) -> asfsim::Task<void> {
+            auto kind_load = elided ? asfsim::AccessKind::kTxLoad : asfsim::AccessKind::kLoad;
+            auto kind_store = elided ? asfsim::AccessKind::kTxStore : asfsim::AccessKind::kStore;
+            co_await t.Access(kind_load, &slots[tid].value, 8);
+            uint64_t v = slots[tid].value;
+            t.core().WorkInstructions(20);
+            co_await t.Store(kind_store, &slots[tid].value, 8, v + 1);
+          });
+        }
+      });
+      double ops_per_us = static_cast<double>(8 * per_thread) * 2200.0 /
+                          static_cast<double>(m.scheduler().MaxCycle());
+      table.AddRow({elide ? "elided (ASF)" : "conventional lock",
+                    asfcommon::Table::Num(ops_per_us, 2),
+                    asfcommon::Table::Int(static_cast<long long>(lock.real_acquisitions()))});
+    }
+    table.Print();
+  }
+
+  {
+    asfcommon::Table table(
+        "8. ASF1 (static set) vs ASF2 (dynamic expansion) — rb-tree range=1024, "
+        "8 threads");
+    table.SetHeader({"revision", "tx/us", "hw-commits", "serial-commits"});
+    for (bool asf1 : {false, true}) {
+      harness::IntsetConfig cfg;
+      cfg.structure = "rb";
+      cfg.key_range = 1024;
+      cfg.threads = 8;
+      cfg.ops_per_thread = ops;
+      cfg.variant = asf1 ? asf::AsfVariant::Asf1Llb256() : asf::AsfVariant::Llb256();
+      harness::IntsetResult r = Run(cfg);
+      table.AddRow({asf1 ? "ASF1 (static set)" : "ASF2 (paper)",
+                    asfcommon::Table::Num(r.tx_per_us, 2),
+                    asfcommon::Table::Int(static_cast<long long>(r.tm.hw_commits)),
+                    asfcommon::Table::Int(static_cast<long long>(r.tm.serial_commits))});
+    }
+    table.Print();
+  }
+  return 0;
+}

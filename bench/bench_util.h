@@ -1,0 +1,36 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Shared helpers for the per-figure benchmark harnesses.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+struct Options {
+  bool quick = false;  // Reduced op counts for smoke runs.
+  bool csv = false;    // Emit CSV after the human-readable tables.
+};
+
+inline Options ParseArgs(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      opt.csv = true;
+    }
+  }
+  return opt;
+}
+
+inline const std::vector<uint32_t>& ThreadCounts() {
+  static const std::vector<uint32_t> kThreads = {1, 2, 4, 8};
+  return kThreads;
+}
+
+}  // namespace benchutil
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Reproduces Figure 4: scalability of the STAMP applications with the four
+// ASF implementation variants, TinySTM, and the sequential (no-TM) baseline,
+// over thread counts {1, 2, 4, 8}. Reported metric: execution time of the
+// parallel region in milliseconds at the simulated 2.2 GHz (lower is
+// better); the "Sequential" row is the single-threaded uninstrumented run
+// (the paper's horizontal bar).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/harness/stamp_driver.h"
+
+int main(int argc, char** argv) {
+  benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  const uint32_t scale = opt.quick ? 1 : 2;
+
+  struct Series {
+    const char* label;
+    harness::RuntimeKind runtime;
+    asf::AsfVariant variant;
+  };
+  const Series series[] = {
+      {"LLB-8", harness::RuntimeKind::kAsfTm, asf::AsfVariant::Llb8()},
+      {"LLB-256", harness::RuntimeKind::kAsfTm, asf::AsfVariant::Llb256()},
+      {"LLB-8 w/ L1", harness::RuntimeKind::kAsfTm, asf::AsfVariant::Llb8WithL1()},
+      {"LLB-256 w/ L1", harness::RuntimeKind::kAsfTm, asf::AsfVariant::Llb256WithL1()},
+      {"STM", harness::RuntimeKind::kTinyStm, asf::AsfVariant::Llb256()},
+  };
+
+  std::printf(
+      "Figure 4 reproduction: STAMP scalability (execution time in ms; lower "
+      "is better)\n\n");
+
+  for (const std::string& app_name : harness::StampAppNames()) {
+    asfcommon::Table table("STAMP: " + app_name);
+    std::vector<std::string> header = {"series"};
+    for (uint32_t t : benchutil::ThreadCounts()) {
+      header.push_back(std::to_string(t) + "thr");
+    }
+    table.SetHeader(header);
+    for (const Series& s : series) {
+      std::vector<std::string> row = {s.label};
+      for (uint32_t threads : benchutil::ThreadCounts()) {
+        auto app = harness::MakeStampApp(app_name);
+        harness::StampConfig cfg;
+        cfg.runtime = s.runtime;
+        cfg.variant = s.variant;
+        cfg.threads = threads;
+        cfg.scale = scale;
+        harness::StampResult r = harness::RunStamp(*app, cfg);
+        if (!r.validation.empty()) {
+          std::fprintf(stderr, "VALIDATION FAILED (%s, %s, %u thr): %s\n", app_name.c_str(),
+                       s.label, threads, r.validation.c_str());
+          return 1;
+        }
+        row.push_back(asfcommon::Table::Num(r.exec_ms, 3));
+      }
+      table.AddRow(row);
+    }
+    {
+      // Sequential bar: one thread, uninstrumented.
+      auto app = harness::MakeStampApp(app_name);
+      harness::StampConfig cfg;
+      cfg.runtime = harness::RuntimeKind::kSequential;
+      cfg.threads = 1;
+      cfg.scale = scale;
+      harness::StampResult r = harness::RunStamp(*app, cfg);
+      table.AddRow({"Sequential (1thr)", asfcommon::Table::Num(r.exec_ms, 3)});
+    }
+    table.Print();
+    if (opt.csv) {
+      table.PrintCsv(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Reproduces Figure 7: influence of ASF capacity on throughput for the four
+// ASF variants — linked list and red-black tree at eight threads, 20%
+// updates, sweeping the initial structure size. Larger structures mean
+// longer traversals, so the transactional working set outgrows the small
+// variants' capacity and throughput collapses onto the serial fallback.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/asf/asf_params.h"
+#include "src/common/table.h"
+#include "src/harness/experiment.h"
+
+int main(int argc, char** argv) {
+  benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  const uint64_t ops = opt.quick ? 200 : 800;
+  const asf::AsfVariant variants[] = {
+      asf::AsfVariant::Llb8(),
+      asf::AsfVariant::Llb256(),
+      asf::AsfVariant::Llb8WithL1(),
+      asf::AsfVariant::Llb256WithL1(),
+  };
+
+  std::printf(
+      "Figure 7 reproduction: ASF capacity vs throughput "
+      "(8 threads, 20%% update, tx/us)\n\n");
+
+  {
+    // Paper x-axis: initial sizes 6, 14, 30, 62, 126, 254, 510.
+    const uint64_t sizes[] = {6, 14, 30, 62, 126, 254, 510};
+    asfcommon::Table table("Intset:LinkList (8 threads, 20% update)");
+    std::vector<std::string> header = {"variant"};
+    for (uint64_t s : sizes) {
+      header.push_back(std::to_string(s));
+    }
+    table.SetHeader(header);
+    for (const auto& variant : variants) {
+      std::vector<std::string> row = {variant.Name()};
+      for (uint64_t size : sizes) {
+        harness::IntsetConfig cfg;
+        cfg.structure = "list";
+        cfg.key_range = size * 2;
+        cfg.initial_size = size;
+        cfg.update_pct = 20;
+        cfg.threads = 8;
+        cfg.ops_per_thread = ops;
+        cfg.variant = variant;
+        harness::IntsetResult r = harness::RunIntset(cfg);
+        row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    if (opt.csv) {
+      table.PrintCsv(stdout);
+    }
+  }
+
+  {
+    // Paper x-axis: initial sizes 8 ... 4096 (powers of two).
+    const uint64_t sizes[] = {8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+    asfcommon::Table table("Intset:RBTree (8 threads, 20% update)");
+    std::vector<std::string> header = {"variant"};
+    for (uint64_t s : sizes) {
+      header.push_back(std::to_string(s));
+    }
+    table.SetHeader(header);
+    for (const auto& variant : variants) {
+      std::vector<std::string> row = {variant.Name()};
+      for (uint64_t size : sizes) {
+        harness::IntsetConfig cfg;
+        cfg.structure = "rb";
+        cfg.key_range = size * 2;
+        cfg.initial_size = size;
+        cfg.update_pct = 20;
+        cfg.threads = 8;
+        cfg.ops_per_thread = ops;
+        cfg.variant = variant;
+        harness::IntsetResult r = harness::RunIntset(cfg);
+        row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    if (opt.csv) {
+      table.PrintCsv(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+# Benchmark binaries: one per paper table/figure plus substrate
+# microbenchmarks. Included from the top-level CMakeLists (not via
+# add_subdirectory) so that build/bench/ contains only the executables and
+# `for b in build/bench/*; do $b; done` runs the whole suite cleanly.
+function(asf_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE asf_harness)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+asf_add_bench(fig3_sim_accuracy)
+asf_add_bench(fig4_stamp_scalability)
+asf_add_bench(fig5_intset_scalability)
+asf_add_bench(fig6_abort_reasons)
+asf_add_bench(fig7_capacity)
+asf_add_bench(fig8_early_release)
+asf_add_bench(fig9_table1_overheads)
+asf_add_bench(ablation_design_choices)
+
+add_executable(micro_substrate ${CMAKE_SOURCE_DIR}/bench/micro_substrate.cc)
+target_link_libraries(micro_substrate PRIVATE asf_harness benchmark::benchmark)
+set_target_properties(micro_substrate PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

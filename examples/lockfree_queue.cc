@@ -1,0 +1,170 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Lock-free Michael-Scott-style FIFO queue built directly on ASF — the use
+// case ASF was originally designed for (paper Sec. 2: "making lock-free
+// programming significantly easier and faster").
+//
+// Each queue operation touches at most three cache lines (head/tail anchor,
+// one node, one link), inside ASF's architecturally guaranteed four-line
+// capacity: eventual forward progress holds WITHOUT a software fallback
+// path — the property the paper contrasts against Sun's Rock, which offers
+// no such guarantee. The multi-word atomicity also removes the ABA problem
+// that plagues CAS-based queues.
+//
+// Build and run:  ./build/examples/lockfree_queue
+#include <cstdio>
+#include <vector>
+
+#include "src/asf/machine.h"
+#include "src/common/random.h"
+#include "src/harness/run_threads.h"
+
+namespace {
+
+using asfcommon::AbortCause;
+using asfsim::AccessKind;
+using asfsim::SimThread;
+using asfsim::Task;
+
+struct alignas(64) Node {
+  uint64_t value;
+  Node* next;
+};
+struct alignas(64) Anchor {
+  Node* head;  // Oldest element (dummy node).
+  Node* tail;  // Newest element.
+};
+
+class LockFreeQueue {
+ public:
+  explicit LockFreeQueue(asf::Machine& m) : machine_(m) {
+    anchor_ = m.arena().New<Anchor>();
+    Node* dummy = m.arena().New<Node>();
+    dummy->value = 0;
+    dummy->next = nullptr;
+    anchor_->head = dummy;
+    anchor_->tail = dummy;
+    m.mem().PretouchPages(reinterpret_cast<uint64_t>(anchor_), sizeof(Anchor));
+  }
+
+  // Enqueue: one small speculative region links the node and swings tail.
+  Task<void> Enqueue(SimThread& t, uint64_t value) {
+    Node* node = machine_.arena().New<Node>();  // Host alloc; pages fault lazily.
+    node->value = value;
+    node->next = nullptr;
+    for (uint32_t backoff = 1;; ++backoff) {
+      AbortCause cause = co_await t.RunAbortable([&](SimThread& th) -> Task<void> {
+        co_await th.Access(AccessKind::kSpeculate, uint64_t{0}, 1);
+        co_await th.Access(AccessKind::kTxLoad, &anchor_->tail, 8);
+        Node* tail = anchor_->tail;
+        co_await th.Store(AccessKind::kTxStore, &tail->next, 8,
+                          reinterpret_cast<uint64_t>(node));
+        co_await th.Store(AccessKind::kTxStore, &anchor_->tail, 8,
+                          reinterpret_cast<uint64_t>(node));
+        co_await th.Access(AccessKind::kCommit, uint64_t{0}, 1);
+      }(t));
+      if (cause == AbortCause::kNone) {
+        co_return;
+      }
+      co_await t.Sleep(16u << (backoff < 6 ? backoff : 6));
+    }
+  }
+
+  // Dequeue: returns false when the queue is empty.
+  Task<bool> Dequeue(SimThread& t, uint64_t* value_out) {
+    for (uint32_t backoff = 1;; ++backoff) {
+      bool empty = false;
+      AbortCause cause = co_await t.RunAbortable([&](SimThread& th) -> Task<void> {
+        co_await th.Access(AccessKind::kSpeculate, uint64_t{0}, 1);
+        co_await th.Access(AccessKind::kTxLoad, &anchor_->head, 8);
+        Node* head = anchor_->head;
+        co_await th.Access(AccessKind::kTxLoad, &head->next, 8);
+        Node* next = head->next;
+        if (next == nullptr) {
+          empty = true;
+        } else {
+          co_await th.Access(AccessKind::kTxLoad, &next->value, 8);
+          *value_out = next->value;
+          co_await th.Store(AccessKind::kTxStore, &anchor_->head, 8,
+                            reinterpret_cast<uint64_t>(next));
+        }
+        co_await th.Access(AccessKind::kCommit, uint64_t{0}, 1);
+      }(t));
+      if (cause == AbortCause::kNone) {
+        co_return !empty;
+      }
+      co_await t.Sleep(16u << (backoff < 6 ? backoff : 6));
+    }
+  }
+
+ private:
+  asf::Machine& machine_;
+  Anchor* anchor_;
+};
+
+}  // namespace
+
+int main() {
+  constexpr uint32_t kProducers = 4;
+  constexpr uint32_t kConsumers = 4;
+  constexpr uint64_t kItemsPerProducer = 200;
+
+  asf::MachineParams params;
+  params.num_cores = kProducers + kConsumers;
+  params.variant = asf::AsfVariant::Llb8();  // The minimal implementation suffices.
+  asf::Machine m(params);
+  LockFreeQueue queue(m);
+
+  std::vector<uint64_t> consumed;
+  std::vector<uint64_t> next_per_producer(kProducers, 0);
+  uint64_t fifo_violations = 0;
+  auto* done_producers = m.arena().New<uint64_t>();
+  m.mem().PretouchPages(reinterpret_cast<uint64_t>(done_producers), 8);
+
+  harness::RunThreads(m, kProducers + kConsumers,
+                      [&](SimThread& t, uint32_t tid) -> Task<void> {
+    if (tid < kProducers) {
+      for (uint64_t i = 0; i < kItemsPerProducer; ++i) {
+        // Tag items with producer id and sequence so FIFO-per-producer is
+        // checkable at the consumer side.
+        co_await queue.Enqueue(t, (static_cast<uint64_t>(tid) << 32) | i);
+      }
+      co_await t.FetchAdd(done_producers, 8, 1);
+      co_return;
+    }
+    for (;;) {
+      uint64_t v = 0;
+      bool got = co_await queue.Dequeue(t, &v);
+      if (got) {
+        consumed.push_back(v);  // Host-side log (simulation-invisible).
+        uint32_t producer = static_cast<uint32_t>(v >> 32);
+        uint64_t seq = v & 0xFFFFFFFF;
+        if (seq < next_per_producer[producer]) {
+          ++fifo_violations;
+        } else {
+          next_per_producer[producer] = seq + 1;
+        }
+        continue;
+      }
+      co_await t.Access(AccessKind::kLoad, done_producers, 8);
+      if (*done_producers == kProducers) {
+        // Producers done and the queue was observed empty: drain check.
+        uint64_t v2 = 0;
+        if (!co_await queue.Dequeue(t, &v2)) {
+          co_return;
+        }
+        consumed.push_back(v2);
+        continue;
+      }
+      co_await t.Sleep(200);
+    }
+  });
+
+  uint64_t expected = static_cast<uint64_t>(kProducers) * kItemsPerProducer;
+  std::printf("lock-free queue on raw ASF (LLB-8, no software fallback)\n");
+  std::printf("  produced %lu, consumed %zu, FIFO-per-producer violations: %lu\n", expected,
+              consumed.size(), fifo_violations);
+  std::printf("  simulated time: %.1f us; result: %s\n",
+              static_cast<double>(m.scheduler().MaxCycle()) / 2200.0,
+              consumed.size() == expected && fifo_violations == 0 ? "OK" : "FAILED");
+  return consumed.size() == expected && fifo_violations == 0 ? 0 : 1;
+}

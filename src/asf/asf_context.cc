@@ -1,0 +1,109 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/asf/asf_context.h"
+
+namespace asf {
+
+using asfcommon::AbortCause;
+
+bool AsfContext::Speculate() {
+  if (depth_ == 0) {
+    ++stats_.speculates;
+    ASF_CHECK(llb_.size() == 0);
+    ASF_CHECK(l1_read_lines_.empty());
+  }
+  if (depth_ >= kMaxNestingDepth) {
+    return false;
+  }
+  ++depth_;
+  return true;
+}
+
+bool AsfContext::CommitTop() {
+  ASF_CHECK_MSG(depth_ > 0, "COMMIT outside a speculative region");
+  --depth_;
+  if (depth_ > 0) {
+    return false;  // Flat nesting: inner commits are no-ops.
+  }
+  ++stats_.commits;
+  llb_.Clear();
+  l1_read_lines_.clear();
+  atomic_phase_ = false;
+  return true;
+}
+
+void AsfContext::Abort(AbortCause cause) {
+  if (depth_ == 0) {
+    return;
+  }
+  ++stats_.aborts[static_cast<size_t>(cause)];
+  llb_.RestoreAll();
+  l1_read_lines_.clear();
+  depth_ = 0;
+  atomic_phase_ = false;
+}
+
+bool AsfContext::AddRead(uint64_t line) {
+  ASF_CHECK(active());
+  if (variant_.asf1_static_set && atomic_phase_ && !HasRead(line) && !HasWrite(line)) {
+    return false;  // ASF1: no set expansion inside the atomic phase.
+  }
+  if (variant_.l1_read_set) {
+    // The L1 tracks reads; a line already in the write set needs no extra
+    // tracking (the LLB monitors it).
+    if (llb_.HasWrittenLine(line)) {
+      return true;
+    }
+    l1_read_lines_.insert(line);
+    return true;  // Capacity effects arrive via OnL1Drop displacement.
+  }
+  return llb_.AddRead(line);
+}
+
+bool AsfContext::AddWrite(uint64_t line) {
+  ASF_CHECK(active());
+  if (variant_.asf1_static_set && atomic_phase_ && !HasRead(line) && !HasWrite(line)) {
+    return false;  // ASF1: new lines cannot join the set mid-atomic-phase.
+  }
+  atomic_phase_ = true;
+  if (variant_.l1_read_set) {
+    // Write set lives in the LLB; drop any read-bit tracking for the line
+    // (the LLB entry subsumes it, and keeping it would turn a later benign
+    // L1 displacement into a spurious capacity abort).
+    bool ok = llb_.AddWrite(line);
+    if (ok) {
+      l1_read_lines_.erase(line);
+    }
+    return ok;
+  }
+  return llb_.AddWrite(line);
+}
+
+void AsfContext::Release(uint64_t line) {
+  if (!active()) {
+    return;
+  }
+  if (variant_.l1_read_set) {
+    l1_read_lines_.erase(line);
+    return;
+  }
+  llb_.Release(line);
+}
+
+bool AsfContext::HasRead(uint64_t line) const {
+  if (!active()) {
+    return false;
+  }
+  if (variant_.l1_read_set) {
+    return l1_read_lines_.contains(line) || llb_.HasLine(line);
+  }
+  return llb_.HasLine(line);
+}
+
+bool AsfContext::OnL1Drop(uint64_t line) {
+  if (!active() || !variant_.l1_read_set) {
+    return false;
+  }
+  return l1_read_lines_.contains(line);
+}
+
+}  // namespace asf

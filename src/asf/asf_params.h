@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Configuration of the simulated ASF implementation variants and the cycle
+// costs of the seven ASF instructions.
+#ifndef SRC_ASF_ASF_PARAMS_H_
+#define SRC_ASF_ASF_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace asf {
+
+// One of the paper's hardware implementation variants (Sec. 2.3 / Sec. 5).
+//
+//  * LLB-N:        a fully associative locked-line buffer with N entries
+//                  holds the addresses of all protected lines plus backup
+//                  copies of speculatively written lines; capacity aborts
+//                  when read+write set exceeds N lines.
+//  * LLB-N w/ L1:  the L1 data cache tracks the speculative read set via
+//                  speculative-read bits (so read capacity is bounded by the
+//                  L1's size *and associativity*, and any displacement of a
+//                  tracked line loses the region); the LLB tracks and backs
+//                  up only the write set (N entries).
+struct AsfVariant {
+  uint32_t llb_entries = 256;
+  bool l1_read_set = false;
+  // ASF1 semantics (Diestelhorst & Hohmuth, the revision the paper's
+  // Sec. 6 contrasts with): the protected set cannot grow once the region
+  // has entered its "atomic phase" (performed its first speculative store).
+  // ASF2 — the paper's revision — lifts this restriction.
+  bool asf1_static_set = false;
+
+  std::string Name() const {
+    std::string n = "LLB-" + std::to_string(llb_entries);
+    if (l1_read_set) {
+      n += " w/ L1";
+    }
+    if (asf1_static_set) {
+      n += " (ASF1)";
+    }
+    return n;
+  }
+
+  static AsfVariant Llb8() { return AsfVariant{8, false}; }
+  static AsfVariant Llb256() { return AsfVariant{256, false}; }
+  static AsfVariant Llb8WithL1() { return AsfVariant{8, true}; }
+  static AsfVariant Llb256WithL1() { return AsfVariant{256, true}; }
+  static AsfVariant Asf1Llb256() { return AsfVariant{256, false, true}; }
+};
+
+// Cycle costs of ASF primitives, chosen to match the expectations stated in
+// the paper for a realistic microarchitecture: SPECULATE/COMMIT are a
+// pipeline-serializing handful of cycles; LOCK MOV costs one extra cycle
+// over a plain MOV; RELEASE is a cheap hint.
+struct AsfCosts {
+  uint64_t speculate = 10;
+  uint64_t commit = 20;
+  uint64_t abort_op = 10;         // The ABORT instruction itself.
+  uint64_t lock_mov_extra = 1;    // Added to the underlying access latency.
+  uint64_t watch_extra = 1;       // WATCHR/WATCHW over a plain load.
+  uint64_t release = 2;
+  uint64_t abort_writeback = 20;  // Requester-side stall while a victim LLB
+                                  // writes back backups before the probe is
+                                  // answered.
+  uint64_t syscall = 300;         // User/kernel transition (plus OS work
+                                  // charged by the caller).
+};
+
+// ASF architectural limits (specification revision 2.1, paper Sec. 2.2).
+inline constexpr uint32_t kMaxNestingDepth = 256;
+// Eventual forward progress is guaranteed for regions protecting at most
+// four lines (in the absence of contention).
+inline constexpr uint32_t kGuaranteedCapacityLines = 4;
+
+}  // namespace asf
+
+#endif  // SRC_ASF_ASF_PARAMS_H_

@@ -1,0 +1,142 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Locked-line buffer (LLB): the fully associative CPU structure proposed by
+// the paper (Sec. 2.3) that holds the addresses of protected memory lines
+// plus backup copies of speculatively modified lines. On abort, the backups
+// are written back to memory before the triggering probe is answered.
+//
+// In this simulation, "memory" is host memory: a speculative store writes
+// the host location directly and the LLB keeps the 64-byte pre-image;
+// RestoreAll() undoes every speculative modification. This is exactly the
+// hardware design's data flow (write in place, backup in the LLB).
+#ifndef SRC_ASF_LLB_H_
+#define SRC_ASF_LLB_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/defs.h"
+
+namespace asf {
+
+class Llb {
+ public:
+  explicit Llb(uint32_t capacity) : capacity_(capacity) {}
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+  bool Full() const { return size() >= capacity_; }
+
+  bool HasLine(uint64_t line) const { return index_.contains(line); }
+  bool HasWrittenLine(uint64_t line) const {
+    auto it = index_.find(line);
+    return it != index_.end() && entries_[it->second].written;
+  }
+
+  // Adds `line` to the protected set (read monitoring). Returns false if the
+  // buffer is full (capacity abort).
+  bool AddRead(uint64_t line) {
+    if (index_.contains(line)) {
+      return true;
+    }
+    if (Full()) {
+      return false;
+    }
+    index_.emplace(line, entries_.size());
+    entries_.push_back(Entry{line, false, {}});
+    return true;
+  }
+
+  // Adds `line` to the write set, taking a backup of the line's current
+  // (pre-speculative) host content. Must be called before the speculative
+  // store modifies host memory. Returns false on capacity overflow.
+  bool AddWrite(uint64_t line) {
+    auto it = index_.find(line);
+    if (it != index_.end()) {
+      Entry& e = entries_[it->second];
+      if (!e.written) {
+        Backup(e);
+      }
+      return true;
+    }
+    if (Full()) {
+      return false;
+    }
+    index_.emplace(line, entries_.size());
+    entries_.push_back(Entry{line, false, {}});
+    Backup(entries_.back());
+    return true;
+  }
+
+  // RELEASE semantics: drops a read-only line from the protected set. A
+  // pending speculative store cannot be cancelled (only ABORT can), so a
+  // written line is left untouched — RELEASE is strictly a hint.
+  void Release(uint64_t line) {
+    auto it = index_.find(line);
+    if (it == index_.end() || entries_[it->second].written) {
+      return;
+    }
+    RemoveAt(it->second);
+  }
+
+  // Commit: discard all entries; speculative values in memory become
+  // authoritative (flash-clear of speculative bits).
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+  // Abort: write every backup copy back to memory, then clear.
+  void RestoreAll() {
+    for (Entry& e : entries_) {
+      if (e.written) {
+        std::memcpy(reinterpret_cast<void*>(e.line << asfcommon::kCacheLineShift),
+                    e.backup.data(), asfcommon::kCacheLineBytes);
+      }
+    }
+    Clear();
+  }
+
+  uint32_t written_count() const {
+    uint32_t n = 0;
+    for (const Entry& e : entries_) {
+      n += e.written ? 1 : 0;
+    }
+    return n;
+  }
+
+ private:
+  struct Entry {
+    uint64_t line;
+    bool written;
+    std::array<uint8_t, asfcommon::kCacheLineBytes> backup;
+  };
+
+  void Backup(Entry& e) {
+    std::memcpy(e.backup.data(),
+                reinterpret_cast<const void*>(e.line << asfcommon::kCacheLineShift),
+                asfcommon::kCacheLineBytes);
+    e.written = true;
+  }
+
+  void RemoveAt(size_t pos) {
+    const uint64_t removed_line = entries_[pos].line;
+    const size_t last = entries_.size() - 1;
+    if (pos != last) {
+      entries_[pos] = entries_[last];
+      index_[entries_[pos].line] = pos;
+    }
+    index_.erase(removed_line);
+    entries_.pop_back();
+  }
+
+  const uint32_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<uint64_t, size_t> index_;
+};
+
+}  // namespace asf
+
+#endif  // SRC_ASF_LLB_H_

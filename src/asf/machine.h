@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// The simulated machine: scheduler + cores + memory hierarchy + one ASF
+// context per core, wired together behind the AccessHandler interface.
+//
+// Every memory operation of every simulated thread flows through
+// Machine::OnAccess in global cycle order. The Machine applies ASF's
+// requester-wins contention policy exactly at cache-line granularity
+// (equivalent to the hardware piggybacking on coherence probes — see
+// DESIGN.md §2), performs the per-core protected-set bookkeeping, charges
+// memory-hierarchy latencies, and models the OS events (page faults, timer
+// interrupts, system calls) that abort speculative regions.
+#ifndef SRC_ASF_MACHINE_H_
+#define SRC_ASF_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/asf/asf_context.h"
+#include "src/common/arena.h"
+#include "src/asf/asf_params.h"
+#include "src/common/abort_cause.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/task.h"
+
+namespace asf {
+
+struct MachineParams {
+  uint32_t num_cores = 8;
+  asfsim::CoreParams core;
+  asfmem::MemParams mem;
+  AsfVariant variant;
+  AsfCosts costs;
+};
+
+class Machine : public asfsim::AccessHandler, public asfmem::MemEventListener {
+ public:
+  explicit Machine(const MachineParams& params);
+  ~Machine() override;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  asfsim::Scheduler& scheduler() { return scheduler_; }
+  asfmem::MemorySystem& mem() { return mem_; }
+  // Arena for all simulation-visible data (see src/common/arena.h): using it
+  // makes experiments bit-for-bit reproducible across runs.
+  asfcommon::SimArena& arena() { return arena_; }
+  AsfContext& context(uint32_t core) { return *contexts_[core]; }
+  const MachineParams& params() const { return params_; }
+
+  // Executes the ABORT instruction on `t`'s core: architectural rollback
+  // with `cause` reported in rAX, then control-flow unwind of the thread's
+  // abortable scope. The returned task never resumes its awaiter.
+  asfsim::Task<void> AbortRegion(asfsim::SimThread& t, asfcommon::AbortCause cause) {
+    staged_abort_[t.id()] = cause;
+    co_await t.Access(asfsim::AccessKind::kAbortOp, uint64_t{0}, 1);
+    ASF_CHECK_MSG(false, "ABORT resumed its issuing region");
+  }
+
+  // --- AccessHandler -------------------------------------------------------
+  asfsim::AccessOutcome OnAccess(asfsim::SimThread& thread, asfsim::AccessKind kind,
+                                 uint64_t addr, uint32_t size) override;
+  bool OnInterrupt(asfsim::SimThread& thread) override;
+
+  // --- MemEventListener ----------------------------------------------------
+  void OnL1LineDropped(uint32_t core, uint64_t line) override;
+
+ private:
+  // Aborts the region on `core` per requester-wins and marks the owning
+  // thread for control-flow unwind. Returns the extra probe-stall cycles
+  // charged to the requester (LLB backup write-back).
+  uint64_t AbortVictim(uint32_t core, asfcommon::AbortCause cause);
+
+  const MachineParams params_;
+  asfcommon::SimArena arena_;
+  asfsim::Scheduler scheduler_;
+  asfmem::MemorySystem mem_;
+  std::vector<std::unique_ptr<AsfContext>> contexts_;
+  std::vector<asfcommon::AbortCause> staged_abort_;
+};
+
+}  // namespace asf
+
+#endif  // SRC_ASF_MACHINE_H_

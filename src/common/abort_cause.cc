@@ -1,0 +1,38 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/common/abort_cause.h"
+
+namespace asfcommon {
+
+const char* AbortCauseName(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::kNone:
+      return "none";
+    case AbortCause::kContention:
+      return "contention";
+    case AbortCause::kCapacity:
+      return "capacity";
+    case AbortCause::kPageFault:
+      return "page-fault";
+    case AbortCause::kInterrupt:
+      return "interrupt";
+    case AbortCause::kSyscall:
+      return "syscall";
+    case AbortCause::kDisallowed:
+      return "disallowed";
+    case AbortCause::kExplicitAbort:
+      return "explicit-abort";
+    case AbortCause::kStmConflict:
+      return "stm-conflict";
+    case AbortCause::kMallocRefill:
+      return "malloc-refill";
+    case AbortCause::kUserAbort:
+      return "user-abort";
+    case AbortCause::kRestartSerial:
+      return "restart-serial";
+    case AbortCause::kNumCauses:
+      break;
+  }
+  return "invalid";
+}
+
+}  // namespace asfcommon

@@ -1,0 +1,41 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Abort causes shared between the simulator control layer, the ASF spec
+// layer, and the TM runtimes.
+//
+// ASF reports the reason for an abort in the rAX register (paper Sec. 2.2).
+// We model that register as this enum. Values kContention..kDisallowed are
+// the hardware-architectural codes; the remaining values are software codes
+// used by the TM runtimes on top (the ABI allows user aborts, and our STM
+// reuses the same control path for its own conflict aborts).
+#ifndef SRC_COMMON_ABORT_CAUSE_H_
+#define SRC_COMMON_ABORT_CAUSE_H_
+
+#include <cstdint>
+
+namespace asfcommon {
+
+enum class AbortCause : uint32_t {
+  kNone = 0,          // No abort: the speculative region committed.
+  // --- Hardware (ASF architectural) causes ---
+  kContention,        // Requester-wins conflict on a protected line.
+  kCapacity,          // Transactional working set exceeded the capacity.
+  kPageFault,         // Page fault inside the region (OS intervention).
+  kInterrupt,         // Timer interrupt / privilege-level switch.
+  kSyscall,           // System call executed inside the region.
+  kDisallowed,        // Disallowed instruction / illegal unprotected write.
+  kExplicitAbort,     // The ABORT instruction.
+  // --- Software causes (TM runtime level) ---
+  kStmConflict,       // STM validation/locking failure.
+  kMallocRefill,      // Transactional allocator had to refill its pool.
+  kUserAbort,         // Language-level explicit transaction cancel.
+  kRestartSerial,     // Runtime decided to restart in serial-irrevocable mode.
+
+  kNumCauses,
+};
+
+// Short stable name for tables and logs.
+const char* AbortCauseName(AbortCause cause);
+
+}  // namespace asfcommon
+
+#endif  // SRC_COMMON_ABORT_CAUSE_H_

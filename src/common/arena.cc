@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/common/arena.h"
+
+#include <sys/mman.h>
+
+namespace asfcommon {
+
+SimArena::SimArena(uint64_t capacity_bytes) {
+  raw_bytes_ = capacity_bytes + kBaseAlignment;
+  raw_ = ::mmap(nullptr, raw_bytes_, PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  ASF_CHECK_MSG(raw_ != MAP_FAILED, "SimArena mmap failed");
+  uint64_t addr = reinterpret_cast<uint64_t>(raw_);
+  uint64_t aligned = (addr + kBaseAlignment - 1) & ~(kBaseAlignment - 1);
+  base_ = reinterpret_cast<uint8_t*>(aligned);
+  capacity_ = capacity_bytes;
+}
+
+SimArena::~SimArena() {
+  if (raw_ != nullptr) {
+    ::munmap(raw_, raw_bytes_);
+  }
+}
+
+void* SimArena::Alloc(uint64_t bytes, uint64_t align) {
+  ASF_CHECK(align != 0 && (align & (align - 1)) == 0);
+  uint64_t start = (used_ + align - 1) & ~(align - 1);
+  ASF_CHECK_MSG(start + bytes <= capacity_, "SimArena exhausted");
+  used_ = start + bytes;
+  return base_ + start;
+}
+
+}  // namespace asfcommon

@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// The whole reproduction is seeded and single-host-threaded, so using one
+// well-defined generator (xoshiro256**) keeps every experiment bit-for-bit
+// reproducible across runs and machines.
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace asfcommon {
+
+// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  // Re-seeds the generator using splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed);
+
+  // Returns the next 64 uniformly distributed bits.
+  uint64_t Next();
+
+  // Returns a value in [0, bound) without modulo bias for small bounds
+  // (Lemire's multiply-shift reduction).
+  uint64_t NextBelow(uint64_t bound);
+
+  // Returns a value in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+  // Returns true with probability pct/100.
+  bool NextPercent(uint32_t pct) { return NextBelow(100) < pct; }
+
+  // Returns a double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace asfcommon
+
+#endif  // SRC_COMMON_RANDOM_H_

@@ -1,0 +1,168 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/dtmc/instrument_pass.h"
+
+#include <set>
+
+#include "src/common/defs.h"
+
+namespace dtmc {
+
+namespace {
+
+// Instructions modeled for an out-of-line ABI call (call + spill + ret).
+constexpr uint32_t kCallOverheadInstr = 6;
+
+class Instrumenter {
+ public:
+  Instrumenter(const Module& in, const LoweringOptions& options) : in_(in), options_(options) {}
+
+  Module Run() {
+    for (const auto& [name, fn] : in_.functions) {
+      out_.functions[name] = InstrumentFunction(fn, /*whole_body_tx=*/false);
+    }
+    // Generate requested transactional clones until the worklist drains
+    // (clones of clones arise from nested calls).
+    while (!clone_worklist_.empty()) {
+      std::string base = *clone_worklist_.begin();
+      clone_worklist_.erase(clone_worklist_.begin());
+      std::string clone_name = base + "_tx";
+      if (out_.Has(clone_name)) {
+        continue;
+      }
+      ASF_CHECK_MSG(in_.Has(base), "call to unknown function inside a transaction");
+      Function clone = InstrumentFunction(in_.functions.at(base), /*whole_body_tx=*/true);
+      clone.name = clone_name;
+      out_.functions[clone_name] = clone;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  Function InstrumentFunction(const Function& fn, bool whole_body_tx) {
+    Function out;
+    out.name = fn.name;
+    out.params = fn.params;
+    bool in_tx = whole_body_tx;
+    for (const Instr& instr : fn.body) {
+      switch (instr.op) {
+        case Op::kTxBegin:
+          ASF_CHECK_MSG(!in_tx, "nested transaction statements are flattened by the front end");
+          in_tx = true;
+          EmitBegin(&out);
+          break;
+        case Op::kTxEnd:
+          ASF_CHECK_MSG(in_tx, "tx.end without tx.begin");
+          in_tx = false;
+          EmitCommit(&out);
+          break;
+        case Op::kLoad:
+          if (in_tx && instr.mem == MemClass::kShared) {
+            EmitTxLoad(&out, instr);
+          } else {
+            out.body.push_back(instr);  // Selective annotation: stack stays plain.
+          }
+          break;
+        case Op::kStore:
+          if (in_tx && instr.mem == MemClass::kShared) {
+            EmitTxStore(&out, instr);
+          } else {
+            out.body.push_back(instr);
+          }
+          break;
+        case Op::kCall:
+          if (in_tx && !IsAbiCall(instr.callee)) {
+            Instr redirected = instr;
+            redirected.callee = instr.callee + "_tx";
+            clone_worklist_.insert(instr.callee);
+            out.body.push_back(redirected);
+          } else {
+            out.body.push_back(instr);
+          }
+          break;
+        default:
+          out.body.push_back(instr);
+          break;
+      }
+    }
+    return out;
+  }
+
+  static bool IsAbiCall(const std::string& callee) { return callee.rfind("_ITM_", 0) == 0; }
+
+  void EmitBegin(Function* out) {
+    if (options_.inline_tm) {
+      // LTO form: checkpoint is compiler-generated, SPECULATE inlined.
+      Instr spec;
+      spec.op = Op::kSpeculate;
+      out->body.push_back(spec);
+    } else {
+      out->body.push_back(Call("", "_ITM_beginTransaction", ""));
+    }
+  }
+
+  void EmitCommit(Function* out) {
+    if (options_.inline_tm) {
+      Instr commit;
+      commit.op = Op::kCommitHw;
+      out->body.push_back(commit);
+    } else {
+      out->body.push_back(Call("", "_ITM_commitTransaction", ""));
+    }
+  }
+
+  void EmitTxLoad(Function* out, const Instr& load) {
+    if (options_.inline_tm) {
+      Instr ll;
+      ll.op = Op::kLockLoad;
+      ll.dst = load.dst;
+      ll.a = load.a;
+      out->body.push_back(ll);
+    } else {
+      out->body.push_back(Call(load.dst, "_ITM_R8", load.a));
+    }
+  }
+
+  void EmitTxStore(Function* out, const Instr& store) {
+    if (options_.inline_tm) {
+      Instr ls;
+      ls.op = Op::kLockStore;
+      ls.a = store.a;
+      ls.b = store.b;
+      out->body.push_back(ls);
+    } else {
+      Instr call = Call("", "_ITM_W8", store.a);
+      call.b = store.b;
+      out->body.push_back(call);
+    }
+  }
+
+  const Module& in_;
+  const LoweringOptions options_;
+  Module out_;
+  std::set<std::string> clone_worklist_;
+};
+
+}  // namespace
+
+Module InstrumentTm(const Module& in, const LoweringOptions& options) {
+  return Instrumenter(in, options).Run();
+}
+
+BarrierCost InstrumentationCost(const LoweringOptions& options) {
+  BarrierCost cost;
+  if (options.inline_tm) {
+    // Inlined: one LOCK MOV plus address arithmetic.
+    cost.per_load = 2;
+    cost.per_store = 2;
+    cost.begin = 2;   // SPECULATE + branch (checkpoint handled by begin fn).
+    cost.commit = 1;  // COMMIT.
+  } else {
+    cost.per_load = kCallOverheadInstr + 2;
+    cost.per_store = kCallOverheadInstr + 2;
+    cost.begin = kCallOverheadInstr + 2;
+    cost.commit = kCallOverheadInstr + 1;
+  }
+  return cost;
+}
+
+}  // namespace dtmc

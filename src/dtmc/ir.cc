@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/dtmc/ir.h"
+
+namespace dtmc {
+
+namespace {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kLoad:
+      return "load";
+    case Op::kStore:
+      return "store";
+    case Op::kAdd:
+      return "add";
+    case Op::kCall:
+      return "call";
+    case Op::kRet:
+      return "ret";
+    case Op::kTxBegin:
+      return "tx.begin";
+    case Op::kTxEnd:
+      return "tx.end";
+    case Op::kSpeculate:
+      return "asf.speculate";
+    case Op::kCommitHw:
+      return "asf.commit";
+    case Op::kLockLoad:
+      return "asf.lock_load";
+    case Op::kLockStore:
+      return "asf.lock_store";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Instr::ToString() const {
+  std::string s = OpName(op);
+  if (!dst.empty()) {
+    s = dst + " = " + s;
+  }
+  if (!callee.empty()) {
+    s += " @" + callee;
+  }
+  if (!a.empty()) {
+    s += " " + a;
+  }
+  if (!b.empty()) {
+    s += ", " + b;
+  }
+  if (op == Op::kLoad || op == Op::kStore) {
+    s += mem == MemClass::kStack ? " [stack]" : " [shared]";
+  }
+  return s;
+}
+
+std::string Function::ToString() const {
+  std::string s = "func " + name + "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    s += (i != 0 ? ", " : "") + params[i];
+  }
+  s += "):\n";
+  for (const Instr& instr : body) {
+    s += "  " + instr.ToString() + "\n";
+  }
+  return s;
+}
+
+std::string Module::ToString() const {
+  std::string s;
+  for (const auto& [name, fn] : functions) {
+    s += fn.ToString();
+  }
+  return s;
+}
+
+Instr Load(const std::string& dst, const std::string& addr, MemClass mem) {
+  Instr i;
+  i.op = Op::kLoad;
+  i.dst = dst;
+  i.a = addr;
+  i.mem = mem;
+  return i;
+}
+
+Instr Store(const std::string& addr, const std::string& value, MemClass mem) {
+  Instr i;
+  i.op = Op::kStore;
+  i.a = addr;
+  i.b = value;
+  i.mem = mem;
+  return i;
+}
+
+Instr Add(const std::string& dst, const std::string& a, const std::string& b) {
+  Instr i;
+  i.op = Op::kAdd;
+  i.dst = dst;
+  i.a = a;
+  i.b = b;
+  return i;
+}
+
+Instr Call(const std::string& dst, const std::string& callee, const std::string& arg) {
+  Instr i;
+  i.op = Op::kCall;
+  i.dst = dst;
+  i.callee = callee;
+  i.a = arg;
+  return i;
+}
+
+Instr Ret(const std::string& a) {
+  Instr i;
+  i.op = Op::kRet;
+  i.a = a;
+  return i;
+}
+
+Instr TxBegin() {
+  Instr i;
+  i.op = Op::kTxBegin;
+  return i;
+}
+
+Instr TxEnd() {
+  Instr i;
+  i.op = Op::kTxEnd;
+  return i;
+}
+
+}  // namespace dtmc

@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Miniature SSA-less intermediate representation standing in for LLVM IR in
+// the DTMC reproduction (paper Sec. 3.1). It is just rich enough to express
+// the paper's Figure-2 example — functions with loads, stores, arithmetic,
+// calls, and transaction-statement markers — and to demonstrate the
+// compiler-side transformations DTMC performs: TM instrumentation against
+// the Intel-style ABI, transactional function cloning, and link-time
+// inlining of the TM runtime.
+#ifndef SRC_DTMC_IR_H_
+#define SRC_DTMC_IR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtmc {
+
+enum class Op {
+  kLoad,      // dst = *a           (memory class in `mem`)
+  kStore,     // *a = b             (memory class in `mem`)
+  kAdd,       // dst = a + b
+  kCall,      // dst = callee(a)    (callee in `a` slot? no: `callee`)
+  kRet,       // return a
+  kTxBegin,   // __tm_atomic {      (language-level marker)
+  kTxEnd,     // }                  (language-level marker)
+  // Ops that only exist after lowering:
+  kSpeculate,  // ASF SPECULATE (inlined hardware path)
+  kCommitHw,   // ASF COMMIT
+  kLockLoad,   // LOCK MOV dst, [a]
+  kLockStore,  // LOCK MOV [a], b
+};
+
+// Storage class of a memory operand: DTMC's selective annotation leaves
+// provably thread-local (stack) accesses uninstrumented.
+enum class MemClass {
+  kShared,
+  kStack,
+};
+
+struct Instr {
+  Op op;
+  std::string dst;
+  std::string a;
+  std::string b;
+  std::string callee;
+  MemClass mem = MemClass::kShared;
+
+  std::string ToString() const;
+};
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<Instr> body;
+
+  std::string ToString() const;
+};
+
+struct Module {
+  std::map<std::string, Function> functions;
+
+  bool Has(const std::string& name) const { return functions.contains(name); }
+  std::string ToString() const;
+};
+
+// Builder helpers.
+Instr Load(const std::string& dst, const std::string& addr, MemClass mem = MemClass::kShared);
+Instr Store(const std::string& addr, const std::string& value,
+            MemClass mem = MemClass::kShared);
+Instr Add(const std::string& dst, const std::string& a, const std::string& b);
+Instr Call(const std::string& dst, const std::string& callee, const std::string& arg);
+Instr Ret(const std::string& a = "");
+Instr TxBegin();
+Instr TxEnd();
+
+}  // namespace dtmc
+
+#endif  // SRC_DTMC_IR_H_

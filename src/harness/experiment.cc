@@ -1,0 +1,230 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/harness/experiment.h"
+
+#include <unordered_set>
+
+#include "src/common/random.h"
+#include "src/harness/run_threads.h"
+#include "src/intset/hash_set.h"
+#include "src/intset/linked_list.h"
+#include "src/intset/rb_tree.h"
+#include "src/intset/skip_list.h"
+#include "src/sim/sync.h"
+#include "src/tm/asf_tm.h"
+#include "src/tm/phased_tm.h"
+#include "src/tm/serial_tm.h"
+#include "src/tm/tiny_stm.h"
+
+namespace harness {
+
+using asfsim::SimThread;
+using asfsim::Task;
+using asftm::Tx;
+
+const char* RuntimeKindName(RuntimeKind k) {
+  switch (k) {
+    case RuntimeKind::kAsfTm:
+      return "ASF-TM";
+    case RuntimeKind::kTinyStm:
+      return "TinySTM";
+    case RuntimeKind::kSequential:
+      return "Sequential";
+    case RuntimeKind::kGlobalLock:
+      return "GlobalLock";
+    case RuntimeKind::kPhasedTm:
+      return "PhasedTM";
+  }
+  return "invalid";
+}
+
+asf::MachineParams PaperMachineParams(const asf::AsfVariant& variant, uint32_t threads,
+                                      bool timer_interrupts) {
+  asf::MachineParams p;
+  p.num_cores = threads;
+  p.variant = variant;
+  p.core.timer_enabled = timer_interrupts;
+  return p;
+}
+
+std::unique_ptr<asftm::TmRuntime> MakeRuntime(RuntimeKind kind, asf::Machine& m,
+                                              const IntsetConfig& cfg) {
+  switch (kind) {
+    case RuntimeKind::kAsfTm: {
+      asftm::AsfTmParams p;
+      if (cfg.capacity_goes_serial >= 0) {
+        p.capacity_goes_serial = cfg.capacity_goes_serial != 0;
+      }
+      if (cfg.max_contention_retries >= 0) {
+        p.max_contention_retries = static_cast<uint32_t>(cfg.max_contention_retries);
+      }
+      if (cfg.barrier_instructions >= 0) {
+        p.barrier_instructions = static_cast<uint32_t>(cfg.barrier_instructions);
+      }
+      p.rng_seed = cfg.seed * 0x1234567 + 99;
+      return std::make_unique<asftm::AsfTm>(m, p);
+    }
+    case RuntimeKind::kTinyStm: {
+      asftm::TinyStmParams p;
+      if (cfg.barrier_instructions >= 0) {
+        p.load_instructions += static_cast<uint32_t>(cfg.barrier_instructions);
+        p.store_instructions += static_cast<uint32_t>(cfg.barrier_instructions);
+      }
+      p.rng_seed = cfg.seed * 0x7654321 + 7;
+      return std::make_unique<asftm::TinyStm>(m, p);
+    }
+    case RuntimeKind::kSequential:
+      return std::make_unique<asftm::SequentialTm>(m);
+    case RuntimeKind::kGlobalLock:
+      return std::make_unique<asftm::GlobalLockTm>(m);
+    case RuntimeKind::kPhasedTm: {
+      asftm::PhasedTmParams p;
+      if (cfg.max_contention_retries >= 0) {
+        p.max_contention_retries = static_cast<uint32_t>(cfg.max_contention_retries);
+      }
+      if (cfg.barrier_instructions >= 0) {
+        p.barrier_instructions = static_cast<uint32_t>(cfg.barrier_instructions);
+      }
+      p.rng_seed = cfg.seed * 0x33331 + 3;
+      return std::make_unique<asftm::PhasedTm>(m, p);
+    }
+  }
+  ASF_CHECK(false);
+  return nullptr;
+}
+
+namespace {
+
+std::unique_ptr<intset::IntSet> MakeSet(const std::string& kind, asfcommon::SimArena* arena) {
+  if (kind == "list") {
+    return std::make_unique<intset::LinkedList>(false, arena);
+  }
+  if (kind == "list-er") {
+    return std::make_unique<intset::LinkedList>(true, arena);
+  }
+  if (kind == "skip") {
+    return std::make_unique<intset::SkipList>(arena);
+  }
+  if (kind == "rb") {
+    return std::make_unique<intset::RbTree>(arena);
+  }
+  if (kind == "hash") {
+    return std::make_unique<intset::HashSet>(17, arena);
+  }
+  ASF_CHECK_MSG(false, "unknown intset structure");
+  return nullptr;
+}
+
+void PretouchStructure(asf::Machine& m, const std::string& kind, intset::IntSet* set) {
+  // The paper fast-forwards benchmark initialization; resident images
+  // (sentinels, bucket tables) are pretouched. Node pages fault naturally.
+  if (kind == "hash") {
+    auto* hs = static_cast<intset::HashSet*>(set);
+    m.mem().PretouchPages(reinterpret_cast<uint64_t>(hs->table_data()), hs->table_bytes());
+  }
+}
+
+}  // namespace
+
+IntsetResult RunIntset(const IntsetConfig& cfg) {
+  return RunIntsetOnParams(cfg, PaperMachineParams(cfg.variant, cfg.threads,
+                                                   cfg.timer_interrupts));
+}
+
+IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
+                               const asf::MachineParams& machine_params) {
+  ASF_CHECK(cfg.threads >= 1 && cfg.threads <= 8);
+  asf::Machine m(machine_params);
+  auto set = MakeSet(cfg.structure, &m.arena());
+  auto rt = MakeRuntime(cfg.runtime, m, cfg);
+  PretouchStructure(m, cfg.structure, set.get());
+
+  const uint64_t initial = cfg.initial_size != 0 ? cfg.initial_size : cfg.key_range / 2;
+  ASF_CHECK(initial <= cfg.key_range);
+
+  // Deterministic initial contents: `initial` distinct keys from the range.
+  std::vector<uint64_t> init_keys;
+  {
+    asfcommon::Rng rng(cfg.seed * 31 + 17);
+    std::unordered_set<uint64_t> chosen;
+    while (chosen.size() < initial) {
+      chosen.insert(rng.NextBelow(cfg.key_range) + 1);
+    }
+    init_keys.assign(chosen.begin(), chosen.end());
+  }
+
+  asfsim::SimBarrier barrier_a(cfg.threads);
+  asfsim::SimBarrier barrier_b(cfg.threads);
+  uint64_t measure_start = 0;
+  IntsetResult result;
+
+  RunThreads(m, cfg.threads, [&](SimThread& t, uint32_t tid) -> Task<void> {
+    // ---- Population phase (thread 0) ----
+    if (tid == 0) {
+      for (uint64_t key : init_keys) {
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          co_await set->Insert(tx, key);
+        });
+      }
+    }
+    co_await barrier_a.Arrive(t);
+    if (tid == 0) {
+      // Reset all statistics at the measurement barrier (host-side, free).
+      rt->ResetStats();
+      for (uint32_t c = 0; c < m.scheduler().num_cores(); ++c) {
+        m.scheduler().core(c).ResetStats();
+        m.context(c).ResetStats();
+      }
+      m.mem().ResetStats();
+      measure_start = t.core().clock();
+    }
+    co_await barrier_b.Arrive(t);
+
+    // ---- Measurement phase ----
+    asfcommon::Rng rng(cfg.seed * 1000003 + tid);
+    const uint32_t half_upd = cfg.update_pct / 2;
+    for (uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+      uint64_t key = rng.NextBelow(cfg.key_range) + 1;
+      uint32_t dice = static_cast<uint32_t>(rng.NextBelow(100));
+      if (dice < half_upd) {
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          co_await set->Insert(tx, key);
+        });
+      } else if (dice < cfg.update_pct) {
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          co_await set->Remove(tx, key);
+        });
+      } else {
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          co_await set->Contains(tx, key);
+        });
+      }
+    }
+  });
+
+  const uint64_t end_cycle = m.scheduler().MaxCycle();
+  result.measure_cycles = end_cycle - measure_start;
+  result.tm = rt->TotalStats();
+  result.committed_tx = result.tm.Commits();
+  if (result.measure_cycles > 0) {
+    result.tx_per_us = static_cast<double>(result.committed_tx) *
+                       static_cast<double>(asfcommon::kCyclesPerMicrosecond) /
+                       static_cast<double>(result.measure_cycles);
+  }
+  for (uint32_t c = 0; c < m.scheduler().num_cores(); ++c) {
+    for (size_t cat = 0; cat < result.breakdown.cycles.size(); ++cat) {
+      result.breakdown.cycles[cat] +=
+          m.scheduler().core(c).CategoryCycles(static_cast<asfsim::CycleCategory>(cat));
+    }
+    const auto& cs = m.context(c).stats();
+    result.asf.speculates += cs.speculates;
+    result.asf.commits += cs.commits;
+    for (size_t a = 0; a < cs.aborts.size(); ++a) {
+      result.asf.aborts[a] += cs.aborts[a];
+    }
+  }
+  result.invariant_violation = set->CheckInvariants();
+  ASF_CHECK_MSG(result.invariant_violation.empty(), result.invariant_violation.c_str());
+  return result;
+}
+
+}  // namespace harness

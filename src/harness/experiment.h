@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Experiment driver for the IntegerSet microbenchmarks, reproducing the
+// methodology of the paper's Section 5: a population phase (the paper
+// fast-forwards initialization), a statistics reset at the measurement
+// barrier, then a fixed number of random operations per thread; throughput
+// is reported in transactions per microsecond at the simulated 2.2 GHz.
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/asf/machine.h"
+#include "src/common/abort_cause.h"
+#include "src/intset/int_set.h"
+#include "src/tm/tm_api.h"
+
+namespace harness {
+
+enum class RuntimeKind {
+  kAsfTm,       // ASF-TM on the configured ASF variant.
+  kTinyStm,     // TinySTM write-through (baseline).
+  kSequential,  // Uninstrumented, single thread only.
+  kGlobalLock,  // Single global lock (reference, ablations).
+  kPhasedTm,    // PhasedTM-style hardware/software phase hybrid.
+};
+
+const char* RuntimeKindName(RuntimeKind k);
+
+struct IntsetConfig {
+  std::string structure = "list";  // list | list-er | skip | rb | hash.
+  uint64_t key_range = 1024;
+  uint32_t update_pct = 20;  // Percentage of update operations (split 50/50
+                             // between inserts and removes); rest are lookups.
+  uint32_t threads = 8;
+  uint64_t ops_per_thread = 2000;
+  uint64_t initial_size = 0;  // 0 => key_range / 2 (the paper's default).
+  RuntimeKind runtime = RuntimeKind::kAsfTm;
+  asf::AsfVariant variant = asf::AsfVariant::Llb256();
+  uint64_t seed = 1;
+  bool timer_interrupts = true;
+  // ASF-TM policy overrides (ablations); negative = default.
+  int capacity_goes_serial = -1;
+  int max_contention_retries = -1;
+  // Extra per-barrier ABI dispatch instructions (models dynamic linking /
+  // no-LTO; -1 = default inlined cost).
+  int barrier_instructions = -1;
+};
+
+struct CycleBreakdown {
+  // Indexed by asfsim::CycleCategory.
+  std::array<uint64_t, 6> cycles{};
+
+  uint64_t Total() const {
+    uint64_t n = 0;
+    for (uint64_t v : cycles) {
+      n += v;
+    }
+    return n;
+  }
+  uint64_t At(asfsim::CycleCategory c) const { return cycles[static_cast<size_t>(c)]; }
+};
+
+struct IntsetResult {
+  uint64_t committed_tx = 0;
+  uint64_t measure_cycles = 0;  // Simulated cycles of the measurement phase.
+  double tx_per_us = 0.0;
+  asftm::TxStats tm;               // Aggregated over threads (measurement only).
+  asf::AsfContextStats asf;        // Aggregated ASF-level counters.
+  CycleBreakdown breakdown;        // Aggregated per-category cycles.
+  std::string invariant_violation; // Empty when the structure checked out.
+};
+
+// Builds a TM runtime of the requested kind on `m` (applying the config's
+// policy overrides where the kind supports them).
+std::unique_ptr<asftm::TmRuntime> MakeRuntime(RuntimeKind kind, asf::Machine& m,
+                                              const IntsetConfig& cfg);
+
+// Builds the machine parameters used by all experiments (paper Sec. 5
+// configuration; 8 cores, Barcelona-like hierarchy).
+asf::MachineParams PaperMachineParams(const asf::AsfVariant& variant, uint32_t threads,
+                                      bool timer_interrupts);
+
+// Runs one IntegerSet configuration and returns its measurements.
+IntsetResult RunIntset(const IntsetConfig& cfg);
+
+// Same, but on explicitly supplied machine parameters (cache-geometry
+// ablations and similar sweeps).
+IntsetResult RunIntsetOnParams(const IntsetConfig& cfg, const asf::MachineParams& machine_params);
+
+}  // namespace harness
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

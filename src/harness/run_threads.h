@@ -1,0 +1,38 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Helper to spawn N simulated worker threads on a Machine and run to
+// completion.
+#ifndef SRC_HARNESS_RUN_THREADS_H_
+#define SRC_HARNESS_RUN_THREADS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/asf/machine.h"
+
+namespace harness {
+
+using ThreadFn = std::function<asfsim::Task<void>(asfsim::SimThread&, uint32_t)>;
+
+// Spawns `n` workers (thread i runs fn(thread, i)) and runs the simulation.
+inline void RunThreads(asf::Machine& m, uint32_t n, const ThreadFn& fn) {
+  struct Box {
+    asfsim::SimThread* t = nullptr;
+    uint32_t id = 0;
+    const ThreadFn* fn = nullptr;
+  };
+  std::vector<std::unique_ptr<Box>> boxes;
+  auto trampoline = [](Box* b) -> asfsim::Task<void> { co_await (*b->fn)(*b->t, b->id); };
+  for (uint32_t i = 0; i < n; ++i) {
+    auto box = std::make_unique<Box>();
+    box->id = i;
+    box->fn = &fn;
+    boxes.push_back(std::move(box));
+    boxes.back()->t = &m.scheduler().Spawn(trampoline(boxes.back().get()));
+  }
+  m.scheduler().Run();
+}
+
+}  // namespace harness
+
+#endif  // SRC_HARNESS_RUN_THREADS_H_

@@ -1,0 +1,104 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/intset/hash_set.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace intset {
+
+using asfsim::Task;
+using asftm::Tx;
+
+HashSet::HashSet(uint32_t bucket_count_log2, asfcommon::SimArena* arena) {
+  bucket_count_ = uint64_t{1} << bucket_count_log2;
+  if (arena != nullptr) {
+    buckets_ = arena->NewArray<Bucket>(bucket_count_);
+  } else {
+    storage_.resize(bucket_count_);
+    buckets_ = storage_.data();
+  }
+}
+
+Task<bool> HashSet::Contains(Tx& tx, uint64_t key) {
+  tx.Work(12);  // Hash computation.
+  Bucket* b = BucketFor(key);
+  Node* cur = co_await tx.Read(&b->head);
+  while (cur != nullptr) {
+    uint64_t k = co_await tx.Read(&cur->key);
+    if (k == key) {
+      co_return true;
+    }
+    cur = co_await tx.Read(&cur->next);
+  }
+  co_return false;
+}
+
+Task<bool> HashSet::Insert(Tx& tx, uint64_t key) {
+  tx.Work(12);
+  Bucket* b = BucketFor(key);
+  Node* head = co_await tx.Read(&b->head);
+  for (Node* cur = head; cur != nullptr;) {
+    uint64_t k = co_await tx.Read(&cur->key);
+    if (k == key) {
+      co_return false;
+    }
+    cur = co_await tx.Read(&cur->next);
+  }
+  void* mem = co_await tx.TxMalloc(sizeof(Node));
+  Node* node = static_cast<Node*>(mem);
+  co_await tx.Write(&node->key, key);
+  co_await tx.Write(&node->next, head);
+  co_await tx.Write(&b->head, node);
+  co_return true;
+}
+
+Task<bool> HashSet::Remove(Tx& tx, uint64_t key) {
+  tx.Work(12);
+  Bucket* b = BucketFor(key);
+  Node* prev = nullptr;
+  Node* cur = co_await tx.Read(&b->head);
+  while (cur != nullptr) {
+    uint64_t k = co_await tx.Read(&cur->key);
+    Node* next = co_await tx.Read(&cur->next);
+    if (k == key) {
+      if (prev == nullptr) {
+        co_await tx.Write(&b->head, next);
+      } else {
+        co_await tx.Write(&prev->next, next);
+      }
+      co_await tx.TxFree(cur);
+      co_return true;
+    }
+    prev = cur;
+    cur = next;
+  }
+  co_return false;
+}
+
+std::vector<uint64_t> HashSet::Snapshot() const {
+  std::vector<uint64_t> out;
+  for (uint64_t i = 0; i < bucket_count_; ++i) {
+    for (const Node* n = buckets_[i].head; n != nullptr; n = n->next) {
+      out.push_back(n->key);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string HashSet::CheckInvariants() const {
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < bucket_count_; ++i) {
+    for (const Node* n = buckets_[i].head; n != nullptr; n = n->next) {
+      if (!seen.insert(n->key).second) {
+        return "duplicate key in hash set";
+      }
+      if (const_cast<HashSet*>(this)->BucketFor(n->key) != &buckets_[i]) {
+        return "key chained in the wrong bucket";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace intset

@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// IntegerSet microbenchmark interface (paper Sec. 5): an ordered set of
+// integers with search/insert/remove, implemented as a linked list, a skip
+// list, a red-black tree, and a hash set. Operations run *inside* an atomic
+// block: they take the attempt's Tx handle, so one benchmark op = one
+// transaction, and compositions (multi-op transactions) are possible.
+//
+// Nodes are allocated through Tx::TxMalloc (64-byte padded by the allocator)
+// so insertions allocate transactionally and structures avoid false sharing,
+// matching the paper's padding note.
+#ifndef SRC_INTSET_INT_SET_H_
+#define SRC_INTSET_INT_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tm/tm_api.h"
+
+namespace intset {
+
+class IntSet {
+ public:
+  virtual ~IntSet() = default;
+
+  virtual std::string name() const = 0;
+
+  // Returns true if `key` is in the set.
+  virtual asfsim::Task<bool> Contains(asftm::Tx& tx, uint64_t key) = 0;
+  // Inserts `key`; returns true if it was not present (i.e. was inserted).
+  virtual asfsim::Task<bool> Insert(asftm::Tx& tx, uint64_t key) = 0;
+  // Removes `key`; returns true if it was present (i.e. was removed).
+  virtual asfsim::Task<bool> Remove(asftm::Tx& tx, uint64_t key) = 0;
+
+  // --- Host-side (non-simulated) introspection for tests/validation -------
+  // Sorted snapshot of the current contents.
+  virtual std::vector<uint64_t> Snapshot() const = 0;
+  // Structure-specific invariant check; returns an empty string when sound,
+  // else a description of the violation.
+  virtual std::string CheckInvariants() const = 0;
+};
+
+}  // namespace intset
+
+#endif  // SRC_INTSET_INT_SET_H_

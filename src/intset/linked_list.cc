@@ -1,0 +1,120 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/intset/linked_list.h"
+
+#include <new>
+
+namespace intset {
+
+using asfsim::Task;
+using asftm::Tx;
+
+LinkedList::LinkedList(bool early_release, asfcommon::SimArena* arena)
+    : early_release_(early_release), owns_sentinels_(arena == nullptr) {
+  // Each sentinel gets its own cache line; they never move or get freed
+  // mid-run.
+  void* h = arena != nullptr ? arena->Alloc(64, 64) : std::aligned_alloc(64, 64);
+  void* t = arena != nullptr ? arena->Alloc(64, 64) : std::aligned_alloc(64, 64);
+  head_ = new (h) Node{kMinKey, nullptr};
+  tail_ = new (t) Node{kMaxKey, nullptr};
+  head_->next = tail_;
+}
+
+LinkedList::~LinkedList() {
+  // Interior nodes belong to the TxAllocator pools; only heap sentinels are
+  // ours to free (arena sentinels die with the arena).
+  if (owns_sentinels_) {
+    std::free(head_);
+    std::free(tail_);
+  }
+}
+
+std::string LinkedList::name() const {
+  return early_release_ ? "LinkedList+EarlyRelease" : "LinkedList";
+}
+
+Task<void> LinkedList::Locate(Tx& tx, uint64_t key, Node** prev_out, Node** cur_out) {
+  Node* prev = head_;
+  Node* cur = co_await tx.Read(&head_->next);
+  for (;;) {
+    tx.Work(16);  // Compare/branch/address arithmetic per node visit.
+    uint64_t k = co_await tx.Read(&cur->key);
+    if (k >= key) {
+      break;
+    }
+    Node* next = co_await tx.Read(&cur->next);
+    if (early_release_) {
+      // Hand-over-hand: prev is leaving the window; its monitoring is no
+      // longer needed for the linearization of this operation.
+      if (prev != head_) {
+        co_await tx.Release(&prev->key);
+        co_await tx.Release(&prev->next);
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+  *prev_out = prev;
+  *cur_out = cur;
+}
+
+Task<bool> LinkedList::Contains(Tx& tx, uint64_t key) {
+  Node* prev = nullptr;
+  Node* cur = nullptr;
+  co_await Locate(tx, key, &prev, &cur);
+  uint64_t k = co_await tx.Read(&cur->key);
+  co_return k == key;
+}
+
+Task<bool> LinkedList::Insert(Tx& tx, uint64_t key) {
+  Node* prev = nullptr;
+  Node* cur = nullptr;
+  co_await Locate(tx, key, &prev, &cur);
+  uint64_t k = co_await tx.Read(&cur->key);
+  if (k == key) {
+    co_return false;
+  }
+  void* mem = co_await tx.TxMalloc(sizeof(Node));
+  Node* node = static_cast<Node*>(mem);
+  co_await tx.Write(&node->key, key);
+  co_await tx.Write(&node->next, cur);
+  co_await tx.Write(&prev->next, node);
+  co_return true;
+}
+
+Task<bool> LinkedList::Remove(Tx& tx, uint64_t key) {
+  Node* prev = nullptr;
+  Node* cur = nullptr;
+  co_await Locate(tx, key, &prev, &cur);
+  uint64_t k = co_await tx.Read(&cur->key);
+  if (k != key) {
+    co_return false;
+  }
+  Node* next = co_await tx.Read(&cur->next);
+  co_await tx.Write(&prev->next, next);
+  co_await tx.TxFree(cur);
+  co_return true;
+}
+
+std::vector<uint64_t> LinkedList::Snapshot() const {
+  std::vector<uint64_t> out;
+  for (Node* n = head_->next; n != tail_; n = n->next) {
+    out.push_back(n->key);
+  }
+  return out;
+}
+
+std::string LinkedList::CheckInvariants() const {
+  uint64_t last = kMinKey;
+  for (Node* n = head_->next; n != tail_; n = n->next) {
+    if (n->key <= last && last != kMinKey) {
+      return "list not strictly sorted";
+    }
+    if (n->key == kMinKey || n->key == kMaxKey) {
+      return "sentinel key in interior node";
+    }
+    last = n->key;
+  }
+  return "";
+}
+
+}  // namespace intset

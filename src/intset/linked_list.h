@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Sorted singly linked list with sentinel head/tail — the paper's
+// IntegerSet:LinkList. Optionally uses ASF early release (RELEASE) in
+// hand-over-hand fashion during traversal, which keeps only a sliding window
+// of nodes in the read set and makes even an 8-entry LLB sufficient for long
+// lists (the Figure-8 experiment).
+#ifndef SRC_INTSET_LINKED_LIST_H_
+#define SRC_INTSET_LINKED_LIST_H_
+
+#include "src/common/arena.h"
+#include "src/intset/int_set.h"
+
+namespace intset {
+
+class LinkedList : public IntSet {
+ public:
+  // `early_release` enables RELEASE-based traversal. Sentinels come from
+  // `arena` when provided (deterministic addresses), else from the heap.
+  explicit LinkedList(bool early_release = false, asfcommon::SimArena* arena = nullptr);
+  ~LinkedList() override;
+
+  std::string name() const override;
+  asfsim::Task<bool> Contains(asftm::Tx& tx, uint64_t key) override;
+  asfsim::Task<bool> Insert(asftm::Tx& tx, uint64_t key) override;
+  asfsim::Task<bool> Remove(asftm::Tx& tx, uint64_t key) override;
+  std::vector<uint64_t> Snapshot() const override;
+  std::string CheckInvariants() const override;
+
+  // Host address range of the sentinels (for page pretouching).
+  void* head_sentinel() const { return head_; }
+
+ private:
+  struct Node {
+    uint64_t key;
+    Node* next;
+  };
+  static constexpr uint64_t kMinKey = 0;
+  static constexpr uint64_t kMaxKey = ~0ull;
+
+  // Finds (prev, cur) with prev->key < key <= cur->key, transactionally.
+  // With early release, releases nodes behind the traversal window.
+  asfsim::Task<void> Locate(asftm::Tx& tx, uint64_t key, Node** prev_out, Node** cur_out);
+
+  const bool early_release_;
+  const bool owns_sentinels_;
+  Node* head_;  // Sentinel with kMinKey; head_->next chains to tail.
+  Node* tail_;  // Sentinel with kMaxKey.
+};
+
+}  // namespace intset
+
+#endif  // SRC_INTSET_LINKED_LIST_H_

@@ -1,0 +1,407 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/intset/rb_tree.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace intset {
+
+using asfsim::Task;
+using asftm::Tx;
+
+RbTree::RbTree(asfcommon::SimArena* arena) : owns_nil_(arena == nullptr) {
+  void* n = arena != nullptr ? arena->Alloc(64, 64) : std::aligned_alloc(64, 64);
+  nil_ = new (n) Node{};
+  nil_->key = 0;
+  nil_->color = kBlack;
+  nil_->left = nil_;
+  nil_->right = nil_;
+  nil_->parent = nil_;
+  root_cell_ptr_ = arena != nullptr ? arena->New<RootCell>() : &root_cell_storage_;
+  root_cell_ptr_->root = nil_;
+}
+
+RbTree::~RbTree() {
+  if (owns_nil_) {
+    std::free(nil_);
+  }
+}
+
+Task<RbTree::Node*> RbTree::FindNode(Tx& tx, uint64_t key) {
+  Node* cur = co_await tx.Read(&root_cell_ptr_->root);
+  while (!IsNil(cur)) {
+    tx.Work(16);  // Key compare + branch per level of the descent.
+    uint64_t k = co_await tx.Read(&cur->key);
+    if (k == key) {
+      co_return cur;
+    }
+    cur = co_await tx.Read(k < key ? &cur->right : &cur->left);
+  }
+  co_return cur;  // nil_
+}
+
+Task<bool> RbTree::Contains(Tx& tx, uint64_t key) {
+  Node* n = co_await FindNode(tx, key);
+  co_return !IsNil(n);
+}
+
+Task<void> RbTree::LeftRotate(Tx& tx, Node* x) {
+  Node* y = co_await tx.Read(&x->right);
+  Node* yl = co_await tx.Read(&y->left);
+  co_await tx.Write(&x->right, yl);
+  if (!IsNil(yl)) {
+    co_await tx.Write(&yl->parent, x);
+  }
+  Node* xp = co_await tx.Read(&x->parent);
+  co_await tx.Write(&y->parent, xp);
+  if (IsNil(xp)) {
+    co_await tx.Write(&root_cell_ptr_->root, y);
+  } else {
+    Node* xpl = co_await tx.Read(&xp->left);
+    co_await tx.Write(xpl == x ? &xp->left : &xp->right, y);
+  }
+  co_await tx.Write(&y->left, x);
+  co_await tx.Write(&x->parent, y);
+}
+
+Task<void> RbTree::RightRotate(Tx& tx, Node* x) {
+  Node* y = co_await tx.Read(&x->left);
+  Node* yr = co_await tx.Read(&y->right);
+  co_await tx.Write(&x->left, yr);
+  if (!IsNil(yr)) {
+    co_await tx.Write(&yr->parent, x);
+  }
+  Node* xp = co_await tx.Read(&x->parent);
+  co_await tx.Write(&y->parent, xp);
+  if (IsNil(xp)) {
+    co_await tx.Write(&root_cell_ptr_->root, y);
+  } else {
+    Node* xpl = co_await tx.Read(&xp->left);
+    co_await tx.Write(xpl == x ? &xp->left : &xp->right, y);
+  }
+  co_await tx.Write(&y->right, x);
+  co_await tx.Write(&x->parent, y);
+}
+
+Task<void> RbTree::InsertFixup(Tx& tx, Node* z) {
+  for (;;) {
+    Node* zp = co_await tx.Read(&z->parent);
+    if (IsNil(zp)) {
+      break;
+    }
+    uint64_t zp_color = co_await tx.Read(&zp->color);
+    if (zp_color != kRed) {
+      break;
+    }
+    Node* zpp = co_await tx.Read(&zp->parent);  // Red parent => non-nil grandparent.
+    Node* zppl = co_await tx.Read(&zpp->left);
+    if (zp == zppl) {
+      Node* uncle = co_await tx.Read(&zpp->right);
+      uint64_t uncle_color = IsNil(uncle) ? kBlack : co_await tx.Read(&uncle->color);
+      if (uncle_color == kRed) {
+        co_await tx.Write(&zp->color, kBlack);
+        co_await tx.Write(&uncle->color, kBlack);
+        co_await tx.Write(&zpp->color, kRed);
+        z = zpp;
+        continue;
+      }
+      Node* zpr = co_await tx.Read(&zp->right);
+      if (z == zpr) {
+        z = zp;
+        co_await LeftRotate(tx, z);
+        zp = co_await tx.Read(&z->parent);
+        zpp = co_await tx.Read(&zp->parent);
+      }
+      co_await tx.Write(&zp->color, kBlack);
+      co_await tx.Write(&zpp->color, kRed);
+      co_await RightRotate(tx, zpp);
+    } else {
+      Node* uncle = zppl;
+      uint64_t uncle_color = IsNil(uncle) ? kBlack : co_await tx.Read(&uncle->color);
+      if (uncle_color == kRed) {
+        co_await tx.Write(&zp->color, kBlack);
+        co_await tx.Write(&uncle->color, kBlack);
+        co_await tx.Write(&zpp->color, kRed);
+        z = zpp;
+        continue;
+      }
+      Node* zpl = co_await tx.Read(&zp->left);
+      if (z == zpl) {
+        z = zp;
+        co_await RightRotate(tx, z);
+        zp = co_await tx.Read(&z->parent);
+        zpp = co_await tx.Read(&zp->parent);
+      }
+      co_await tx.Write(&zp->color, kBlack);
+      co_await tx.Write(&zpp->color, kRed);
+      co_await LeftRotate(tx, zpp);
+    }
+  }
+  Node* root = co_await tx.Read(&root_cell_ptr_->root);
+  uint64_t rc = co_await tx.Read(&root->color);
+  if (rc != kBlack) {
+    co_await tx.Write(&root->color, kBlack);
+  }
+}
+
+Task<bool> RbTree::Insert(Tx& tx, uint64_t key) {
+  Node* parent = nil_;
+  Node* cur = co_await tx.Read(&root_cell_ptr_->root);
+  while (!IsNil(cur)) {
+    tx.Work(16);
+    uint64_t k = co_await tx.Read(&cur->key);
+    if (k == key) {
+      co_return false;
+    }
+    parent = cur;
+    cur = co_await tx.Read(k < key ? &cur->right : &cur->left);
+  }
+  void* mem = co_await tx.TxMalloc(sizeof(Node));
+  Node* z = static_cast<Node*>(mem);
+  co_await tx.Write(&z->key, key);
+  co_await tx.Write(&z->color, kRed);
+  co_await tx.Write(&z->left, nil_);
+  co_await tx.Write(&z->right, nil_);
+  co_await tx.Write(&z->parent, parent);
+  if (IsNil(parent)) {
+    co_await tx.Write(&root_cell_ptr_->root, z);
+  } else {
+    uint64_t pk = co_await tx.Read(&parent->key);
+    co_await tx.Write(pk < key ? &parent->right : &parent->left, z);
+  }
+  co_await InsertFixup(tx, z);
+  co_return true;
+}
+
+Task<void> RbTree::Transplant(Tx& tx, Node* u, Node* u_parent, Node* v) {
+  if (IsNil(u_parent)) {
+    co_await tx.Write(&root_cell_ptr_->root, v);
+  } else {
+    Node* upl = co_await tx.Read(&u_parent->left);
+    co_await tx.Write(upl == u ? &u_parent->left : &u_parent->right, v);
+  }
+  if (!IsNil(v)) {
+    co_await tx.Write(&v->parent, u_parent);
+  }
+}
+
+Task<void> RbTree::DeleteFixup(Tx& tx, Node* x, Node* parent) {
+  for (;;) {
+    if (IsNil(parent)) {
+      break;  // x is the root.
+    }
+    uint64_t x_color = IsNil(x) ? kBlack : co_await tx.Read(&x->color);
+    if (x_color == kRed) {
+      break;
+    }
+    Node* pl = co_await tx.Read(&parent->left);
+    if (x == pl) {
+      Node* w = co_await tx.Read(&parent->right);
+      uint64_t wc = co_await tx.Read(&w->color);
+      if (wc == kRed) {
+        co_await tx.Write(&w->color, kBlack);
+        co_await tx.Write(&parent->color, kRed);
+        co_await LeftRotate(tx, parent);
+        w = co_await tx.Read(&parent->right);
+      }
+      Node* wl = co_await tx.Read(&w->left);
+      Node* wr = co_await tx.Read(&w->right);
+      uint64_t wlc = IsNil(wl) ? kBlack : co_await tx.Read(&wl->color);
+      uint64_t wrc = IsNil(wr) ? kBlack : co_await tx.Read(&wr->color);
+      if (wlc == kBlack && wrc == kBlack) {
+        co_await tx.Write(&w->color, kRed);
+        x = parent;
+        parent = co_await tx.Read(&x->parent);
+        continue;
+      }
+      if (wrc == kBlack) {
+        co_await tx.Write(&wl->color, kBlack);
+        co_await tx.Write(&w->color, kRed);
+        co_await RightRotate(tx, w);
+        w = co_await tx.Read(&parent->right);
+        wr = co_await tx.Read(&w->right);
+      }
+      uint64_t pc = co_await tx.Read(&parent->color);
+      co_await tx.Write(&w->color, pc);
+      co_await tx.Write(&parent->color, kBlack);
+      if (!IsNil(wr)) {
+        co_await tx.Write(&wr->color, kBlack);
+      }
+      co_await LeftRotate(tx, parent);
+      break;
+    } else {
+      Node* w = pl;
+      uint64_t wc = co_await tx.Read(&w->color);
+      if (wc == kRed) {
+        co_await tx.Write(&w->color, kBlack);
+        co_await tx.Write(&parent->color, kRed);
+        co_await RightRotate(tx, parent);
+        w = co_await tx.Read(&parent->left);
+      }
+      Node* wl = co_await tx.Read(&w->left);
+      Node* wr = co_await tx.Read(&w->right);
+      uint64_t wlc = IsNil(wl) ? kBlack : co_await tx.Read(&wl->color);
+      uint64_t wrc = IsNil(wr) ? kBlack : co_await tx.Read(&wr->color);
+      if (wlc == kBlack && wrc == kBlack) {
+        co_await tx.Write(&w->color, kRed);
+        x = parent;
+        parent = co_await tx.Read(&x->parent);
+        continue;
+      }
+      if (wlc == kBlack) {
+        co_await tx.Write(&wr->color, kBlack);
+        co_await tx.Write(&w->color, kRed);
+        co_await LeftRotate(tx, w);
+        w = co_await tx.Read(&parent->left);
+        wl = co_await tx.Read(&w->left);
+      }
+      uint64_t pc = co_await tx.Read(&parent->color);
+      co_await tx.Write(&w->color, pc);
+      co_await tx.Write(&parent->color, kBlack);
+      if (!IsNil(wl)) {
+        co_await tx.Write(&wl->color, kBlack);
+      }
+      co_await RightRotate(tx, parent);
+      break;
+    }
+  }
+  if (!IsNil(x)) {
+    uint64_t xc = co_await tx.Read(&x->color);
+    if (xc != kBlack) {
+      co_await tx.Write(&x->color, kBlack);
+    }
+  }
+}
+
+Task<bool> RbTree::Remove(Tx& tx, uint64_t key) {
+  Node* z = co_await FindNode(tx, key);
+  if (IsNil(z)) {
+    co_return false;
+  }
+  Node* y = z;
+  uint64_t y_orig_color = co_await tx.Read(&y->color);
+  Node* x = nil_;
+  Node* x_parent = nil_;
+  Node* zl = co_await tx.Read(&z->left);
+  Node* zr = co_await tx.Read(&z->right);
+  Node* zp = co_await tx.Read(&z->parent);
+  if (IsNil(zl)) {
+    x = zr;
+    x_parent = zp;
+    co_await Transplant(tx, z, zp, zr);
+  } else if (IsNil(zr)) {
+    x = zl;
+    x_parent = zp;
+    co_await Transplant(tx, z, zp, zl);
+  } else {
+    // y = minimum of z's right subtree.
+    y = zr;
+    for (;;) {
+      Node* yl = co_await tx.Read(&y->left);
+      if (IsNil(yl)) {
+        break;
+      }
+      y = yl;
+    }
+    y_orig_color = co_await tx.Read(&y->color);
+    x = co_await tx.Read(&y->right);
+    Node* yp = co_await tx.Read(&y->parent);
+    if (yp == z) {
+      x_parent = y;
+    } else {
+      x_parent = yp;
+      co_await Transplant(tx, y, yp, x);
+      co_await tx.Write(&y->right, zr);
+      co_await tx.Write(&zr->parent, y);
+    }
+    co_await Transplant(tx, z, zp, y);
+    co_await tx.Write(&y->left, zl);
+    co_await tx.Write(&zl->parent, y);
+    uint64_t zc = co_await tx.Read(&z->color);
+    co_await tx.Write(&y->color, zc);
+  }
+  co_await tx.TxFree(z);
+  if (y_orig_color == kBlack) {
+    co_await DeleteFixup(tx, x, x_parent);
+  }
+  co_return true;
+}
+
+std::vector<uint64_t> RbTree::Snapshot() const {
+  std::vector<uint64_t> out;
+  // Iterative in-order walk (host-side).
+  std::vector<const Node*> stack;
+  const Node* cur = root_cell_ptr_->root;
+  while (!IsNil(cur) || !stack.empty()) {
+    while (!IsNil(cur)) {
+      stack.push_back(cur);
+      cur = cur->left;
+    }
+    cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur->key);
+    cur = cur->right;
+  }
+  return out;
+}
+
+int RbTree::CheckSubtree(const Node* n, uint64_t lo, uint64_t hi, std::string* err) const {
+  if (IsNil(n)) {
+    return 1;  // Nil counts as one black.
+  }
+  if (n->key < lo || n->key > hi) {
+    *err = "BST order violated";
+    return -1;
+  }
+  if (n->color == kRed) {
+    if ((!IsNil(n->left) && n->left->color == kRed) ||
+        (!IsNil(n->right) && n->right->color == kRed)) {
+      *err = "red node with red child";
+      return -1;
+    }
+  } else if (n->color != kBlack) {
+    *err = "invalid color";
+    return -1;
+  }
+  if (!IsNil(n->left) && n->left->parent != n) {
+    *err = "left child parent link broken";
+    return -1;
+  }
+  if (!IsNil(n->right) && n->right->parent != n) {
+    *err = "right child parent link broken";
+    return -1;
+  }
+  int lh = CheckSubtree(n->left, lo, n->key == 0 ? 0 : n->key - 1, err);
+  if (lh < 0) {
+    return -1;
+  }
+  int rh = CheckSubtree(n->right, n->key + 1, hi, err);
+  if (rh < 0) {
+    return -1;
+  }
+  if (lh != rh) {
+    *err = "black height mismatch";
+    return -1;
+  }
+  return lh + (n->color == kBlack ? 1 : 0);
+}
+
+std::string RbTree::CheckInvariants() const {
+  const Node* root = root_cell_ptr_->root;
+  if (IsNil(root)) {
+    return "";
+  }
+  if (root->color != kBlack) {
+    return "root not black";
+  }
+  if (!IsNil(root->parent)) {
+    return "root parent not nil";
+  }
+  std::string err;
+  if (CheckSubtree(root, 0, ~0ull, &err) < 0) {
+    return err;
+  }
+  return "";
+}
+
+}  // namespace intset

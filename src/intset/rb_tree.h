@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Red-black tree — the paper's IntegerSet:RBTree. A classic CLRS-style
+// implementation with parent pointers, executed transactionally. The nil
+// sentinel is never written (fixups carry the parent explicitly), so nil
+// does not become a write-conflict hotspot between transactions.
+#ifndef SRC_INTSET_RB_TREE_H_
+#define SRC_INTSET_RB_TREE_H_
+
+#include "src/common/arena.h"
+#include "src/intset/int_set.h"
+
+namespace intset {
+
+class RbTree : public IntSet {
+ public:
+  explicit RbTree(asfcommon::SimArena* arena = nullptr);
+  ~RbTree() override;
+
+  std::string name() const override { return "RBTree"; }
+  asfsim::Task<bool> Contains(asftm::Tx& tx, uint64_t key) override;
+  asfsim::Task<bool> Insert(asftm::Tx& tx, uint64_t key) override;
+  asfsim::Task<bool> Remove(asftm::Tx& tx, uint64_t key) override;
+  std::vector<uint64_t> Snapshot() const override;
+  std::string CheckInvariants() const override;
+
+  void* root_cell() const { return root_cell_ptr_; }
+
+ private:
+  static constexpr uint64_t kBlack = 0;
+  static constexpr uint64_t kRed = 1;
+
+  struct Node {
+    uint64_t key;
+    uint64_t color;
+    Node* left;
+    Node* right;
+    Node* parent;
+  };
+  struct alignas(64) RootCell {
+    Node* root = nullptr;
+  };
+
+  bool IsNil(const Node* n) const { return n == nil_; }
+
+  asfsim::Task<Node*> FindNode(asftm::Tx& tx, uint64_t key);
+  asfsim::Task<void> LeftRotate(asftm::Tx& tx, Node* x);
+  asfsim::Task<void> RightRotate(asftm::Tx& tx, Node* x);
+  asfsim::Task<void> InsertFixup(asftm::Tx& tx, Node* z);
+  // Replaces subtree `u` (whose parent is `u_parent`) with `v`.
+  asfsim::Task<void> Transplant(asftm::Tx& tx, Node* u, Node* u_parent, Node* v);
+  asfsim::Task<void> DeleteFixup(asftm::Tx& tx, Node* x, Node* parent);
+
+  // Host-side recursive invariant check; returns black height or -1.
+  int CheckSubtree(const Node* n, uint64_t lo, uint64_t hi, std::string* err) const;
+
+  const bool owns_nil_;
+  Node* nil_;  // Shared sentinel: always black, never written in fixups.
+  RootCell* root_cell_ptr_;
+  RootCell root_cell_storage_;
+};
+
+}  // namespace intset
+
+#endif  // SRC_INTSET_RB_TREE_H_

@@ -1,0 +1,157 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/intset/skip_list.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace intset {
+
+using asfsim::Task;
+using asftm::Tx;
+
+SkipList::SkipList(asfcommon::SimArena* arena) : owns_sentinels_(arena == nullptr) {
+  void* h = arena != nullptr ? arena->Alloc(sizeof(Node), 64) : std::aligned_alloc(64, sizeof(Node));
+  void* t = arena != nullptr ? arena->Alloc(sizeof(Node), 64) : std::aligned_alloc(64, sizeof(Node));
+  head_ = new (h) Node{};
+  tail_ = new (t) Node{};
+  head_->key = kMinKey;
+  head_->level = kMaxLevel;
+  tail_->key = kMaxKey;
+  tail_->level = kMaxLevel;
+  for (uint32_t i = 0; i < kMaxLevel; ++i) {
+    head_->next[i] = tail_;
+    tail_->next[i] = nullptr;
+  }
+}
+
+SkipList::~SkipList() {
+  if (owns_sentinels_) {
+    std::free(head_);
+    std::free(tail_);
+  }
+}
+
+uint32_t SkipList::LevelFor(uint64_t key) {
+  // splitmix-style scramble, then count trailing ones (geometric p=1/2).
+  uint64_t z = key + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  uint32_t level = 1;
+  while ((z & 1) != 0 && level < kMaxLevel) {
+    ++level;
+    z >>= 1;
+  }
+  return level;
+}
+
+Task<SkipList::Node*> SkipList::Locate(Tx& tx, uint64_t key, Node** preds) {
+  Node* pred = head_;
+  for (int32_t lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+    Node* cur = co_await tx.Read(&pred->next[lvl]);
+    for (;;) {
+      tx.Work(16);  // Level bookkeeping + compare per visited node.
+      uint64_t k = co_await tx.Read(&cur->key);
+      if (k >= key) {
+        break;
+      }
+      pred = cur;
+      cur = co_await tx.Read(&pred->next[lvl]);
+    }
+    preds[lvl] = pred;
+  }
+  // The candidate is the successor at level 0.
+  Node* cand = co_await tx.Read(&preds[0]->next[0]);
+  co_return cand;
+}
+
+Task<bool> SkipList::Contains(Tx& tx, uint64_t key) {
+  Node* preds[kMaxLevel];
+  Node* cand = co_await Locate(tx, key, preds);
+  uint64_t k = co_await tx.Read(&cand->key);
+  co_return k == key;
+}
+
+Task<bool> SkipList::Insert(Tx& tx, uint64_t key) {
+  Node* preds[kMaxLevel];
+  Node* cand = co_await Locate(tx, key, preds);
+  uint64_t k = co_await tx.Read(&cand->key);
+  if (k == key) {
+    co_return false;
+  }
+  uint32_t level = LevelFor(key);
+  void* mem = co_await tx.TxMalloc(sizeof(Node));
+  Node* node = static_cast<Node*>(mem);
+  co_await tx.Write(&node->key, key);
+  co_await tx.Write(&node->level, level);
+  for (uint32_t i = 0; i < level; ++i) {
+    Node* succ = co_await tx.Read(&preds[i]->next[i]);
+    co_await tx.Write(&node->next[i], succ);
+    co_await tx.Write(&preds[i]->next[i], node);
+  }
+  co_return true;
+}
+
+Task<bool> SkipList::Remove(Tx& tx, uint64_t key) {
+  Node* preds[kMaxLevel];
+  Node* cand = co_await Locate(tx, key, preds);
+  uint64_t k = co_await tx.Read(&cand->key);
+  if (k != key) {
+    co_return false;
+  }
+  uint32_t level = co_await tx.Read(&cand->level);
+  for (uint32_t i = 0; i < level; ++i) {
+    Node* succ = co_await tx.Read(&cand->next[i]);
+    co_await tx.Write(&preds[i]->next[i], succ);
+  }
+  co_await tx.TxFree(cand);
+  co_return true;
+}
+
+std::vector<uint64_t> SkipList::Snapshot() const {
+  std::vector<uint64_t> out;
+  for (Node* n = head_->next[0]; n != tail_; n = n->next[0]) {
+    out.push_back(n->key);
+  }
+  return out;
+}
+
+std::string SkipList::CheckInvariants() const {
+  // Level-0 strictly sorted.
+  uint64_t last = kMinKey;
+  size_t count0 = 0;
+  for (Node* n = head_->next[0]; n != tail_; n = n->next[0]) {
+    if (count0 > 0 && n->key <= last) {
+      return "level-0 not strictly sorted";
+    }
+    last = n->key;
+    ++count0;
+    if (n->level < 1 || n->level > kMaxLevel) {
+      return "node level out of range";
+    }
+    if (n->level != LevelFor(n->key)) {
+      return "node level does not match deterministic level";
+    }
+  }
+  // Every higher level is a subsequence of level 0 and sorted.
+  for (uint32_t lvl = 1; lvl < kMaxLevel; ++lvl) {
+    uint64_t prev = kMinKey;
+    size_t count = 0;
+    for (Node* n = head_->next[lvl]; n != tail_; n = n->next[lvl]) {
+      if (n->level <= lvl) {
+        return "node linked above its level";
+      }
+      if (count > 0 && n->key <= prev) {
+        return "upper level not sorted";
+      }
+      prev = n->key;
+      ++count;
+    }
+    if (count > count0) {
+      return "upper level larger than level 0";
+    }
+  }
+  return "";
+}
+
+}  // namespace intset

@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Sorted skip list — the paper's IntegerSet:SkipList. Tower heights are
+// derived deterministically from the key (hash-based geometric levels), so
+// the structure — and therefore every experiment — is reproducible.
+#ifndef SRC_INTSET_SKIP_LIST_H_
+#define SRC_INTSET_SKIP_LIST_H_
+
+#include "src/common/arena.h"
+#include "src/intset/int_set.h"
+
+namespace intset {
+
+class SkipList : public IntSet {
+ public:
+  static constexpr uint32_t kMaxLevel = 14;
+
+  explicit SkipList(asfcommon::SimArena* arena = nullptr);
+  ~SkipList() override;
+
+  std::string name() const override { return "SkipList"; }
+  asfsim::Task<bool> Contains(asftm::Tx& tx, uint64_t key) override;
+  asfsim::Task<bool> Insert(asftm::Tx& tx, uint64_t key) override;
+  asfsim::Task<bool> Remove(asftm::Tx& tx, uint64_t key) override;
+  std::vector<uint64_t> Snapshot() const override;
+  std::string CheckInvariants() const override;
+
+  void* head_sentinel() const { return head_; }
+
+ private:
+  struct Node {
+    uint64_t key;
+    uint32_t level;        // Number of forward links (1..kMaxLevel).
+    Node* next[kMaxLevel]; // Only [0, level) are used.
+  };
+  static constexpr uint64_t kMinKey = 0;
+  static constexpr uint64_t kMaxKey = ~0ull;
+
+  // Deterministic tower height for `key` (geometric, p = 1/2).
+  static uint32_t LevelFor(uint64_t key);
+
+  // Fills preds[i] = rightmost node at level i with key < `key`.
+  asfsim::Task<Node*> Locate(asftm::Tx& tx, uint64_t key, Node** preds);
+
+  const bool owns_sentinels_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace intset
+
+#endif  // SRC_INTSET_SKIP_LIST_H_

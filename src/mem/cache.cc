@@ -1,0 +1,82 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/mem/cache.h"
+
+namespace asfmem {
+
+namespace {
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheGeometry& geo) : sets_(geo.NumSets()), ways_(geo.ways) {
+  ASF_CHECK_MSG(IsPowerOfTwo(sets_), "cache set count must be a power of two");
+  ASF_CHECK(ways_ >= 1);
+  ways_storage_.resize(sets_ * ways_);
+}
+
+bool Cache::Probe(uint64_t line) const {
+  const Way* set = &ways_storage_[SetOf(line) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].line == line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::Touch(uint64_t line) {
+  Way* set = &ways_storage_[SetOf(line) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].line == line) {
+      set[w].lru = ++tick_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<uint64_t> Cache::Insert(uint64_t line) {
+  Way* set = &ways_storage_[SetOf(line) * ways_];
+  Way* victim = &set[0];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].line == line) {
+      set[w].lru = ++tick_;
+      return std::nullopt;
+    }
+    if (set[w].line == kInvalid) {
+      // Prefer an empty way; no better victim can exist.
+      victim = &set[w];
+      break;
+    }
+    if (set[w].lru < victim->lru) {
+      victim = &set[w];
+    }
+  }
+  std::optional<uint64_t> evicted;
+  if (victim->line != kInvalid) {
+    evicted = victim->line;
+  }
+  victim->line = line;
+  victim->lru = ++tick_;
+  return evicted;
+}
+
+bool Cache::Invalidate(uint64_t line) {
+  Way* set = &ways_storage_[SetOf(line) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].line == line) {
+      set[w].line = kInvalid;
+      set[w].lru = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::Clear() {
+  for (auto& w : ways_storage_) {
+    w.line = kInvalid;
+    w.lru = 0;
+  }
+}
+
+}  // namespace asfmem

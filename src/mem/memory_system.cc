@@ -1,0 +1,197 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/mem/memory_system.h"
+
+namespace asfmem {
+
+using asfcommon::kCacheLineBytes;
+using asfcommon::kPageBytes;
+using asfcommon::LineOf;
+using asfcommon::PageOf;
+
+MemorySystem::MemorySystem(uint32_t num_cores, const MemParams& params)
+    : params_(params), l3_(params.l3) {
+  ASF_CHECK(num_cores >= 1 && num_cores <= 32);
+  for (uint32_t i = 0; i < num_cores; ++i) {
+    l1s_.push_back(std::make_unique<Cache>(params.l1));
+    l2s_.push_back(std::make_unique<Cache>(params.l2));
+    tlbs_.push_back(std::make_unique<Tlb>(params.tlb));
+  }
+  stats_.resize(num_cores);
+}
+
+MemResult MemorySystem::Access(uint32_t core, uint64_t addr, uint32_t size, bool is_write) {
+  ASF_CHECK(core < num_cores());
+  ASF_CHECK(size >= 1);
+  MemResult result;
+  MemStats& st = stats_[core];
+  if (is_write) {
+    ++st.stores;
+  } else {
+    ++st.loads;
+  }
+
+  // Translation and page-fault handling (per page touched).
+  bool use_tlb = !is_write || !params_.ptlsim_store_tlb_quirk;
+  uint64_t first_page = PageOf(addr);
+  uint64_t last_page = PageOf(addr + size - 1);
+  for (uint64_t page = first_page; page <= last_page; ++page) {
+    if (use_tlb) {
+      result.latency += tlbs_[core]->Translate(page << asfcommon::kPageShift);
+    }
+    if (params_.model_page_faults && !present_pages_.contains(page)) {
+      present_pages_.insert(page);
+      result.latency += params_.page_fault_cycles;
+      result.page_fault = true;
+      ++st.page_faults;
+    }
+  }
+
+  // Cache access per line touched.
+  uint64_t first_line = LineOf(addr);
+  uint64_t last_line = LineOf(addr + size - 1);
+  for (uint64_t line = first_line; line <= last_line; ++line) {
+    result.latency += AccessLine(core, line, is_write);
+  }
+  return result;
+}
+
+uint64_t MemorySystem::AccessLine(uint32_t core, uint64_t line, bool is_write) {
+  MemStats& st = stats_[core];
+  DirEntry& dir = directory_[line];
+  const uint32_t self_bit = 1u << core;
+
+  if (!is_write) {
+    // ---- Load path ----
+    if (l1s_[core]->Touch(line)) {
+      ++st.l1_hits;
+      return params_.l1_latency;
+    }
+    if (l2s_[core]->Touch(line)) {
+      ++st.l2_hits;
+      FillLine(core, line);
+      dir.sharers |= self_bit;
+      return params_.l2_latency;
+    }
+    uint64_t latency;
+    if (dir.owner != kNoOwner && dir.owner != static_cast<int32_t>(core)) {
+      // Dirty in a remote cache: cache-to-cache forward; owner downgrades to
+      // shared (stays a sharer).
+      ++st.remote_hits;
+      latency = params_.remote_latency;
+      dir.owner = kNoOwner;
+    } else if (l3_.Touch(line)) {
+      ++st.l3_hits;
+      latency = params_.l3_latency;
+    } else {
+      ++st.ram_accesses;
+      latency = params_.ram_latency;
+      l3_.Insert(line);
+    }
+    FillLine(core, line);
+    dir.sharers |= self_bit;
+    return latency;
+  }
+
+  // ---- Store path ----
+  bool in_l1 = l1s_[core]->Touch(line);
+  bool exclusive = dir.owner == static_cast<int32_t>(core) ||
+                   (dir.sharers == self_bit && dir.owner == kNoOwner);
+  if (in_l1 && dir.owner == static_cast<int32_t>(core)) {
+    ++st.l1_hits;
+    return params_.store_hit_latency;
+  }
+
+  // Invalidate all other private copies.
+  for (uint32_t c = 0; c < num_cores(); ++c) {
+    if (c != core && (dir.sharers & (1u << c)) != 0) {
+      DropFromCore(c, line);
+    }
+  }
+  dir.sharers = self_bit;
+
+  uint64_t latency;
+  if (in_l1 || l2s_[core]->Touch(line)) {
+    // Present locally; pay the upgrade round-trip if it was shared.
+    latency = exclusive ? params_.store_hit_latency : params_.upgrade_latency;
+    if (!exclusive) {
+      ++st.upgrades;
+    }
+    if (in_l1) {
+      ++st.l1_hits;
+    } else {
+      ++st.l2_hits;
+    }
+  } else if (dir.owner != kNoOwner && dir.owner != static_cast<int32_t>(core)) {
+    ++st.remote_hits;
+    latency = params_.remote_latency;
+  } else if (l3_.Touch(line)) {
+    ++st.l3_hits;
+    latency = params_.l3_latency;
+  } else {
+    ++st.ram_accesses;
+    latency = params_.ram_latency;
+    l3_.Insert(line);
+  }
+  FillLine(core, line);
+  dir.owner = static_cast<int32_t>(core);
+  return latency;
+}
+
+void MemorySystem::FillLine(uint32_t core, uint64_t line) {
+  if (auto evicted = l1s_[core]->Insert(line)) {
+    // L1 victim moves down to L2 (victim-cache style private hierarchy).
+    l2s_[core]->Insert(*evicted);
+    if (listener_ != nullptr) {
+      listener_->OnL1LineDropped(core, *evicted);
+    }
+  }
+  l2s_[core]->Insert(line);
+}
+
+void MemorySystem::DropFromCore(uint32_t core, uint64_t line) {
+  bool was_in_l1 = l1s_[core]->Invalidate(line);
+  l2s_[core]->Invalidate(line);
+  if (was_in_l1 && listener_ != nullptr) {
+    listener_->OnL1LineDropped(core, line);
+  }
+}
+
+void MemorySystem::PretouchPages(uint64_t addr, uint64_t bytes) {
+  uint64_t first = PageOf(addr);
+  uint64_t last = PageOf(addr + (bytes == 0 ? 0 : bytes - 1));
+  for (uint64_t p = first; p <= last; ++p) {
+    present_pages_.insert(p);
+  }
+}
+
+void MemorySystem::FlushLine(uint64_t line) {
+  for (uint32_t c = 0; c < num_cores(); ++c) {
+    DropFromCore(c, line);
+  }
+  l3_.Invalidate(line);
+  directory_.erase(line);
+}
+
+MemStats MemorySystem::TotalStats() const {
+  MemStats total;
+  for (const auto& s : stats_) {
+    total.loads += s.loads;
+    total.stores += s.stores;
+    total.l1_hits += s.l1_hits;
+    total.l2_hits += s.l2_hits;
+    total.l3_hits += s.l3_hits;
+    total.remote_hits += s.remote_hits;
+    total.ram_accesses += s.ram_accesses;
+    total.upgrades += s.upgrades;
+    total.page_faults += s.page_faults;
+  }
+  return total;
+}
+
+void MemorySystem::ResetStats() {
+  for (auto& s : stats_) {
+    s = MemStats{};
+  }
+}
+
+}  // namespace asfmem

@@ -1,0 +1,63 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Two-level data-TLB model (paper Sec. 5: 48-entry fully associative L1,
+// 512-entry 4-way L2; misses walk the page table but — unlike Sun's Rock —
+// do NOT abort ASF speculative regions, a point the paper emphasizes).
+#ifndef SRC_MEM_TLB_H_
+#define SRC_MEM_TLB_H_
+
+#include <cstdint>
+
+#include "src/mem/cache.h"
+
+namespace asfmem {
+
+struct TlbParams {
+  uint32_t l1_entries = 48;
+  uint32_t l2_entries = 512;
+  uint32_t l2_ways = 4;
+  uint64_t l2_hit_cycles = 4;
+  uint64_t walk_cycles = 35;
+};
+
+// Per-core D-TLB. Returns the extra cycles an address translation costs.
+class Tlb {
+ public:
+  explicit Tlb(const TlbParams& params)
+      : params_(params),
+        l1_(CacheGeometry{params.l1_entries * asfcommon::kCacheLineBytes, params.l1_entries}),
+        l2_(CacheGeometry{params.l2_entries * asfcommon::kCacheLineBytes, params.l2_ways}) {}
+
+  // Translates the page containing `addr`; fills both levels on miss.
+  // Returns the added latency (0 on L1 hit).
+  uint64_t Translate(uint64_t addr) {
+    uint64_t page = addr >> asfcommon::kPageShift;
+    if (l1_.Touch(page)) {
+      return 0;
+    }
+    ++l1_misses_;
+    if (l2_.Touch(page)) {
+      l1_.Insert(page);
+      return params_.l2_hit_cycles;
+    }
+    ++walks_;
+    l1_.Insert(page);
+    l2_.Insert(page);
+    return params_.l2_hit_cycles + params_.walk_cycles;
+  }
+
+  uint64_t l1_misses() const { return l1_misses_; }
+  uint64_t walks() const { return walks_; }
+
+ private:
+  const TlbParams params_;
+  // Reuse the set-associative cache model: a fully associative "cache" with
+  // one set (ways == entries) models the L1 TLB.
+  Cache l1_;
+  Cache l2_;
+  uint64_t l1_misses_ = 0;
+  uint64_t walks_ = 0;
+};
+
+}  // namespace asfmem
+
+#endif  // SRC_MEM_TLB_H_

@@ -1,0 +1,103 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/sim/core.h"
+
+namespace asfsim {
+
+const char* CycleCategoryName(CycleCategory c) {
+  switch (c) {
+    case CycleCategory::kOutsideTx:
+      return "outside-tx";
+    case CycleCategory::kTxNonInstr:
+      return "tx-non-instr";
+    case CycleCategory::kTxAppCode:
+      return "tx-app-code";
+    case CycleCategory::kTxLoadStore:
+      return "tx-load-store";
+    case CycleCategory::kTxStartCommit:
+      return "tx-start-commit";
+    case CycleCategory::kTxAbortWaste:
+      return "tx-abort-waste";
+    case CycleCategory::kNumCategories:
+      break;
+  }
+  return "invalid";
+}
+
+uint64_t Core::TakePendingWork() {
+  if (!has_pending_work_) {
+    return 0;
+  }
+  uint64_t total = 0;
+  auto& sink = attempt_open_ ? attempt_buffer_ : categories_;
+  for (size_t i = 0; i < pending_by_cat_.size(); ++i) {
+    total += pending_by_cat_[i];
+    sink[i] += pending_by_cat_[i];
+    pending_by_cat_[i] = 0;
+  }
+  has_pending_work_ = false;
+  clock_ += total;
+  total_work_cycles_ += total;
+  return total;
+}
+
+void Core::AdvanceTo(uint64_t cycle) {
+  if (cycle <= clock_) {
+    return;
+  }
+  uint64_t delta = cycle - clock_;
+  clock_ = cycle;
+  auto& sink = attempt_open_ ? attempt_buffer_ : categories_;
+  sink[static_cast<size_t>(category_)] += delta;
+}
+
+void Core::BeginAttemptAccounting() {
+  ASF_CHECK(!attempt_open_);
+  attempt_open_ = true;
+  attempt_buffer_.fill(0);
+}
+
+void Core::CommitAttemptAccounting() {
+  ASF_CHECK(attempt_open_);
+  attempt_open_ = false;
+  for (size_t i = 0; i < categories_.size(); ++i) {
+    categories_[i] += attempt_buffer_[i];
+  }
+}
+
+void Core::AbortAttemptAccounting() {
+  ASF_CHECK(attempt_open_);
+  attempt_open_ = false;
+  uint64_t total = 0;
+  for (uint64_t v : attempt_buffer_) {
+    total += v;
+  }
+  categories_[static_cast<size_t>(CycleCategory::kTxAbortWaste)] += total;
+}
+
+uint64_t Core::TotalCycles() const {
+  uint64_t total = 0;
+  for (uint64_t v : categories_) {
+    total += v;
+  }
+  return total;
+}
+
+bool Core::CheckTimer(uint64_t cycle) {
+  if (!params_.timer_enabled) {
+    return false;
+  }
+  if (cycle < next_timer_) {
+    return false;
+  }
+  next_timer_ += params_.timer_period;
+  return true;
+}
+
+void Core::ResetStats() {
+  categories_.fill(0);
+  attempt_buffer_.fill(0);
+  total_work_cycles_ = 0;
+  ASF_CHECK(!attempt_open_);
+}
+
+}  // namespace asfsim

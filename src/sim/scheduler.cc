@@ -1,0 +1,264 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/sim/scheduler.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace asfsim {
+
+using asfcommon::AbortCause;
+
+// --- AbortScope -----------------------------------------------------------
+
+std::coroutine_handle<> AbortScope::await_suspend(std::coroutine_handle<> awaiter) noexcept {
+  ASF_CHECK_MSG(thread_.scope_ == nullptr, "nested AbortScope (ASF nesting is flat)");
+  ASF_CHECK(body_.Valid());
+  awaiter_ = awaiter;
+  thread_.scope_ = this;
+  body_.SetContinuation(awaiter);
+  // Symmetric transfer into the attempt body.
+  return body_.handle();
+}
+
+AbortCause AbortScope::await_resume() noexcept {
+  // Reached either directly from the body's final suspend (normal
+  // completion; the scope is still registered) or from DoControlAbort
+  // (which already deregistered the scope and set result_).
+  if (thread_.scope_ == this) {
+    thread_.scope_ = nullptr;
+  }
+  return result_;
+}
+
+// --- SimThread ------------------------------------------------------------
+
+void SimThread::MarkAbort(AbortCause cause) {
+  ASF_CHECK_MSG(scope_ != nullptr, "abort marked on a thread without an abortable scope");
+  ASF_CHECK_MSG(phase_ != Phase::kBlocked, "abort marked on a blocked thread");
+  if (abort_requested_) {
+    return;  // First cause wins; a single wake-up handles it.
+  }
+  abort_requested_ = true;
+  abort_cause_ = cause;
+}
+
+void SimThread::SubmitPendingOp(const PendingOp& op) {
+  // TakePendingWork advances the clock by the accumulated ALU work (charging
+  // each batch to its recording category); the access is then processed at
+  // its true issue cycle, in global order.
+  uint64_t work = core_->TakePendingWork();
+  if (work > 0) {
+    phase_ = Phase::kFlushWork;
+    pending_ = op;
+    scheduler_->ScheduleWake(*this, core_->clock());
+    return;
+  }
+  // The thread was just woken at the global minimum cycle; processing now
+  // preserves ordering.
+  scheduler_->ProcessAccess(*this, op);
+}
+
+void SimThread::AccessAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+  t.resume_point_ = h;
+  PendingOp op;
+  op.kind = kind;
+  op.addr = addr;
+  op.size = size;
+  op.data = has_value ? PendingOp::Data::kStore : PendingOp::Data::kNone;
+  op.value = value;
+  t.SubmitPendingOp(op);
+}
+
+void SimThread::RmwAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+  t.resume_point_ = h;
+  PendingOp op;
+  op.kind = AccessKind::kStore;
+  op.addr = addr;
+  op.size = size;
+  op.data = is_cas ? PendingOp::Data::kCas : PendingOp::Data::kFaa;
+  op.value = operand;
+  op.expected = expected;
+  t.SubmitPendingOp(op);
+}
+
+void SimThread::SleepAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+  t.resume_point_ = h;
+  t.phase_ = Phase::kIdle;
+  t.core_->TakePendingWork();
+  t.scheduler_->ScheduleWake(t, t.core_->clock() + cycles);
+}
+
+void SimThread::SelfAbortAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+  t.resume_point_ = h;  // Never resumed; the scope unwind destroys this frame.
+  t.phase_ = Phase::kIdle;
+  t.MarkAbort(cause);
+  t.core_->TakePendingWork();
+  t.scheduler_->ScheduleWake(t, t.core_->clock());
+}
+
+// --- Scheduler --------------------------------------------------------------
+
+Scheduler::Scheduler(uint32_t num_cores, const CoreParams& params) {
+  cores_.reserve(num_cores);
+  for (uint32_t i = 0; i < num_cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(i, params));
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+SimThread& Scheduler::Spawn(Task<void> root) {
+  ASF_CHECK_MSG(threads_.size() < cores_.size(), "more threads than cores");
+  ASF_CHECK(!running_);
+  auto t = std::make_unique<SimThread>();
+  t->scheduler_ = this;
+  t->core_ = cores_[threads_.size()].get();
+  t->root_ = std::move(root);
+  t->resume_point_ = t->root_.handle();
+  t->phase_ = SimThread::Phase::kIdle;
+  threads_.push_back(std::move(t));
+  SimThread& ref = *threads_.back();
+  ScheduleWake(ref, 0);
+  return ref;
+}
+
+void Scheduler::ScheduleWake(SimThread& t, uint64_t cycle) {
+  ++t.wake_seq_;
+  events_.push(Event{cycle, next_seq_++, &t});
+}
+
+void Scheduler::Run() {
+  ASF_CHECK_MSG(handler_ != nullptr || threads_.empty(), "no access handler installed");
+  running_ = true;
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    SimThread& t = *ev.thread;
+    if (t.finished_) {
+      continue;
+    }
+    OnWake(t, ev.cycle);
+  }
+  running_ = false;
+  ASF_CHECK_MSG(finished_count_ == threads_.size(),
+                "simulation stalled: threads blocked with no pending events (deadlock)");
+}
+
+uint64_t Scheduler::MaxCycle() const {
+  uint64_t max_cycle = 0;
+  for (const auto& c : cores_) {
+    max_cycle = std::max(max_cycle, c->clock());
+  }
+  return max_cycle;
+}
+
+void Scheduler::OnWake(SimThread& t, uint64_t cycle) {
+  t.core_->AdvanceTo(cycle);
+  if (t.abort_requested_) {
+    // Instantaneous-abort semantics: a pending access of a doomed region is
+    // never performed; unwind immediately.
+    DoControlAbort(t);
+    return;
+  }
+  if (t.phase_ == SimThread::Phase::kFlushWork) {
+    t.phase_ = SimThread::Phase::kIdle;
+    ProcessAccess(t, t.pending_);
+    return;
+  }
+  ResumeThread(t);
+}
+
+namespace {
+
+uint64_t ReadHost(uint64_t addr, uint32_t size) {
+  uint64_t v = 0;
+  std::memcpy(&v, reinterpret_cast<const void*>(addr), size);
+  return v;
+}
+
+}  // namespace
+
+void Scheduler::ProcessAccess(SimThread& t, const SimThread::PendingOp& op) {
+  Core& core = *t.core_;
+  // Timer interrupt delivery is checked at access boundaries (the paper's
+  // regions abort on any interrupt; OS tick cost is charged either way).
+  if (core.CheckTimer(core.clock())) {
+    core.AdvanceTo(core.clock() + core.params().timer_cost);
+    if (handler_->OnInterrupt(t)) {
+      t.MarkAbort(AbortCause::kInterrupt);
+      ScheduleWake(t, core.clock());
+      return;
+    }
+  }
+  const uint64_t issue_cycle = core.clock();
+  AccessOutcome outcome = handler_->OnAccess(t, op.kind, op.addr, op.size);
+  uint64_t latency = outcome.latency;
+  if (op.data == SimThread::PendingOp::Data::kCas || op.data == SimThread::PendingOp::Data::kFaa) {
+    latency += core.params().rmw_extra_cycles;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEvent{issue_cycle, op.addr, core.id(), op.size, op.kind,
+                               core.category(), latency});
+  }
+  core.AdvanceTo(core.clock() + latency);
+  if (outcome.self_abort) {
+    ASF_CHECK_MSG(t.abort_requested_, "handler reported self-abort without marking the thread");
+  } else {
+    // Data-carrying operations apply atomically with the access's coherence
+    // effects (the machine has already versioned the line if speculative).
+    using Data = SimThread::PendingOp::Data;
+    switch (op.data) {
+      case Data::kNone:
+        break;
+      case Data::kStore:
+        std::memcpy(reinterpret_cast<void*>(op.addr), &op.value, op.size);
+        break;
+      case Data::kCas: {
+        uint64_t cur = ReadHost(op.addr, op.size);
+        if (cur == op.expected) {
+          std::memcpy(reinterpret_cast<void*>(op.addr), &op.value, op.size);
+          t.rmw_result_ = 1;
+        } else {
+          t.rmw_result_ = 0;
+        }
+        break;
+      }
+      case Data::kFaa: {
+        uint64_t cur = ReadHost(op.addr, op.size);
+        uint64_t next = cur + op.value;
+        std::memcpy(reinterpret_cast<void*>(op.addr), &next, op.size);
+        t.rmw_result_ = cur;
+        break;
+      }
+    }
+  }
+  ScheduleWake(t, core.clock());
+}
+
+void Scheduler::DoControlAbort(SimThread& t) {
+  AbortScope* scope = t.scope_;
+  ASF_CHECK(scope != nullptr);
+  t.scope_ = nullptr;
+  t.abort_requested_ = false;
+  scope->result_ = t.abort_cause_;
+  t.abort_cause_ = AbortCause::kNone;
+  // Destroy the attempt's coroutine tree (rollback of control flow); then
+  // resume the retry loop, which observes the abort cause.
+  scope->body_.Destroy();
+  t.resume_point_ = scope->awaiter_;
+  t.phase_ = SimThread::Phase::kIdle;
+  ResumeThread(t);
+}
+
+void Scheduler::ResumeThread(SimThread& t) {
+  std::coroutine_handle<> h = t.resume_point_;
+  ASF_CHECK(h && !h.done());
+  t.resume_point_ = nullptr;
+  h.resume();
+  if (t.root_.Done() && !t.finished_) {
+    t.finished_ = true;
+    ++finished_count_;
+  }
+}
+
+}  // namespace asfsim

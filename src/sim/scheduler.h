@@ -1,0 +1,293 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Deterministic execution-driven scheduler for simulated multicore runs.
+//
+// Simulated threads are coroutines (see task.h) bound 1:1 to Cores. Every
+// memory access suspends the issuing thread into the scheduler, which always
+// wakes the thread with the smallest pending cycle (ties broken by schedule
+// order), so memory events are processed in global cycle order and the whole
+// simulation is single-host-threaded and bit-for-bit reproducible.
+//
+// Plain computation is charged lazily (Core::WorkInstructions) and flushed
+// by an extra suspension before the next access is processed, which keeps
+// the global ordering exact: an access issued at cycle t is processed after
+// every event scheduled before t.
+//
+// Transaction aborts are modeled in two halves, mirroring ASF (paper
+// Sec. 2.2): the *architectural* rollback (LLB write-back, protected-set
+// clear) is performed synchronously by the machine model at conflict time,
+// so remote requesters observe pre-speculation data; the *control-flow*
+// rollback (resume at the instruction after SPECULATE) happens when the
+// victim thread is next scheduled: the scheduler destroys the suspended
+// coroutine tree of the current AbortScope and resumes the scope's awaiter
+// with the abort cause.
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/abort_cause.h"
+#include "src/common/defs.h"
+#include "src/sim/core.h"
+#include "src/sim/task.h"
+#include "src/sim/trace.h"
+
+namespace asfsim {
+
+class Scheduler;
+class SimThread;
+
+// Abortable scope: awaitable that runs `body` so that the scheduler can
+// destroy it mid-flight and resume the awaiter with an abort cause. The TM
+// runtimes wrap each transaction attempt in one scope; ASF flat nesting
+// means there is never more than one scope per thread.
+class AbortScope {
+ public:
+  AbortScope(SimThread& thread, Task<void> body)
+      : thread_(thread), body_(std::move(body)) {}
+  AbortScope(const AbortScope&) = delete;
+  AbortScope& operator=(const AbortScope&) = delete;
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) noexcept;
+  asfcommon::AbortCause await_resume() noexcept;
+
+ private:
+  friend class Scheduler;
+
+  SimThread& thread_;
+  Task<void> body_;
+  std::coroutine_handle<> awaiter_;
+  asfcommon::AbortCause result_ = asfcommon::AbortCause::kNone;
+};
+
+// One simulated thread of execution, bound to one Core.
+class SimThread {
+ public:
+  enum class Phase : uint8_t {
+    kIdle,       // Resume point is a coroutine to resume.
+    kFlushWork,  // Pending work is being charged; an access awaits processing.
+    kBlocked,    // Parked on a SimMutex/SimBarrier; no pending event.
+  };
+
+  Core& core() { return *core_; }
+  const Core& core() const { return *core_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  uint32_t id() const { return core_->id(); }
+  bool finished() const { return finished_; }
+
+  // --- Awaitable factories (used from coroutine code) ---------------------
+
+  // One simulated memory operation. The operation's architectural effects
+  // (cache fills, coherence probes, ASF set updates, conflict aborts of
+  // remote regions) are applied at issue time; the returned awaitable
+  // resumes after the access latency has been charged.
+  //
+  // Loads: the caller reads host memory after resuming. This is safe for
+  // protected (tx) loads — any remote write to the line in the meantime
+  // aborts this region first — and a bounded approximation for plain loads.
+  //
+  // Stores issued via Access() are TIMING-ONLY: they charge latency and run
+  // coherence/conflict effects but do not mutate host memory. Any store
+  // whose target can also be touched by speculative regions must instead use
+  // Store() below, which applies the data atomically at issue time (after
+  // the machine has versioned the line), so abort-time rollback ordering is
+  // exact.
+  struct AccessAwaiter {
+    SimThread& t;
+    AccessKind kind;
+    uint64_t addr;
+    uint32_t size;
+    bool has_value = false;
+    uint64_t value = 0;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    void await_resume() const noexcept {}
+  };
+  AccessAwaiter Access(AccessKind kind, uint64_t addr, uint32_t size) {
+    return AccessAwaiter{*this, kind, addr, size};
+  }
+  AccessAwaiter Access(AccessKind kind, const void* p, uint32_t size) {
+    return AccessAwaiter{*this, kind, reinterpret_cast<uint64_t>(p), size};
+  }
+
+  // A data-carrying store (size <= 8 bytes, little-endian): host memory is
+  // updated at issue time, after conflict resolution and (for kTxStore) the
+  // LLB backup — the write is atomic with its coherence effects.
+  AccessAwaiter Store(AccessKind kind, uint64_t addr, uint32_t size, uint64_t value) {
+    ASF_CHECK(size <= 8);
+    return AccessAwaiter{*this, kind, addr, size, true, value};
+  }
+  AccessAwaiter Store(AccessKind kind, const void* p, uint32_t size, uint64_t value) {
+    return Store(kind, reinterpret_cast<uint64_t>(p), size, value);
+  }
+
+  // Atomic read-modify-write operations (LOCK CMPXCHG / LOCK XADD), applied
+  // at issue time like Store(). The awaitable resumes with the RMW result:
+  // Cas -> 1 if the exchange happened, 0 otherwise; FetchAdd -> the previous
+  // value. Used by the STM (orec acquisition, commit clock) and by lock
+  // implementations.
+  struct RmwAwaiter {
+    SimThread& t;
+    uint64_t addr;
+    uint32_t size;
+    bool is_cas;        // true: CAS(expected, operand); false: fetch-add(operand).
+    uint64_t expected;
+    uint64_t operand;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    uint64_t await_resume() const noexcept { return t.rmw_result_; }
+  };
+  RmwAwaiter Cas(const void* p, uint32_t size, uint64_t expected, uint64_t desired) {
+    ASF_CHECK(size <= 8);
+    return RmwAwaiter{*this, reinterpret_cast<uint64_t>(p), size, true, expected, desired};
+  }
+  RmwAwaiter FetchAdd(const void* p, uint32_t size, uint64_t delta) {
+    ASF_CHECK(size <= 8);
+    return RmwAwaiter{*this, reinterpret_cast<uint64_t>(p), size, false, 0, delta};
+  }
+
+  // Advances simulated time by pending work plus `cycles` (used for backoff
+  // and to model fixed-cost instruction sequences around suspension points).
+  struct SleepAwaiter {
+    SimThread& t;
+    uint64_t cycles;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    void await_resume() const noexcept {}
+  };
+  SleepAwaiter Sleep(uint64_t cycles) { return SleepAwaiter{*this, cycles}; }
+
+  // Software-initiated abort of the current AbortScope (never resumes the
+  // awaiting coroutine; the scope unwinds instead). The caller must have
+  // already performed any architectural rollback (e.g. ASF ABORT semantics
+  // or STM undo) before awaiting this.
+  struct SelfAbortAwaiter {
+    SimThread& t;
+    asfcommon::AbortCause cause;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    void await_resume() const noexcept {}
+  };
+  SelfAbortAwaiter AbortSelf(asfcommon::AbortCause cause) { return SelfAbortAwaiter{*this, cause}; }
+
+  // Runs `body` in an abortable scope; resumes with kNone on normal
+  // completion or with the abort cause after an abort unwind.
+  AbortScope RunAbortable(Task<void> body) { return AbortScope(*this, std::move(body)); }
+
+  bool InAbortableScope() const { return scope_ != nullptr; }
+
+  // Marks this thread's scope for control-flow abort; the unwind happens at
+  // the thread's next wake-up. Called by the machine model for requester-
+  // wins victims and for self-aborts discovered while processing an access.
+  void MarkAbort(asfcommon::AbortCause cause);
+
+  bool abort_marked() const { return abort_requested_; }
+
+ private:
+  friend class Scheduler;
+  friend class AbortScope;
+  friend class SimMutex;
+  friend class SimBarrier;
+
+  Scheduler* scheduler_ = nullptr;
+  Core* core_ = nullptr;
+  Task<void> root_;
+  std::coroutine_handle<> resume_point_;
+  Phase phase_ = Phase::kIdle;
+  bool finished_ = false;
+  bool abort_requested_ = false;
+  asfcommon::AbortCause abort_cause_ = asfcommon::AbortCause::kNone;
+  AbortScope* scope_ = nullptr;
+  uint64_t wake_seq_ = 0;
+  // One memory operation, as queued while work cycles flush.
+  struct PendingOp {
+    AccessKind kind = AccessKind::kLoad;
+    uint64_t addr = 0;
+    uint32_t size = 0;
+    enum class Data : uint8_t { kNone, kStore, kCas, kFaa } data = Data::kNone;
+    uint64_t value = 0;     // Store value / CAS desired / fetch-add delta.
+    uint64_t expected = 0;  // CAS expected value.
+  };
+
+  // Flushes pending work cycles, then processes `op` at its issue cycle.
+  void SubmitPendingOp(const PendingOp& op);
+
+  PendingOp pending_;
+  uint64_t rmw_result_ = 0;
+};
+
+// The scheduler: owns cores and threads, runs the event loop.
+class Scheduler {
+ public:
+  explicit Scheduler(uint32_t num_cores, const CoreParams& params = CoreParams());
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Installs the machine model consulted for every access. Must be set
+  // before Run() if any thread performs accesses.
+  void SetAccessHandler(AccessHandler* handler) { handler_ = handler; }
+
+  // Optional host-side tracer: records every processed operation at zero
+  // simulated cost (the paper's offline-analysis methodology).
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Hook invoked when a timer interrupt fires on a thread's core; returns
+  // true if an active speculative region was rolled back (the scheduler then
+  // unwinds the thread's scope). Part of AccessHandler.
+  // Binds `root` to the next free core and schedules it at cycle 0.
+  SimThread& Spawn(Task<void> root);
+
+  // Runs the event loop to completion; checks every spawned thread finished.
+  void Run();
+
+  uint32_t num_cores() const { return static_cast<uint32_t>(cores_.size()); }
+  Core& core(uint32_t i) { return *cores_[i]; }
+  SimThread& thread(uint32_t i) { return *threads_[i]; }
+  uint32_t num_threads() const { return static_cast<uint32_t>(threads_.size()); }
+
+  // Maximum cycle reached across all cores (simulated wall-clock).
+  uint64_t MaxCycle() const;
+
+  // Schedules thread `t` to wake at `cycle` (used internally and by sync
+  // primitives).
+  void ScheduleWake(SimThread& t, uint64_t cycle);
+
+ private:
+  friend class SimThread;
+
+  struct Event {
+    uint64_t cycle;
+    uint64_t seq;
+    SimThread* thread;
+    bool operator>(const Event& o) const {
+      if (cycle != o.cycle) {
+        return cycle > o.cycle;
+      }
+      return seq > o.seq;
+    }
+  };
+
+  void OnWake(SimThread& t, uint64_t cycle);
+  void ProcessAccess(SimThread& t, const SimThread::PendingOp& op);
+  void DoControlAbort(SimThread& t);
+  void ResumeThread(SimThread& t);
+
+  AccessHandler* handler_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  uint64_t next_seq_ = 0;
+  uint32_t finished_count_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace asfsim
+
+#endif  // SRC_SIM_SCHEDULER_H_

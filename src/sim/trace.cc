@@ -1,0 +1,25 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/sim/trace.h"
+
+namespace asfsim {
+
+TraceSummary Summarize(const std::vector<TraceEvent>& events) {
+  TraceSummary s;
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    ++s.total_ops;
+    s.ops_by_kind[static_cast<size_t>(ev.kind)] += 1;
+    s.cycles_by_category[static_cast<size_t>(ev.category)] += ev.latency;
+    s.total_latency += ev.latency;
+    if (first || ev.cycle < s.first_cycle) {
+      s.first_cycle = ev.cycle;
+    }
+    if (first || ev.cycle > s.last_cycle) {
+      s.last_cycle = ev.cycle;
+    }
+    first = false;
+  }
+  return s;
+}
+
+}  // namespace asfsim

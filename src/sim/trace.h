@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Timed execution tracing — the analog of the paper's measurement
+// methodology for Table 1/Figure 9: "we ... extended our simulator to
+// produce a timed trace of the execution. We then produced the cycle
+// breakdown by offline analysis and aggregation of the traces, without any
+// interference with the benchmark's execution."
+//
+// When a Tracer is attached to the Scheduler, every processed memory
+// operation is appended to an in-memory event log (zero simulated cost —
+// tracing is a host-side observer). Summarize() aggregates a log offline
+// into per-kind/per-category counts; tests cross-check it against the online
+// cycle accounting.
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/defs.h"
+#include "src/sim/core.h"
+
+namespace asfsim {
+
+struct TraceEvent {
+  uint64_t cycle;   // Issue cycle of the operation.
+  uint64_t addr;
+  uint32_t core;
+  uint32_t size;
+  AccessKind kind;
+  CycleCategory category;  // Cycle category in effect at issue.
+  uint64_t latency;        // Cycles charged for this operation.
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t reserve = 1 << 16) { events_.reserve(reserve); }
+
+  void Record(const TraceEvent& ev) { events_.push_back(ev); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Offline aggregation of a trace.
+struct TraceSummary {
+  // Operation counts by AccessKind.
+  std::array<uint64_t, 16> ops_by_kind{};
+  // Charged cycles by cycle category (latency attribution at issue time).
+  std::array<uint64_t, static_cast<size_t>(CycleCategory::kNumCategories)> cycles_by_category{};
+  uint64_t total_ops = 0;
+  uint64_t total_latency = 0;
+  uint64_t first_cycle = 0;
+  uint64_t last_cycle = 0;
+
+  uint64_t OpsOf(AccessKind k) const { return ops_by_kind[static_cast<size_t>(k)]; }
+  uint64_t CyclesOf(CycleCategory c) const {
+    return cycles_by_category[static_cast<size_t>(c)];
+  }
+};
+
+TraceSummary Summarize(const std::vector<TraceEvent>& events);
+
+}  // namespace asfsim
+
+#endif  // SRC_SIM_TRACE_H_

@@ -1,0 +1,192 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/stamp/genome.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace stamp {
+
+using asfsim::SimThread;
+using asfsim::Task;
+using asftm::Tx;
+
+void Genome::Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) {
+  threads_ = threads;
+  const uint32_t gene_bases = 2048 * scale;
+  segment_count_ = gene_bases / 2;  // ~4x coverage of distinct start points.
+  asfcommon::SimArena& arena = machine.arena();
+
+  // Build the gene and cut random segments (host-side preprocessing, as in
+  // STAMP's input generation).
+  asfcommon::Rng rng(seed);
+  std::vector<uint8_t> gene(gene_bases);
+  for (auto& b : gene) {
+    b = static_cast<uint8_t>(rng.NextBelow(4));
+  }
+  raw_segments_ = arena.NewArray<uint64_t>(segment_count_);
+  for (uint32_t s = 0; s < segment_count_; ++s) {
+    uint32_t start = static_cast<uint32_t>(rng.NextBelow(gene_bases - kSegLen));
+    uint64_t packed = 0;
+    for (uint32_t i = 0; i < kSegLen; ++i) {
+      packed |= static_cast<uint64_t>(gene[start + i]) << (2 * i);
+    }
+    raw_segments_[s] = packed;
+  }
+
+  dedup_ = std::make_unique<intset::HashSet>(12, &arena);
+  region_size_ = (segment_count_ + threads - 1) / threads;
+  unique_ = arena.NewArray<SegmentNode>(static_cast<uint64_t>(region_size_) * threads);
+  claimed_ = arena.NewArray<ClaimCounter>(threads);
+  table_size_ = uint64_t{1} << 13;
+  table_ = arena.NewArray<TableSlot>(table_size_);
+  barrier_ = std::make_unique<asfsim::SimBarrier>(threads);
+
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(raw_segments_),
+                              segment_count_ * sizeof(uint64_t));
+  machine.mem().PretouchPages(
+      reinterpret_cast<uint64_t>(unique_),
+      static_cast<uint64_t>(region_size_) * threads * sizeof(SegmentNode));
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(table_),
+                              table_size_ * sizeof(TableSlot));
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(claimed_),
+                              threads * sizeof(ClaimCounter));
+}
+
+Task<void> Genome::Worker(asftm::TmRuntime& rt, SimThread& t, uint32_t tid) {
+  const uint32_t chunk = (segment_count_ + threads_ - 1) / threads_;
+  const uint32_t begin = tid * chunk;
+  const uint32_t end = begin + chunk < segment_count_ ? begin + chunk : segment_count_;
+
+  // ---- Phase 1: deduplicate segments into the hash set; claim a unique
+  // slot (shared counter) for each first occurrence.
+  for (uint32_t s = begin; s < end; ++s) {
+    co_await t.Access(asfsim::AccessKind::kLoad, &raw_segments_[s], 8);
+    uint64_t content = raw_segments_[s];
+    t.core().WorkInstructions(10);
+    co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+      bool inserted = co_await dedup_->Insert(tx, content + 1);  // Keys are nonzero.
+      if (inserted) {
+        // Claim a slot in this thread's own region: the claim counter is
+        // thread-private (padded), so first-insertions do not contend on a
+        // shared cursor — STAMP likewise shards its segment lists.
+        uint64_t local = co_await tx.Read(&claimed_[tid].count);
+        co_await tx.Write(&claimed_[tid].count, local + 1);
+        SegmentNode* node = &unique_[tid * region_size_ + local];
+        co_await tx.Write(&node->content, content);
+        co_await tx.Write(&node->next, uint64_t{0});
+        co_await tx.Write(&node->has_pred, uint64_t{0});
+      }
+    });
+  }
+  co_await barrier_->Arrive(t);
+
+  // ---- Phase 2a: publish every unique segment's prefix in the shared
+  // starts-with table (open addressing, linear probing). Each thread walks
+  // its own claimed region.
+  const uint64_t b2 = static_cast<uint64_t>(tid) * region_size_;
+  const uint64_t e2 = b2 + claimed_[tid].count;
+  for (uint64_t u = b2; u < e2; ++u) {
+    uint64_t key = PrefixOf(unique_[u].content) + 1;
+    uint64_t slot = key % table_size_;
+    co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+      for (uint64_t probe = 0; probe < table_size_; ++probe) {
+        TableSlot* ts = &table_[(slot + probe) % table_size_];
+        uint64_t k = co_await tx.Read(&ts->key);
+        tx.Work(4);
+        if (k == 0) {
+          co_await tx.Write(&ts->key, key);
+          co_await tx.Write(&ts->seg_id, u + 1);
+          co_return;
+        }
+        // Duplicate prefixes keep probing to store every copy.
+      }
+    });
+  }
+  co_await barrier_->Arrive(t);
+
+  // ---- Phase 2b: for each of this thread's segments, find a successor
+  // whose prefix equals our suffix and link the chain (claim both ends
+  // transactionally).
+  for (uint64_t u = b2; u < e2; ++u) {
+    uint64_t want = SuffixOf(unique_[u].content) + 1;
+    uint64_t slot = want % table_size_;
+    co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+      uint64_t already = co_await tx.Read(&unique_[u].next);
+      if (already != 0) {
+        co_return;
+      }
+      for (uint64_t probe = 0; probe < table_size_; ++probe) {
+        TableSlot* ts = &table_[(slot + probe) % table_size_];
+        uint64_t k = co_await tx.Read(&ts->key);
+        tx.Work(4);
+        if (k == 0) {
+          co_return;  // No matching successor.
+        }
+        if (k != want) {
+          continue;
+        }
+        uint64_t cand = co_await tx.Read(&ts->seg_id);
+        if (cand == u + 1) {
+          continue;  // Do not link a segment to itself.
+        }
+        SegmentNode* succ = &unique_[cand - 1];
+        uint64_t pred_taken = co_await tx.Read(&succ->has_pred);
+        if (pred_taken != 0) {
+          continue;  // Successor already claimed; try the next copy.
+        }
+        co_await tx.Write(&succ->has_pred, uint64_t{1});
+        co_await tx.Write(&unique_[u].next, cand);
+        co_return;
+      }
+    });
+  }
+}
+
+std::string Genome::Validate() const {
+  // Collect the claimed slot indexes across all per-thread regions.
+  std::vector<uint64_t> slots;
+  for (uint32_t tid = 0; tid < threads_; ++tid) {
+    if (claimed_[tid].count > region_size_) {
+      return "genome: thread claimed more slots than its region holds";
+    }
+    for (uint64_t i = 0; i < claimed_[tid].count; ++i) {
+      slots.push_back(static_cast<uint64_t>(tid) * region_size_ + i);
+    }
+  }
+  // Uniqueness: contents must be pairwise distinct and cover the input.
+  std::unordered_set<uint64_t> contents;
+  for (uint64_t u : slots) {
+    if (!contents.insert(unique_[u].content).second) {
+      return "genome: duplicate unique segment (lost dedup atomicity)";
+    }
+  }
+  std::unordered_set<uint64_t> raw_set(raw_segments_, raw_segments_ + segment_count_);
+  if (contents.size() != raw_set.size()) {
+    return "genome: unique segment count mismatch";
+  }
+  // Linking: every target has exactly one predecessor; links must be real
+  // overlaps; the has_pred marks must match the links.
+  std::unordered_map<uint64_t, uint32_t> pred_count;
+  for (uint64_t u : slots) {
+    uint64_t next = unique_[u].next;
+    if (next == 0) {
+      continue;
+    }
+    if (SuffixOf(unique_[u].content) != PrefixOf(unique_[next - 1].content)) {
+      return "genome: linked segments do not overlap";
+    }
+    if (++pred_count[next] > 1) {
+      return "genome: segment linked by two predecessors (lost claim)";
+    }
+  }
+  for (uint64_t u : slots) {
+    bool has_pred = unique_[u].has_pred != 0;
+    bool counted = pred_count.contains(u + 1);
+    if (has_pred != counted) {
+      return "genome: has_pred mark inconsistent with links";
+    }
+  }
+  return "";
+}
+
+}  // namespace stamp

@@ -1,0 +1,70 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// STAMP Genome reproduction: gene sequencing by segment deduplication and
+// overlap matching.
+//
+// Phase 1: threads insert packed segments into a shared hash set to remove
+// duplicates (medium transactions: bucket-chain reads + one insert).
+// Phase 2: unique segments are linked by maximal prefix/suffix overlap via a
+// shared open-addressing "starts-with" table — probe + claim transactions.
+// Phase 3: host-side chain walk validates the linking.
+//
+// Segments are seg_len bases of a 2-bit alphabet, packed into one uint64, so
+// content equality is exact integer equality.
+#ifndef SRC_STAMP_GENOME_H_
+#define SRC_STAMP_GENOME_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/intset/hash_set.h"
+#include "src/sim/sync.h"
+#include "src/stamp/stamp_app.h"
+
+namespace stamp {
+
+class Genome : public StampApp {
+ public:
+  std::string name() const override { return "genome"; }
+  void Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) override;
+  asfsim::Task<void> Worker(asftm::TmRuntime& rt, asfsim::SimThread& t, uint32_t tid) override;
+  std::string Validate() const override;
+
+ private:
+  static constexpr uint32_t kSegLen = 16;      // Bases per segment (2 bits each).
+  static constexpr uint32_t kOverlap = 12;     // Bases of prefix/suffix overlap.
+
+  struct alignas(64) SegmentNode {
+    uint64_t content;   // Packed bases.
+    uint64_t next;      // Index+1 of the following unique segment, 0 = none.
+    uint64_t has_pred;  // 1 if some segment links to this one.
+  };
+  struct alignas(16) TableSlot {
+    uint64_t key;     // Prefix (kOverlap bases) + 1; 0 = empty.
+    uint64_t seg_id;  // Index+1 into unique_.
+  };
+
+  uint64_t PrefixOf(uint64_t content) const { return content & ((1ull << (2 * kOverlap)) - 1); }
+  uint64_t SuffixOf(uint64_t content) const {
+    return content >> (2 * (kSegLen - kOverlap));
+  }
+
+  struct alignas(64) ClaimCounter {
+    uint64_t count;
+  };
+
+  uint32_t threads_ = 0;
+  uint32_t segment_count_ = 0;  // Raw segments (with duplicates).
+  uint32_t region_size_ = 0;    // Unique-slot region per thread.
+  uint64_t* raw_segments_ = nullptr;
+  std::unique_ptr<intset::HashSet> dedup_;
+  SegmentNode* unique_ = nullptr;      // Per-thread regions of claimed slots.
+  ClaimCounter* claimed_ = nullptr;    // Per-thread claim counters (padded).
+  TableSlot* table_ = nullptr;
+  uint64_t table_size_ = 0;
+  std::unique_ptr<asfsim::SimBarrier> barrier_;
+};
+
+}  // namespace stamp
+
+#endif  // SRC_STAMP_GENOME_H_

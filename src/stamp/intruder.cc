@@ -1,0 +1,128 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/stamp/intruder.h"
+
+namespace stamp {
+
+using asfsim::SimThread;
+using asfsim::Task;
+using asftm::Tx;
+
+void Intruder::Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) {
+  threads_ = threads;
+  flow_count_ = 192 * scale;
+  asfcommon::SimArena& arena = machine.arena();
+  asfcommon::Rng rng(seed);
+
+  // Build flows with 2..kMaxFragments fragments, then shuffle all fragments
+  // into one capture queue (packets arrive interleaved).
+  std::vector<Fragment> staged;
+  flows_ = arena.NewArray<Flow>(flow_count_);
+  for (uint32_t f = 0; f < flow_count_; ++f) {
+    uint32_t n = 2 + static_cast<uint32_t>(rng.NextBelow(kMaxFragments - 1));
+    flows_[f].total = n;
+    uint64_t payload_xor = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t payload = rng.Next();
+      payload_xor ^= payload;
+      staged.push_back(Fragment{f, i, payload});
+    }
+    if (IsAttack(payload_xor)) {
+      ++expected_attacks_;
+    }
+  }
+  fragment_count_ = static_cast<uint32_t>(staged.size());
+  for (uint32_t i = fragment_count_ - 1; i > 0; --i) {
+    uint32_t j = static_cast<uint32_t>(rng.NextBelow(i + 1));
+    std::swap(staged[i], staged[j]);
+  }
+  fragments_ = arena.NewArray<Fragment>(fragment_count_);
+  for (uint32_t i = 0; i < fragment_count_; ++i) {
+    fragments_[i] = staged[i];
+  }
+  counters_ = arena.New<Counters>();
+
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(fragments_),
+                              fragment_count_ * sizeof(Fragment));
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(flows_),
+                              static_cast<uint64_t>(flow_count_) * sizeof(Flow));
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(counters_), sizeof(Counters));
+}
+
+Task<void> Intruder::Worker(asftm::TmRuntime& rt, SimThread& t, uint32_t tid) {
+  for (;;) {
+    // Stage 1 (capture): pop the next fragment index from the shared queue
+    // — a tiny hot transaction, as in STAMP's packet queue.
+    uint64_t frag_index = 0;
+    bool drained = false;
+    co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+      drained = false;
+      uint64_t i = co_await tx.Read(&counters_->cursor);
+      if (i >= fragment_count_) {
+        drained = true;
+        co_return;
+      }
+      co_await tx.Write(&counters_->cursor, i + 1);
+      frag_index = i;
+    });
+    if (drained) {
+      co_return;
+    }
+
+    // Stage 2 (reassembly): fold the fragment into its flow record — a
+    // separate transaction keyed by flow, so unrelated flows do not conflict.
+    bool completed = false;
+    uint64_t flow_xor = 0;
+    const Fragment* frag = &fragments_[frag_index];
+    co_await t.Access(asfsim::AccessKind::kLoad, frag, sizeof(Fragment));
+    t.core().WorkInstructions(12);  // Header decode.
+    Flow* flow = &flows_[frag->flow];
+    uint64_t payload = frag->payload;
+    co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+      completed = false;
+      uint64_t received = co_await tx.Read(&flow->received);
+      uint64_t acc = co_await tx.Read(&flow->payload_xor);
+      uint64_t total = co_await tx.Read(&flow->total);
+      co_await tx.Write(&flow->payload_xor, acc ^ payload);
+      co_await tx.Write(&flow->received, received + 1);
+      if (received + 1 == total) {
+        co_await tx.Write(&flow->done, uint64_t{1});
+        completed = true;
+        flow_xor = acc ^ payload;
+      }
+    });
+    if (completed) {
+      // Detection: signature scan over the reassembled flow (plain compute,
+      // outside any transaction), then publish the verdict.
+      t.core().WorkInstructions(400);
+      bool attack = IsAttack(flow_xor);
+      co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+        uint64_t done = co_await tx.Read(&counters_->processed);
+        co_await tx.Write(&counters_->processed, done + 1);
+        if (attack) {
+          uint64_t a = co_await tx.Read(&counters_->attacks);
+          co_await tx.Write(&counters_->attacks, a + 1);
+        }
+      });
+    }
+  }
+}
+
+std::string Intruder::Validate() const {
+  if (counters_->cursor < fragment_count_) {
+    return "intruder: capture queue not drained";
+  }
+  for (uint32_t f = 0; f < flow_count_; ++f) {
+    if (flows_[f].received != flows_[f].total || flows_[f].done != 1) {
+      return "intruder: flow not fully reassembled (lost fragment)";
+    }
+  }
+  if (counters_->processed != flow_count_) {
+    return "intruder: completed-flow count mismatch";
+  }
+  if (counters_->attacks != expected_attacks_) {
+    return "intruder: attack count mismatch";
+  }
+  return "";
+}
+
+}  // namespace stamp

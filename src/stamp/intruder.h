@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// STAMP Intruder reproduction: network intrusion detection in three stages —
+// capture (pop a packet fragment from the shared queue), reassembly (update
+// the flow's fragment map), and detection (scan completed flows for attack
+// signatures; plain compute). Capture+reassembly form one transaction per
+// fragment with a hot queue cursor, giving the benchmark its moderate
+// contention profile.
+#ifndef SRC_STAMP_INTRUDER_H_
+#define SRC_STAMP_INTRUDER_H_
+
+#include "src/common/random.h"
+#include "src/stamp/stamp_app.h"
+
+namespace stamp {
+
+class Intruder : public StampApp {
+ public:
+  std::string name() const override { return "intruder"; }
+  void Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) override;
+  asfsim::Task<void> Worker(asftm::TmRuntime& rt, asfsim::SimThread& t, uint32_t tid) override;
+  std::string Validate() const override;
+
+ private:
+  static constexpr uint32_t kMaxFragments = 16;
+
+  struct Fragment {
+    uint32_t flow;
+    uint32_t index;
+    uint64_t payload;
+  };
+  struct alignas(64) Flow {
+    uint64_t received;
+    uint64_t total;
+    uint64_t payload_xor;  // Order-independent "reassembled content".
+    uint64_t done;
+  };
+  struct alignas(64) Counters {
+    uint64_t cursor;     // Next fragment in the capture queue.
+    uint64_t pad[7];
+    uint64_t attacks;    // Flows flagged by the detector.
+    uint64_t processed;  // Completed flows.
+  };
+
+  static bool IsAttack(uint64_t payload_xor) { return (payload_xor & 0xF) == 0x7; }
+
+  uint32_t threads_ = 0;
+  uint32_t flow_count_ = 0;
+  uint32_t fragment_count_ = 0;
+  Fragment* fragments_ = nullptr;
+  Flow* flows_ = nullptr;
+  Counters* counters_ = nullptr;
+  uint64_t expected_attacks_ = 0;
+};
+
+}  // namespace stamp
+
+#endif  // SRC_STAMP_INTRUDER_H_

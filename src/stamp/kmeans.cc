@@ -1,0 +1,150 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/stamp/kmeans.h"
+
+#include <cmath>
+
+namespace stamp {
+
+using asfsim::SimThread;
+using asfsim::Task;
+using asftm::Tx;
+
+void KMeans::Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) {
+  threads_ = threads;
+  clusters_ = high_ ? 8 : 32;
+  points_ = 1024 * scale;
+  asfcommon::SimArena& arena = machine.arena();
+  coords_ = arena.NewArray<double>(static_cast<uint64_t>(points_) * kDims);
+  membership_ = arena.NewArray<uint32_t>(points_);
+  centers_ = arena.NewArray<double>(static_cast<uint64_t>(clusters_) * kDims);
+  accum_ = arena.NewArray<Accumulator>(clusters_);
+  barrier_ = std::make_unique<asfsim::SimBarrier>(threads);
+
+  asfcommon::Rng rng(seed);
+  for (uint32_t p = 0; p < points_; ++p) {
+    for (uint32_t d = 0; d < kDims; ++d) {
+      coords_[p * kDims + d] = rng.NextDouble() * 100.0;
+    }
+  }
+  // Initial centers: the first K points, as STAMP does.
+  for (uint32_t k = 0; k < clusters_; ++k) {
+    for (uint32_t d = 0; d < kDims; ++d) {
+      centers_[k * kDims + d] = coords_[k * kDims + d];
+    }
+  }
+  // The point/center arrays are resident after initialization.
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(coords_),
+                              static_cast<uint64_t>(points_) * kDims * sizeof(double));
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(membership_),
+                              points_ * sizeof(uint32_t));
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(centers_),
+                              static_cast<uint64_t>(clusters_) * kDims * sizeof(double));
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(accum_),
+                              clusters_ * sizeof(Accumulator));
+}
+
+Task<void> KMeans::Worker(asftm::TmRuntime& rt, SimThread& t, uint32_t tid) {
+  const uint32_t chunk = (points_ + threads_ - 1) / threads_;
+  const uint32_t begin = tid * chunk;
+  const uint32_t end = begin + chunk < points_ ? begin + chunk : points_;
+
+  for (uint32_t iter = 0; iter < kIterations; ++iter) {
+    for (uint32_t p = begin; p < end; ++p) {
+      // Assignment: plain reads of point and centers (uninstrumented; the
+      // centers are stable within the iteration).
+      uint32_t best = 0;
+      double best_dist = 1e300;
+      co_await t.Access(asfsim::AccessKind::kLoad, &coords_[p * kDims], kDims * 8);
+      for (uint32_t k = 0; k < clusters_; ++k) {
+        co_await t.Access(asfsim::AccessKind::kLoad, &centers_[k * kDims], kDims * 8);
+        double dist = 0;
+        for (uint32_t d = 0; d < kDims; ++d) {
+          double delta = coords_[p * kDims + d] - centers_[k * kDims + d];
+          dist += delta * delta;
+        }
+        t.core().WorkInstructions(3 * kDims);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = k;
+        }
+      }
+      membership_[p] = best;
+      co_await t.Access(asfsim::AccessKind::kStore, &membership_[p], 4);
+
+      // Accumulation: one small transaction updating the cluster's count and
+      // coordinate sums (the STAMP transactional kernel).
+      Accumulator* acc = &accum_[best];
+      co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+        uint64_t count = co_await tx.Read(&acc->count);
+        co_await tx.Write(&acc->count, count + 1);
+        for (uint32_t d = 0; d < kDims; ++d) {
+          double sum = co_await tx.Read(&acc->sum[d]);
+          co_await tx.Write(&acc->sum[d], sum + coords_[p * kDims + d]);
+        }
+      });
+    }
+
+    co_await barrier_->Arrive(t);
+    if (tid == 0) {
+      // Recompute centers (single-threaded phase between barriers).
+      for (uint32_t k = 0; k < clusters_; ++k) {
+        co_await t.Access(asfsim::AccessKind::kLoad, &accum_[k], sizeof(Accumulator));
+        if (accum_[k].count > 0) {
+          for (uint32_t d = 0; d < kDims; ++d) {
+            centers_[k * kDims + d] =
+                accum_[k].sum[d] / static_cast<double>(accum_[k].count);
+          }
+        }
+        t.core().WorkInstructions(4 * kDims);
+        co_await t.Access(asfsim::AccessKind::kStore, &centers_[k * kDims], kDims * 8);
+        if (iter + 1 < kIterations) {
+          accum_[k].count = 0;
+          for (uint32_t d = 0; d < kDims; ++d) {
+            accum_[k].sum[d] = 0;
+          }
+          co_await t.Access(asfsim::AccessKind::kStore, &accum_[k], sizeof(Accumulator));
+        }
+      }
+    }
+    co_await barrier_->Arrive(t);
+  }
+}
+
+std::string KMeans::Validate() const {
+  // The final accumulators must account for every point exactly once.
+  uint64_t total = 0;
+  for (uint32_t k = 0; k < clusters_; ++k) {
+    total += accum_[k].count;
+  }
+  if (total != points_) {
+    return "kmeans: accumulator counts do not sum to the point count";
+  }
+  // Per-cluster sums must equal the sums of the member points (atomicity of
+  // the accumulation transactions).
+  std::vector<double> sums(static_cast<size_t>(clusters_) * kDims, 0.0);
+  std::vector<uint64_t> counts(clusters_, 0);
+  for (uint32_t p = 0; p < points_; ++p) {
+    uint32_t k = membership_[p];
+    if (k >= clusters_) {
+      return "kmeans: membership out of range";
+    }
+    ++counts[k];
+    for (uint32_t d = 0; d < kDims; ++d) {
+      sums[k * kDims + d] += coords_[p * kDims + d];
+    }
+  }
+  for (uint32_t k = 0; k < clusters_; ++k) {
+    if (counts[k] != accum_[k].count) {
+      return "kmeans: cluster count mismatch (lost transactional update)";
+    }
+    for (uint32_t d = 0; d < kDims; ++d) {
+      double diff = std::fabs(sums[k * kDims + d] - accum_[k].sum[d]);
+      if (diff > 1e-6 * (1.0 + std::fabs(sums[k * kDims + d]))) {
+        return "kmeans: cluster sum mismatch (lost transactional update)";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace stamp

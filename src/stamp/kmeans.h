@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// STAMP K-Means reproduction: iterative clustering. The assignment step is
+// plain compute over points (centers are stable within an iteration, so they
+// are read without instrumentation — the benchmark's famous "mostly outside
+// transactions" profile); the accumulation step updates the shared per-
+// cluster accumulators in one small transaction per point (count + D sums,
+// about two cache lines). "Low" contention uses many clusters, "high" few.
+#ifndef SRC_STAMP_KMEANS_H_
+#define SRC_STAMP_KMEANS_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/sim/sync.h"
+#include "src/stamp/stamp_app.h"
+
+namespace stamp {
+
+class KMeans : public StampApp {
+ public:
+  // `high_contention` selects the paper's K-Means (high) configuration
+  // (fewer clusters => hotter accumulators).
+  explicit KMeans(bool high_contention) : high_(high_contention) {}
+
+  std::string name() const override { return high_ ? "kmeans-high" : "kmeans-low"; }
+  void Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) override;
+  asfsim::Task<void> Worker(asftm::TmRuntime& rt, asfsim::SimThread& t, uint32_t tid) override;
+  std::string Validate() const override;
+
+ private:
+  static constexpr uint32_t kDims = 8;
+  static constexpr uint32_t kIterations = 3;
+
+  struct alignas(64) Accumulator {
+    uint64_t count;
+    double sum[kDims];
+  };
+
+  const bool high_;
+  uint32_t threads_ = 0;
+  uint32_t clusters_ = 0;
+  uint32_t points_ = 0;
+  double* coords_ = nullptr;        // points_ x kDims.
+  uint32_t* membership_ = nullptr;  // points_.
+  double* centers_ = nullptr;       // clusters_ x kDims (stable per iteration).
+  Accumulator* accum_ = nullptr;    // clusters_ (transactional).
+  std::unique_ptr<asfsim::SimBarrier> barrier_;
+};
+
+}  // namespace stamp
+
+#endif  // SRC_STAMP_KMEANS_H_

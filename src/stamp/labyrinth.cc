@@ -1,0 +1,222 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/stamp/labyrinth.h"
+
+#include <deque>
+
+namespace stamp {
+
+using asfsim::SimThread;
+using asfsim::Task;
+using asftm::Tx;
+
+void Labyrinth::Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) {
+  threads_ = threads;
+  xdim_ = 32;
+  ydim_ = 32;
+  zdim_ = 2;
+  cells_ = xdim_ * ydim_ * zdim_;
+  path_count_ = 16 * scale;
+  asfcommon::SimArena& arena = machine.arena();
+  grid_ = arena.NewArray<uint64_t>(cells_);
+  jobs_ = arena.NewArray<Point>(static_cast<uint64_t>(path_count_) * 2);
+  shared_ = arena.New<Shared>();
+
+  asfcommon::Rng rng(seed);
+  for (uint32_t p = 0; p < path_count_; ++p) {
+    jobs_[2 * p] = Point{static_cast<uint32_t>(rng.NextBelow(xdim_)),
+                         static_cast<uint32_t>(rng.NextBelow(ydim_)),
+                         static_cast<uint32_t>(rng.NextBelow(zdim_))};
+    jobs_[2 * p + 1] = Point{static_cast<uint32_t>(rng.NextBelow(xdim_)),
+                             static_cast<uint32_t>(rng.NextBelow(ydim_)),
+                             static_cast<uint32_t>(rng.NextBelow(zdim_))};
+  }
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(grid_), cells_ * sizeof(uint64_t));
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(jobs_),
+                              static_cast<uint64_t>(path_count_) * 2 * sizeof(Point));
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(shared_), sizeof(Shared));
+}
+
+std::vector<uint32_t> Labyrinth::Route(const std::vector<uint64_t>& grid_copy, const Point& src,
+                                       const Point& dst) const {
+  const uint32_t kUnreached = ~0u;
+  std::vector<uint32_t> dist(cells_, kUnreached);
+  std::deque<uint32_t> queue;
+  uint32_t s = Idx(src.x, src.y, src.z);
+  uint32_t d = Idx(dst.x, dst.y, dst.z);
+  if (grid_copy[s] != 0 || grid_copy[d] != 0 || s == d) {
+    return {};  // An endpoint is already occupied (or degenerate).
+  }
+  dist[s] = 0;
+  queue.push_back(s);
+  auto expand = [&](uint32_t from, int dx, int dy, int dz) {
+    int x = static_cast<int>(from % xdim_) + dx;
+    int y = static_cast<int>((from / xdim_) % ydim_) + dy;
+    int z = static_cast<int>(from / (xdim_ * ydim_)) + dz;
+    if (x < 0 || y < 0 || z < 0 || x >= static_cast<int>(xdim_) || y >= static_cast<int>(ydim_) ||
+        z >= static_cast<int>(zdim_)) {
+      return;
+    }
+    uint32_t to = Idx(static_cast<uint32_t>(x), static_cast<uint32_t>(y),
+                      static_cast<uint32_t>(z));
+    if (dist[to] != kUnreached) {
+      return;
+    }
+    if (grid_copy[to] != 0) {
+      return;  // Occupied.
+    }
+    dist[to] = dist[from] + 1;
+    queue.push_back(to);
+  };
+  while (!queue.empty()) {
+    uint32_t cur = queue.front();
+    queue.pop_front();
+    if (cur == d) {
+      break;
+    }
+    expand(cur, 1, 0, 0);
+    expand(cur, -1, 0, 0);
+    expand(cur, 0, 1, 0);
+    expand(cur, 0, -1, 0);
+    expand(cur, 0, 0, 1);
+    expand(cur, 0, 0, -1);
+  }
+  if (dist[d] == kUnreached) {
+    return {};
+  }
+  // Walk back from dst to src along decreasing distance.
+  std::vector<uint32_t> path;
+  uint32_t cur = d;
+  path.push_back(cur);
+  while (cur != s) {
+    uint32_t x = cur % xdim_;
+    uint32_t y = (cur / xdim_) % ydim_;
+    uint32_t z = cur / (xdim_ * ydim_);
+    uint32_t next = cur;
+    auto consider = [&](int dx, int dy, int dz) {
+      int nx = static_cast<int>(x) + dx;
+      int ny = static_cast<int>(y) + dy;
+      int nz = static_cast<int>(z) + dz;
+      if (nx < 0 || ny < 0 || nz < 0 || nx >= static_cast<int>(xdim_) ||
+          ny >= static_cast<int>(ydim_) || nz >= static_cast<int>(zdim_)) {
+        return;
+      }
+      uint32_t cand = Idx(static_cast<uint32_t>(nx), static_cast<uint32_t>(ny),
+                          static_cast<uint32_t>(nz));
+      if (dist[cand] != ~0u && dist[cand] + 1 == dist[cur]) {
+        next = cand;
+      }
+    };
+    consider(1, 0, 0);
+    consider(-1, 0, 0);
+    consider(0, 1, 0);
+    consider(0, -1, 0);
+    consider(0, 0, 1);
+    consider(0, 0, -1);
+    ASF_CHECK_MSG(next != cur, "labyrinth: backtrack failed");
+    cur = next;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+Task<void> Labyrinth::Worker(asftm::TmRuntime& rt, SimThread& t, uint32_t tid) {
+  std::vector<uint64_t> grid_copy(cells_);
+  for (;;) {
+    // Grab the next routing job (small transaction on the cursor).
+    uint64_t job = 0;
+    bool drained = false;
+    co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+      drained = false;
+      uint64_t i = co_await tx.Read(&shared_->cursor);
+      if (i >= path_count_) {
+        drained = true;
+        co_return;
+      }
+      co_await tx.Write(&shared_->cursor, i + 1);
+      job = i;
+    });
+    if (drained) {
+      co_return;
+    }
+    const Point src = jobs_[2 * job];
+    const Point dst = jobs_[2 * job + 1];
+
+    // Route inside one transaction: transactional copy of the whole grid
+    // (the famously huge read set), private BFS, transactional path
+    // write-back. The copy guarantees the path is consistent with the grid
+    // state the transaction observed.
+    bool routed = false;
+    co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+      routed = false;
+      for (uint32_t c = 0; c < cells_; ++c) {
+        grid_copy[c] = co_await tx.Read(&grid_[c]);
+      }
+      tx.Work(cells_ * 3);  // BFS expansion cost on the private copy.
+      std::vector<uint32_t> path = Route(grid_copy, src, dst);
+      if (path.empty()) {
+        co_return;
+      }
+      tx.Work(path.size() * 4);
+      for (uint32_t cell : path) {
+        co_await tx.Write(&grid_[cell], job + 1);
+      }
+      routed = true;
+    });
+
+    co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+      if (routed) {
+        uint64_t r = co_await tx.Read(&shared_->routed);
+        co_await tx.Write(&shared_->routed, r + 1);
+      } else {
+        uint64_t f = co_await tx.Read(&shared_->failed);
+        co_await tx.Write(&shared_->failed, f + 1);
+      }
+    });
+  }
+}
+
+std::string Labyrinth::Validate() const {
+  if (shared_->routed + shared_->failed != path_count_) {
+    return "labyrinth: job count mismatch";
+  }
+  // Every routed path must form a connected corridor from src to dst, and
+  // cells must carry a valid path id.
+  std::vector<std::vector<uint32_t>> cells_of(path_count_ + 1);
+  for (uint32_t c = 0; c < cells_; ++c) {
+    uint64_t id = grid_[c];
+    if (id > path_count_) {
+      return "labyrinth: invalid path id in grid";
+    }
+    if (id != 0) {
+      cells_of[id].push_back(c);
+    }
+  }
+  uint64_t routed_seen = 0;
+  for (uint32_t p = 1; p <= path_count_; ++p) {
+    if (cells_of[p].empty()) {
+      continue;
+    }
+    ++routed_seen;
+    // Endpoints present.
+    uint32_t s = Idx(jobs_[2 * (p - 1)].x, jobs_[2 * (p - 1)].y, jobs_[2 * (p - 1)].z);
+    uint32_t d = Idx(jobs_[2 * (p - 1) + 1].x, jobs_[2 * (p - 1) + 1].y,
+                     jobs_[2 * (p - 1) + 1].z);
+    bool has_s = false;
+    bool has_d = false;
+    for (uint32_t c : cells_of[p]) {
+      has_s = has_s || c == s;
+      has_d = has_d || c == d;
+    }
+    // The source may coincide with another path's cell only if it was
+    // already occupied; routed paths must contain their destination.
+    if (!has_d || !has_s) {
+      return "labyrinth: routed path misses an endpoint";
+    }
+  }
+  if (routed_seen != shared_->routed) {
+    return "labyrinth: routed count does not match grid contents";
+  }
+  return "";
+}
+
+}  // namespace stamp

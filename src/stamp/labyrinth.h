@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// STAMP Labyrinth reproduction: Lee-style maze routing on a shared 3D grid.
+// Each transaction copies the entire grid transactionally (the huge read set
+// that defeats every LLB capacity — routing degenerates to the serial
+// fallback, exactly the paper's Figure 4 behavior), runs a BFS on the
+// private copy (plain compute), and writes the discovered path back through
+// transactional stores, which conflict-checks it against concurrent routes.
+#ifndef SRC_STAMP_LABYRINTH_H_
+#define SRC_STAMP_LABYRINTH_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/stamp/stamp_app.h"
+
+namespace stamp {
+
+class Labyrinth : public StampApp {
+ public:
+  std::string name() const override { return "labyrinth"; }
+  void Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) override;
+  asfsim::Task<void> Worker(asftm::TmRuntime& rt, asfsim::SimThread& t, uint32_t tid) override;
+  std::string Validate() const override;
+
+ private:
+  struct Point {
+    uint32_t x;
+    uint32_t y;
+    uint32_t z;
+  };
+  struct alignas(64) Shared {
+    uint64_t cursor;   // Next routing job.
+    uint64_t pad[7];
+    uint64_t routed;   // Successfully routed paths.
+    uint64_t failed;   // Paths with no free route.
+  };
+
+  uint32_t Idx(uint32_t x, uint32_t y, uint32_t z) const { return (z * ydim_ + y) * xdim_ + x; }
+
+  // Host-side BFS on a private copy; returns the path (dst..src) or empty.
+  std::vector<uint32_t> Route(const std::vector<uint64_t>& grid_copy, const Point& src,
+                              const Point& dst) const;
+
+  uint32_t threads_ = 0;
+  uint32_t xdim_ = 0;
+  uint32_t ydim_ = 0;
+  uint32_t zdim_ = 0;
+  uint32_t cells_ = 0;
+  uint32_t path_count_ = 0;
+  uint64_t* grid_ = nullptr;  // 0 = free, else path id (1-based).
+  Point* jobs_ = nullptr;     // 2 points per job: src, dst.
+  Shared* shared_ = nullptr;
+};
+
+}  // namespace stamp
+
+#endif  // SRC_STAMP_LABYRINTH_H_

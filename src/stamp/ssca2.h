@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// STAMP SSCA2 reproduction (kernel 1, graph construction): threads insert
+// edges from a scrambled edge list into per-vertex adjacency arrays. Each
+// insertion is a tiny transaction (bump the vertex's degree, write the
+// adjacency slot — two or three cache lines), which is exactly the profile
+// the paper reports: short transactions, small sets, good scalability, and
+// begin/commit overhead dominating.
+#ifndef SRC_STAMP_SSCA2_H_
+#define SRC_STAMP_SSCA2_H_
+
+#include "src/common/random.h"
+#include "src/stamp/stamp_app.h"
+
+namespace stamp {
+
+class Ssca2 : public StampApp {
+ public:
+  std::string name() const override { return "ssca2"; }
+  void Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) override;
+  asfsim::Task<void> Worker(asftm::TmRuntime& rt, asfsim::SimThread& t, uint32_t tid) override;
+  std::string Validate() const override;
+
+ private:
+  static constexpr uint32_t kMaxDegree = 64;
+
+  struct Edge {
+    uint32_t from;
+    uint32_t to;
+  };
+  struct alignas(64) Vertex {
+    uint64_t degree;
+    uint32_t neighbors[kMaxDegree];
+  };
+
+  uint32_t threads_ = 0;
+  uint32_t vertex_count_ = 0;
+  uint32_t edge_count_ = 0;
+  Edge* edges_ = nullptr;
+  Vertex* vertices_ = nullptr;
+};
+
+}  // namespace stamp
+
+#endif  // SRC_STAMP_SSCA2_H_

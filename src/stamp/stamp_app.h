@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Common interface for the STAMP benchmark reproductions (paper Sec. 5 uses
+// the STAMP suite's simulator configurations; Bayes and Yada are excluded,
+// as in the paper). Each app builds deterministic inputs in the machine's
+// arena, runs a parallel phase whose transactions go through the TM ABI, and
+// validates its output host-side afterwards.
+//
+// These are re-implementations guided by the published STAMP workload
+// characterization (transaction length, read/write-set size, contention),
+// not copies of the original sources — see DESIGN.md §2.
+#ifndef SRC_STAMP_STAMP_APP_H_
+#define SRC_STAMP_STAMP_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/asf/machine.h"
+#include "src/tm/tm_api.h"
+
+namespace stamp {
+
+class StampApp {
+ public:
+  virtual ~StampApp() = default;
+
+  virtual std::string name() const = 0;
+
+  // Builds inputs (host-side, deterministic from `seed`); resident data is
+  // pretouched (the paper fast-forwards benchmark initialization). `scale`
+  // scales the input size: 1 is the default simulator-scale configuration.
+  virtual void Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) = 0;
+
+  // Optional in-simulation setup executed before the measured region (e.g.
+  // transactional population of index structures). The driver runs it on
+  // every thread, joins them at a barrier, and resets all statistics before
+  // Worker starts — the analog of the paper's fast-forwarded initialization.
+  virtual asfsim::Task<void> SimSetup(asftm::TmRuntime& rt, asfsim::SimThread& t, uint32_t tid) {
+    co_return;
+  }
+
+  // The parallel region body for thread `tid`. Called once per thread after
+  // Setup; the harness measures from the first Worker instruction to the
+  // last Worker completion.
+  virtual asfsim::Task<void> Worker(asftm::TmRuntime& rt, asfsim::SimThread& t,
+                                    uint32_t tid) = 0;
+
+  // Host-side output validation; empty string when correct.
+  virtual std::string Validate() const = 0;
+};
+
+}  // namespace stamp
+
+#endif  // SRC_STAMP_STAMP_APP_H_

@@ -1,0 +1,141 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/stamp/vacation.h"
+
+namespace stamp {
+
+using asfsim::SimThread;
+using asfsim::Task;
+using asftm::Tx;
+
+void Vacation::Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) {
+  threads_ = threads;
+  relation_size_ = 128 * scale;
+  customers_ = 64 * scale;
+  // Fixed total work, partitioned across threads (STAMP's -t semantics).
+  tx_per_thread_ = (1536 * scale + threads - 1) / threads;
+  queries_per_tx_ = high_ ? 4 : 2;
+  reserve_pct_ = high_ ? 60 : 90;
+  seed_ = seed;
+  asfcommon::SimArena& arena = machine.arena();
+  for (uint32_t r = 0; r < kRelations; ++r) {
+    index_[r] = std::make_unique<intset::RbTree>(&arena);
+    resources_[r] = arena.NewArray<Resource>(relation_size_ + 1);
+  }
+  customer_table_ = arena.NewArray<Customer>(customers_);
+
+  asfcommon::Rng rng(seed);
+  for (uint32_t r = 0; r < kRelations; ++r) {
+    for (uint32_t id = 1; id <= relation_size_; ++id) {
+      resources_[r][id].total = 2 + rng.NextBelow(4);
+      resources_[r][id].used = 0;
+      resources_[r][id].price = 50 + rng.NextBelow(450);
+    }
+    machine.mem().PretouchPages(reinterpret_cast<uint64_t>(resources_[r]),
+                                (relation_size_ + 1) * sizeof(Resource));
+  }
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(customer_table_),
+                              customers_ * sizeof(Customer));
+}
+
+Task<void> Vacation::SimSetup(asftm::TmRuntime& rt, SimThread& t, uint32_t tid) {
+  if (tid != 0) {
+    co_return;
+  }
+  // Populate the relation indexes transactionally (excluded from the
+  // measured region by the driver's statistics reset).
+  for (uint32_t r = 0; r < kRelations; ++r) {
+    for (uint32_t id = 1; id <= relation_size_; ++id) {
+      co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+        co_await index_[r]->Insert(tx, id);
+      });
+    }
+  }
+}
+
+Task<void> Vacation::Worker(asftm::TmRuntime& rt, SimThread& t, uint32_t tid) {
+  asfcommon::Rng rng(seed_ * 77 + tid);
+  for (uint32_t i = 0; i < tx_per_thread_; ++i) {
+    uint32_t dice = static_cast<uint32_t>(rng.NextBelow(100));
+    if (dice < reserve_pct_) {
+      // Client reservation: query `queries_per_tx_` random resources across
+      // relations, book the last available one for a random customer.
+      uint32_t customer = static_cast<uint32_t>(rng.NextBelow(customers_));
+      // Pre-draw the query plan so retries re-execute identical work.
+      uint32_t plan_rel[8];
+      uint32_t plan_id[8];
+      for (uint32_t q = 0; q < queries_per_tx_; ++q) {
+        plan_rel[q] = static_cast<uint32_t>(rng.NextBelow(kRelations));
+        plan_id[q] = 1 + static_cast<uint32_t>(rng.NextBelow(relation_size_));
+      }
+      co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+        Resource* chosen = nullptr;
+        for (uint32_t q = 0; q < queries_per_tx_; ++q) {
+          bool present = co_await index_[plan_rel[q]]->Contains(tx, plan_id[q]);
+          if (!present) {
+            continue;
+          }
+          Resource* res = &resources_[plan_rel[q]][plan_id[q]];
+          uint64_t total = co_await tx.Read(&res->total);
+          uint64_t used = co_await tx.Read(&res->used);
+          tx.Work(10);
+          if (used < total) {
+            chosen = res;
+          }
+        }
+        if (chosen != nullptr) {
+          uint64_t used = co_await tx.Read(&chosen->used);
+          uint64_t total = co_await tx.Read(&chosen->total);
+          if (used < total) {
+            uint64_t price = co_await tx.Read(&chosen->price);
+            co_await tx.Write(&chosen->used, used + 1);
+            Customer* c = &customer_table_[customer];
+            uint64_t n = co_await tx.Read(&c->reservations);
+            uint64_t p = co_await tx.Read(&c->total_price);
+            co_await tx.Write(&c->reservations, n + 1);
+            co_await tx.Write(&c->total_price, p + price);
+          }
+        }
+      });
+    } else {
+      // Manager update: re-price one resource (tree descent + record write).
+      uint32_t rel = static_cast<uint32_t>(rng.NextBelow(kRelations));
+      uint32_t id = 1 + static_cast<uint32_t>(rng.NextBelow(relation_size_));
+      uint64_t new_price = 50 + rng.NextBelow(450);
+      co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+        bool present = co_await index_[rel]->Contains(tx, id);
+        if (present) {
+          co_await tx.Write(&resources_[rel][id].price, new_price);
+        }
+      });
+    }
+  }
+}
+
+std::string Vacation::Validate() const {
+  // Conservation: the sum of booked units equals the sum of customer
+  // reservations, and nothing is overbooked.
+  uint64_t booked = 0;
+  for (uint32_t r = 0; r < kRelations; ++r) {
+    for (uint32_t id = 1; id <= relation_size_; ++id) {
+      const Resource& res = resources_[r][id];
+      if (res.used > res.total) {
+        return "vacation: resource overbooked";
+      }
+      booked += res.used;
+    }
+    std::string tree_err = index_[r]->CheckInvariants();
+    if (!tree_err.empty()) {
+      return "vacation: index tree violated: " + tree_err;
+    }
+  }
+  uint64_t reserved = 0;
+  for (uint32_t c = 0; c < customers_; ++c) {
+    reserved += customer_table_[c].reservations;
+  }
+  if (booked != reserved) {
+    return "vacation: booked units != customer reservations (atomicity)";
+  }
+  return "";
+}
+
+}  // namespace stamp

@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// STAMP Vacation reproduction: an in-memory travel-reservation system.
+// Three relations (cars, rooms, flights) are indexed by red-black trees and
+// hold availability/price records; customers accumulate reservations. A
+// client transaction queries several random items across relations (tree
+// descents => medium-to-large read sets) and books the last available one;
+// a small fraction of transactions are manager updates (price changes).
+// "Low" issues 2 queries per transaction with mostly reservations; "high"
+// issues 4 queries with more manager updates — matching STAMP's -q/-u knobs.
+#ifndef SRC_STAMP_VACATION_H_
+#define SRC_STAMP_VACATION_H_
+
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/intset/rb_tree.h"
+#include "src/stamp/stamp_app.h"
+
+namespace stamp {
+
+class Vacation : public StampApp {
+ public:
+  explicit Vacation(bool high_contention) : high_(high_contention) {}
+
+  std::string name() const override { return high_ ? "vacation-high" : "vacation-low"; }
+  void Setup(asf::Machine& machine, uint32_t threads, uint64_t seed, uint32_t scale) override;
+  asfsim::Task<void> SimSetup(asftm::TmRuntime& rt, asfsim::SimThread& t, uint32_t tid) override;
+  asfsim::Task<void> Worker(asftm::TmRuntime& rt, asfsim::SimThread& t, uint32_t tid) override;
+  std::string Validate() const override;
+
+ private:
+  static constexpr uint32_t kRelations = 3;  // Cars, rooms, flights.
+
+  struct alignas(64) Resource {
+    uint64_t total;
+    uint64_t used;
+    uint64_t price;
+  };
+  struct alignas(64) Customer {
+    uint64_t reservations;
+    uint64_t total_price;
+  };
+
+  const bool high_;
+  uint32_t threads_ = 0;
+  uint32_t relation_size_ = 0;
+  uint32_t customers_ = 0;
+  uint32_t tx_per_thread_ = 0;
+  uint32_t queries_per_tx_ = 0;
+  uint32_t reserve_pct_ = 0;  // Remaining % are manager price updates.
+  uint64_t seed_ = 0;
+  std::unique_ptr<intset::RbTree> index_[kRelations];
+  Resource* resources_[kRelations] = {nullptr, nullptr, nullptr};
+  Customer* customer_table_ = nullptr;
+};
+
+}  // namespace stamp
+
+#endif  // SRC_STAMP_VACATION_H_

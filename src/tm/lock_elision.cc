@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/tm/lock_elision.h"
+
+namespace asftm {
+
+using asfcommon::AbortCause;
+using asfsim::AccessKind;
+using asfsim::SimThread;
+using asfsim::Task;
+
+ElidableLock::ElidableLock(asf::Machine& machine, const ElisionParams& params)
+    : machine_(machine), params_(params), rng_(params.rng_seed) {
+  lock_word_ = machine.arena().New<LockWord>();
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(lock_word_), sizeof(LockWord));
+}
+
+Task<void> ElidableLock::ElidedAttempt(SimThread& t, const Body& body) {
+  co_await t.Access(AccessKind::kSpeculate, uint64_t{0}, 1);
+  // Monitor the lock word without writing it: the lock stays free for other
+  // elisions; a real acquisition's store aborts us (requester wins).
+  co_await t.Access(AccessKind::kTxLoad, &lock_word_->word, 8);
+  if (lock_word_->word != 0) {
+    // Actually held: cannot elide right now.
+    co_await machine_.AbortRegion(t, AbortCause::kRestartSerial);
+  }
+  co_await body(/*elided=*/true);
+  co_await t.Access(AccessKind::kCommit, uint64_t{0}, 1);
+}
+
+Task<void> ElidableLock::CriticalSection(SimThread& t, Body body) {
+  for (uint32_t retry = 0;
+       !params_.always_acquire && retry <= params_.max_elision_retries; ++retry) {
+    // Wait until the lock looks free before speculating.
+    for (;;) {
+      co_await t.Access(AccessKind::kLoad, &lock_word_->word, 8);
+      if (lock_word_->word == 0) {
+        break;
+      }
+      co_await t.Sleep(100);
+    }
+    AbortCause cause = co_await t.RunAbortable(ElidedAttempt(t, body));
+    if (cause == AbortCause::kNone) {
+      ++elided_commits_;
+      co_return;
+    }
+    ++elision_aborts_;
+    if (cause == AbortCause::kRestartSerial) {
+      continue;  // Lock was held; waiting again is not a failed elision.
+    }
+    uint64_t wait = rng_.NextInRange(params_.backoff_base_cycles / 2,
+                                     params_.backoff_base_cycles << (retry < 6 ? retry : 6));
+    co_await t.Sleep(wait);
+  }
+  // Fallback: take the lock for real. The store aborts every concurrent
+  // elision monitoring the word.
+  co_await fallback_.Acquire(t);
+  co_await t.Store(AccessKind::kStore, &lock_word_->word, 8, 1);
+  ++real_acquisitions_;
+  co_await body(/*elided=*/false);
+  co_await t.Store(AccessKind::kStore, &lock_word_->word, 8, 0);
+  fallback_.Release(t);
+}
+
+}  // namespace asftm

@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Speculative lock elision on ASF (paper Sec. 3: "our software stack also
+// supports existing software with the help of lock elision [Rajwar &
+// Goodman]").
+//
+// An ElidableLock lets lock-based critical sections run concurrently as ASF
+// speculative regions: Acquire() starts a region and LOCK-MOV-reads the lock
+// word instead of writing it — the lock stays visibly free, so other elided
+// sections proceed in parallel, while any real acquisition (the fallback
+// path) writes the word and thereby aborts all elisions monitoring it.
+// Release() commits the region. After repeated aborts the section falls back
+// to actually taking the lock.
+//
+// The critical-section body must use transactional accesses for shared data
+// (the LOCK MOV annotation a compiler would emit under elision); the
+// CriticalSection() helper drives the retry/fallback loop.
+#ifndef SRC_TM_LOCK_ELISION_H_
+#define SRC_TM_LOCK_ELISION_H_
+
+#include <functional>
+
+#include "src/asf/machine.h"
+#include "src/common/random.h"
+#include "src/sim/sync.h"
+#include "src/tm/tm_stats.h"
+
+namespace asftm {
+
+struct ElisionParams {
+  uint32_t max_elision_retries = 4;  // Then take the lock for real.
+  uint64_t backoff_base_cycles = 64;
+  uint64_t rng_seed = 0xE11DE;
+  // Disables elision entirely (plain lock; the comparison baseline).
+  bool always_acquire = false;
+};
+
+class ElidableLock {
+ public:
+  ElidableLock(asf::Machine& machine, const ElisionParams& params = ElisionParams());
+
+  // The critical-section body; runs speculatively (elided) or under the real
+  // lock. `elided` tells the body which mode it is in (it must use
+  // transactional accesses when elided; plain accesses are fine when held).
+  using Body = std::function<asfsim::Task<void>(bool elided)>;
+
+  // Executes `body` as a critical section protected by this lock, eliding
+  // when possible.
+  asfsim::Task<void> CriticalSection(asfsim::SimThread& t, Body body);
+
+  // Statistics.
+  uint64_t elided_commits() const { return elided_commits_; }
+  uint64_t real_acquisitions() const { return real_acquisitions_; }
+  uint64_t elision_aborts() const { return elision_aborts_; }
+
+ private:
+  struct alignas(asfcommon::kCacheLineBytes) LockWord {
+    uint64_t word = 0;
+  };
+
+  asfsim::Task<void> ElidedAttempt(asfsim::SimThread& t, const Body& body);
+
+  asf::Machine& machine_;
+  const ElisionParams params_;
+  LockWord* lock_word_;        // Arena-allocated; monitored by elisions.
+  asfsim::SimMutex fallback_;  // Queue discipline for real acquisitions.
+  asfcommon::Rng rng_;
+  uint64_t elided_commits_ = 0;
+  uint64_t real_acquisitions_ = 0;
+  uint64_t elision_aborts_ = 0;
+};
+
+}  // namespace asftm
+
+#endif  // SRC_TM_LOCK_ELISION_H_

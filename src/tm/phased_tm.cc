@@ -1,0 +1,249 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/tm/phased_tm.h"
+
+#include <cstring>
+
+namespace asftm {
+
+using asfcommon::AbortCause;
+using asfsim::AccessKind;
+using asfsim::CategoryGuard;
+using asfsim::Core;
+using asfsim::CycleCategory;
+using asfsim::SimThread;
+using asfsim::Task;
+
+// Hardware-phase transaction handle (like ASF-TM's, but owned by PhasedTm).
+class PhasedHwTx : public Tx {
+ public:
+  PhasedHwTx(PhasedTm& rt, SimThread& t, PhasedTm::PerThread& pt) : Tx(t), rt_(rt), pt_(pt) {}
+
+  Task<uint64_t> ReadBarrier(uint64_t addr, uint32_t size) override {
+    SimThread& t = thread();
+    CategoryGuard g(t.core(), CycleCategory::kTxLoadStore);
+    t.core().WorkInstructions(rt_.params_.barrier_instructions);
+    co_await t.Access(AccessKind::kTxLoad, addr, size);
+    uint64_t v = 0;
+    std::memcpy(&v, reinterpret_cast<const void*>(addr), size);
+    co_return v;
+  }
+
+  Task<void> WriteBarrier(uint64_t addr, uint32_t size, uint64_t value) override {
+    SimThread& t = thread();
+    CategoryGuard g(t.core(), CycleCategory::kTxLoadStore);
+    t.core().WorkInstructions(rt_.params_.barrier_instructions);
+    co_await t.Store(AccessKind::kTxStore, addr, size, value);
+  }
+
+  Task<void> ReleaseBarrier(uint64_t addr, uint32_t size) override {
+    SimThread& t = thread();
+    CategoryGuard g(t.core(), CycleCategory::kTxLoadStore);
+    co_await t.Access(AccessKind::kRelease, addr, size);
+  }
+
+  Task<void*> TxMalloc(uint64_t bytes) override {
+    SimThread& t = thread();
+    CategoryGuard g(t.core(), CycleCategory::kTxNonInstr);
+    t.core().WorkInstructions(rt_.params_.alloc_instructions);
+    void* p = pt_.alloc.TryAlloc(bytes);
+    if (p == nullptr) {
+      pt_.refill_bytes = bytes;
+      co_await rt_.machine_.AbortRegion(t, AbortCause::kMallocRefill);
+    }
+    co_return p;
+  }
+
+  Task<void> TxFree(void* p) override {
+    thread().core().WorkInstructions(4);
+    pt_.alloc.DeferFree(p);
+    co_return;
+  }
+
+  Task<void> UserAbort() override {
+    co_await rt_.machine_.AbortRegion(thread(), AbortCause::kUserAbort);
+  }
+
+ private:
+  PhasedTm& rt_;
+  PhasedTm::PerThread& pt_;
+};
+
+PhasedTm::PhasedTm(asf::Machine& machine, const PhasedTmParams& params)
+    : machine_(machine), params_(params) {
+  phase_ = machine.arena().New<PhaseState>();
+  TinyStmParams stm_params;
+  stm_params.rng_seed = params.rng_seed ^ 0xF00D;
+  stm_ = std::make_unique<TinyStm>(machine, stm_params);
+  const uint32_t n = machine.scheduler().num_cores();
+  for (uint32_t i = 0; i < n; ++i) {
+    auto pt = std::make_unique<PerThread>(&machine.arena());
+    pt->rng.Seed(params.rng_seed + i * 0xABCDu);
+    pt->alloc.Refill(1);
+    threads_.push_back(std::move(pt));
+  }
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(phase_), sizeof(PhaseState));
+}
+
+PhasedTm::~PhasedTm() = default;
+
+std::string PhasedTm::name() const {
+  return "PhasedTM (" + machine_.params().variant.Name() + " / TinySTM)";
+}
+
+Task<void> PhasedTm::HwAttempt(SimThread& t, PerThread& pt, const BodyFn& body) {
+  Core& core = t.core();
+  pt.alloc.OnAttemptStart();
+  {
+    CategoryGuard g(core, CycleCategory::kTxStartCommit);
+    core.WorkInstructions(params_.begin_instructions);
+    co_await t.Access(AccessKind::kSpeculate, uint64_t{0}, 1);
+    // Monitor the phase word: the switch to software aborts us instantly.
+    co_await t.Access(AccessKind::kTxLoad, &phase_->phase, 8);
+    if (phase_->phase != kHardware) {
+      co_await machine_.AbortRegion(t, AbortCause::kRestartSerial);
+    }
+  }
+  {
+    CategoryGuard g(core, CycleCategory::kTxAppCode);
+    PhasedHwTx tx(*this, t, pt);
+    co_await body(tx);
+  }
+  {
+    CategoryGuard g(core, CycleCategory::kTxStartCommit);
+    core.WorkInstructions(params_.commit_instructions);
+    co_await t.Access(AccessKind::kCommit, uint64_t{0}, 1);
+  }
+}
+
+Task<void> PhasedTm::Backoff(SimThread& t, PerThread& pt, uint32_t retry) {
+  uint32_t shift = retry < params_.backoff_shift_cap ? retry : params_.backoff_shift_cap;
+  uint64_t max_wait = params_.backoff_base_cycles << shift;
+  uint64_t wait = pt.rng.NextInRange(max_wait / 2, max_wait);
+  pt.stats.backoff_cycles += wait;
+  co_await t.Sleep(wait);
+}
+
+Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
+  PerThread& pt = *threads_[t.id()];
+  Core& core = t.core();
+  ++pt.stats.tx_started;
+  uint32_t contention_retries = 0;
+  for (;;) {
+    co_await t.Access(AccessKind::kLoad, &phase_->phase, 8);
+    if (phase_->phase == kHardware) {
+      // ---- Hardware phase ----
+      ++pt.stats.hw_attempts;
+      core.BeginAttemptAccounting();
+      AbortCause cause = co_await t.RunAbortable(HwAttempt(t, pt, body));
+      if (cause == AbortCause::kNone) {
+        core.CommitAttemptAccounting();
+        pt.alloc.OnCommit();
+        ++pt.stats.hw_commits;
+        co_return;
+      }
+      core.AbortAttemptAccounting();
+      ++pt.stats.aborts[static_cast<size_t>(cause)];
+      pt.alloc.OnAbort();
+      switch (cause) {
+        case AbortCause::kRestartSerial:
+          continue;  // Phase flipped under us; re-dispatch.
+        case AbortCause::kUserAbort:
+          co_return;
+        case AbortCause::kMallocRefill: {
+          co_await t.Access(AccessKind::kSyscall, uint64_t{0}, 1);
+          pt.alloc.Refill(pt.refill_bytes);
+          continue;
+        }
+        case AbortCause::kCapacity:
+          // The PhTM move: flip the whole system into the software phase
+          // instead of serializing. The store aborts every in-flight
+          // hardware transaction monitoring the word.
+          co_await t.Store(AccessKind::kStore, &phase_->software_budget, 8,
+                           params_.software_quota);
+          co_await t.Store(AccessKind::kStore, &phase_->phase, 8, kSoftware);
+          ++to_software_;
+          continue;
+        case AbortCause::kPageFault:
+        case AbortCause::kInterrupt:
+          continue;
+        default:
+          if (++contention_retries > params_.max_contention_retries) {
+            // Heavy contention: the software phase (with its word-granular
+            // conflict detection) gets a chance.
+            co_await t.Store(AccessKind::kStore, &phase_->software_budget, 8,
+                             params_.software_quota);
+            co_await t.Store(AccessKind::kStore, &phase_->phase, 8, kSoftware);
+            ++to_software_;
+            continue;
+          }
+          co_await Backoff(t, pt, contention_retries);
+          continue;
+      }
+    }
+
+    if (phase_->phase == kDraining) {
+      // A switch back to hardware is in progress; wait it out.
+      co_await t.Sleep(128);
+      continue;
+    }
+
+    // ---- Software phase ----
+    co_await t.FetchAdd(&phase_->active_software, 8, 1);
+    co_await t.Access(AccessKind::kLoad, &phase_->phase, 8);
+    if (phase_->phase != kSoftware) {
+      // The phase flipped before we started; deregister and retry.
+      co_await t.FetchAdd(&phase_->active_software, 8, static_cast<uint64_t>(-1));
+      continue;
+    }
+    co_await stm_->Atomic(t, std::move(body));
+    ++pt.stats.stm_commits;
+    uint64_t budget_before = co_await t.FetchAdd(&phase_->software_budget, 8,
+                                                 static_cast<uint64_t>(-1));
+    co_await t.FetchAdd(&phase_->active_software, 8, static_cast<uint64_t>(-1));
+    if (static_cast<int64_t>(budget_before) <= 1) {
+      // Quota exhausted: drain the software phase. kDraining blocks new
+      // software registrations; once the active count reaches zero it is
+      // safe to re-enter the hardware phase (software and hardware
+      // transactions must never overlap — they cannot see each other's
+      // conflict metadata).
+      uint64_t won = co_await t.Cas(&phase_->phase, 8, kSoftware, kDraining);
+      if (won != 0) {
+        for (;;) {
+          co_await t.Access(AccessKind::kLoad, &phase_->active_software, 8);
+          if (phase_->active_software == 0) {
+            break;
+          }
+          co_await t.Sleep(100);
+        }
+        co_await t.Store(AccessKind::kStore, &phase_->phase, 8, kHardware);
+        ++to_hardware_;
+      }
+    }
+    co_return;
+  }
+}
+
+TxStats PhasedTm::TotalStats() const {
+  TxStats total;
+  for (const auto& pt : threads_) {
+    total.Add(pt->stats);
+  }
+  // Fold in the STM-side abort/attempt counters (commits are already
+  // counted as stm_commits above; avoid double counting them).
+  TxStats stm = stm_->TotalStats();
+  total.stm_attempts += stm.stm_attempts;
+  total.backoff_cycles += stm.backoff_cycles;
+  for (size_t i = 0; i < total.aborts.size(); ++i) {
+    total.aborts[i] += stm.aborts[i];
+  }
+  return total;
+}
+
+void PhasedTm::ResetStats() {
+  for (auto& pt : threads_) {
+    pt->stats = TxStats{};
+  }
+  stm_->ResetStats();
+}
+
+}  // namespace asftm

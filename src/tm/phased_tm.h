@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// PhasedTM-style hybrid runtime — the "more elaborate fallback mechanism"
+// the paper sketches as an alternative to ASF-TM's serial-irrevocable mode
+// (Sec. 3.2, citing Lev/Moir/Nussbaum's PhTM): instead of serializing
+// capacity-challenged transactions, the whole system switches between a
+// HARDWARE phase (every transaction runs as an ASF speculative region) and a
+// SOFTWARE phase (every transaction runs on the STM), so oversized
+// transactions retain concurrency among themselves.
+//
+// Mechanism: hardware transactions LOCK-MOV-monitor the global phase word,
+// so the store that flips the phase aborts all of them instantly. Software
+// transactions register in an active counter; the system returns to the
+// hardware phase once the software quota is consumed and no software
+// transaction is in flight.
+#ifndef SRC_TM_PHASED_TM_H_
+#define SRC_TM_PHASED_TM_H_
+
+#include <memory>
+
+#include "src/tm/tiny_stm.h"
+
+namespace asftm {
+
+struct PhasedTmParams {
+  uint32_t max_contention_retries = 8;
+  uint64_t backoff_base_cycles = 64;
+  uint32_t backoff_shift_cap = 8;
+  uint32_t begin_instructions = 35;
+  uint32_t commit_instructions = 12;
+  uint32_t barrier_instructions = 2;
+  uint32_t alloc_instructions = 12;
+  // Software-phase commits before attempting to switch back to hardware.
+  uint32_t software_quota = 16;
+  uint64_t rng_seed = 0x9A5ED;
+};
+
+class PhasedTm : public TmRuntime {
+ public:
+  PhasedTm(asf::Machine& machine, const PhasedTmParams& params = PhasedTmParams());
+  ~PhasedTm() override;
+
+  std::string name() const override;
+  asfsim::Task<void> Atomic(asfsim::SimThread& thread, BodyFn body) override;
+  const TxStats& stats(uint32_t thread_id) const override { return threads_[thread_id]->stats; }
+  TxStats TotalStats() const override;
+  void ResetStats() override;
+
+  // Phase-transition counters (diagnostics / tests).
+  uint64_t switches_to_software() const { return to_software_; }
+  uint64_t switches_to_hardware() const { return to_hardware_; }
+
+ private:
+  friend class PhasedHwTx;
+
+  static constexpr uint64_t kHardware = 0;
+  static constexpr uint64_t kSoftware = 1;
+  static constexpr uint64_t kDraining = 2;  // Software phase emptying out.
+
+  struct alignas(asfcommon::kCacheLineBytes) PhaseState {
+    uint64_t phase = kHardware;
+    uint64_t pad[7];
+    uint64_t active_software = 0;  // In-flight software transactions.
+    uint64_t pad2[7];
+    uint64_t software_budget = 0;  // Remaining commits before switching back.
+  };
+
+  struct PerThread {
+    explicit PerThread(asfcommon::SimArena* arena) : alloc(arena) {}
+    TxStats stats;
+    TxAllocator alloc;
+    asfcommon::Rng rng;
+    uint64_t refill_bytes = 0;
+  };
+
+  asfsim::Task<void> HwAttempt(asfsim::SimThread& t, PerThread& pt, const BodyFn& body);
+  asfsim::Task<void> Backoff(asfsim::SimThread& t, PerThread& pt, uint32_t retry);
+
+  asf::Machine& machine_;
+  const PhasedTmParams params_;
+  PhaseState* phase_;
+  std::unique_ptr<TinyStm> stm_;  // Executes software-phase transactions.
+  std::vector<std::unique_ptr<PerThread>> threads_;
+  uint64_t to_software_ = 0;
+  uint64_t to_hardware_ = 0;
+};
+
+}  // namespace asftm
+
+#endif  // SRC_TM_PHASED_TM_H_

@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/tm/serial_tm.h"
+
+#include <cstring>
+
+namespace asftm {
+
+using asfcommon::AbortCause;
+using asfsim::AccessKind;
+using asfsim::SimThread;
+using asfsim::Task;
+
+// Uninstrumented transaction handle: barriers are the bare accesses.
+class SeqTx : public Tx {
+ public:
+  SeqTx(SimThread& t, TxAllocator& alloc) : Tx(t), alloc_(alloc) {}
+
+  bool irrevocable() const override { return true; }
+
+  Task<uint64_t> ReadBarrier(uint64_t addr, uint32_t size) override {
+    co_await thread().Access(AccessKind::kLoad, addr, size);
+    uint64_t v = 0;
+    std::memcpy(&v, reinterpret_cast<const void*>(addr), size);
+    co_return v;
+  }
+
+  Task<void> WriteBarrier(uint64_t addr, uint32_t size, uint64_t value) override {
+    co_await thread().Store(AccessKind::kStore, addr, size, value);
+  }
+
+  Task<void*> TxMalloc(uint64_t bytes) override {
+    SimThread& t = thread();
+    t.core().WorkInstructions(12);
+    void* p = alloc_.TryAlloc(bytes);
+    if (p == nullptr) {
+      co_await t.Access(AccessKind::kSyscall, uint64_t{0}, 1);
+      alloc_.Refill(bytes);
+      p = alloc_.TryAlloc(bytes);
+      ASF_CHECK(p != nullptr);
+    }
+    co_return p;
+  }
+
+  Task<void> TxFree(void* p) override {
+    thread().core().WorkInstructions(4);
+    alloc_.DeferFree(p);
+    co_return;
+  }
+
+  Task<void> UserAbort() override {
+    ASF_CHECK_MSG(false, "UserAbort without a TM (sequential execution)");
+    co_return;
+  }
+
+ private:
+  TxAllocator& alloc_;
+};
+
+SequentialTm::SequentialTm(asf::Machine& machine) : machine_(machine) {
+  for (uint32_t i = 0; i < machine.scheduler().num_cores(); ++i) {
+    threads_.push_back(std::make_unique<PerThread>(&machine.arena()));
+    threads_.back()->alloc.Refill(1);
+  }
+}
+
+SequentialTm::~SequentialTm() = default;
+
+Task<void> SequentialTm::Atomic(SimThread& t, BodyFn body) {
+  PerThread& pt = *threads_[t.id()];
+  ++pt.stats.tx_started;
+  pt.alloc.OnAttemptStart();
+  SeqTx tx(t, pt.alloc);
+  co_await body(tx);
+  pt.alloc.OnCommit();
+  ++pt.stats.seq_commits;
+}
+
+TxStats SequentialTm::TotalStats() const {
+  TxStats total;
+  for (const auto& pt : threads_) {
+    total.Add(pt->stats);
+  }
+  return total;
+}
+
+void SequentialTm::ResetStats() {
+  for (auto& pt : threads_) {
+    pt->stats = TxStats{};
+  }
+}
+
+GlobalLockTm::GlobalLockTm(asf::Machine& machine) : machine_(machine) {
+  lock_word_ = machine.arena().New<LockWord>();
+  for (uint32_t i = 0; i < machine.scheduler().num_cores(); ++i) {
+    threads_.push_back(std::make_unique<PerThread>(&machine.arena()));
+    threads_.back()->alloc.Refill(1);
+  }
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(lock_word_), sizeof(LockWord));
+}
+
+GlobalLockTm::~GlobalLockTm() = default;
+
+Task<void> GlobalLockTm::Atomic(SimThread& t, BodyFn body) {
+  PerThread& pt = *threads_[t.id()];
+  ++pt.stats.tx_started;
+  co_await mutex_.Acquire(t);
+  // Model the lock's cache-line transfer (the handoff cost a real spinlock
+  // pays even uncontended).
+  co_await t.Cas(&lock_word_->word, 8, 0, 1);
+  pt.alloc.OnAttemptStart();
+  SeqTx tx(t, pt.alloc);
+  co_await body(tx);
+  co_await t.Store(AccessKind::kStore, &lock_word_->word, 8, 0);
+  mutex_.Release(t);
+  pt.alloc.OnCommit();
+  ++pt.stats.seq_commits;
+}
+
+TxStats GlobalLockTm::TotalStats() const {
+  TxStats total;
+  for (const auto& pt : threads_) {
+    total.Add(pt->stats);
+  }
+  return total;
+}
+
+void GlobalLockTm::ResetStats() {
+  for (auto& pt : threads_) {
+    pt->stats = TxStats{};
+  }
+}
+
+}  // namespace asftm

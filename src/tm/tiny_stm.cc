@@ -1,0 +1,302 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/tm/tiny_stm.h"
+
+#include <cstring>
+
+namespace asftm {
+
+using asfcommon::AbortCause;
+using asfsim::AccessKind;
+using asfsim::CategoryGuard;
+using asfsim::Core;
+using asfsim::CycleCategory;
+using asfsim::SimThread;
+using asfsim::Task;
+
+// Transaction handle for the STM path. All barriers run software protocol
+// steps whose memory traffic goes through the simulated hierarchy.
+class StmTx : public Tx {
+ public:
+  StmTx(TinyStm& rt, SimThread& t, TinyStm::PerThread& pt) : Tx(t), rt_(rt), pt_(pt) {}
+
+  Task<uint64_t> ReadBarrier(uint64_t addr, uint32_t size) override {
+    SimThread& t = thread();
+    CategoryGuard g(t.core(), CycleCategory::kTxLoadStore);
+    t.core().WorkInstructions(rt_.params_.load_instructions);
+    TinyStm::Orec* o = rt_.OrecFor(addr);
+    co_await t.Access(AccessKind::kLoad, &o->word, 8);
+    uint64_t w = o->word;
+    if (TinyStm::Locked(w)) {
+      if (TinyStm::OwnerOf(w) != t.id()) {
+        co_await rt_.RollbackAndAbort(t, pt_);  // Never resumes.
+      }
+      // Reading our own write: write-through memory is fresh and protected.
+      co_await t.Access(AccessKind::kLoad, addr, size);
+      uint64_t own = 0;
+      std::memcpy(&own, reinterpret_cast<const void*>(addr), size);
+      co_return own;
+    }
+    if (TinyStm::VersionOf(w) > pt_.rv) {
+      // The location changed after our snapshot: try a timestamp extension.
+      co_await rt_.ExtendOrAbort(t, pt_);
+    }
+    // Data load, then the TinySTM recheck: if the orec changed while we read
+    // (a writer locked it, or locked and rolled back), the value may be
+    // dirty and the transaction must abort.
+    co_await t.Access(AccessKind::kLoad, addr, size);
+    uint64_t value = 0;
+    std::memcpy(&value, reinterpret_cast<const void*>(addr), size);
+    co_await t.Access(AccessKind::kLoad, &o->word, 8);
+    if (o->word != w) {
+      co_await rt_.RollbackAndAbort(t, pt_);
+    }
+    // Track the read; the append also costs a (thread-local) store.
+    ASF_CHECK_MSG(pt_.read_count < TinyStm::kMaxReadSet, "STM read set overflow");
+    pt_.read_set[pt_.read_count] = {o, TinyStm::VersionOf(w)};
+    TinyStm::ReadEntry* slot = &pt_.read_set[pt_.read_count++];
+    co_await t.Access(AccessKind::kStore, slot, sizeof(TinyStm::ReadEntry));
+    co_return value;
+  }
+
+  Task<void> WriteBarrier(uint64_t addr, uint32_t size, uint64_t value) override {
+    SimThread& t = thread();
+    CategoryGuard g(t.core(), CycleCategory::kTxLoadStore);
+    t.core().WorkInstructions(rt_.params_.store_instructions);
+    TinyStm::Orec* o = rt_.OrecFor(addr);
+    co_await t.Access(AccessKind::kLoad, &o->word, 8);
+    uint64_t w = o->word;
+    bool locked_here = false;
+    if (TinyStm::Locked(w)) {
+      if (TinyStm::OwnerOf(w) != t.id()) {
+        co_await rt_.RollbackAndAbort(t, pt_);
+      }
+    } else {
+      if (TinyStm::VersionOf(w) > pt_.rv) {
+        co_await rt_.ExtendOrAbort(t, pt_);
+      }
+      // Encounter-time locking.
+      uint64_t ok = co_await t.Cas(&o->word, 8, w, TinyStm::LockWord(t.id()));
+      if (ok == 0) {
+        co_await rt_.RollbackAndAbort(t, pt_);
+      }
+      locked_here = true;
+    }
+    // Undo-log the old value, then write through.
+    co_await t.Access(AccessKind::kLoad, addr, size);
+    uint64_t old_value = 0;
+    std::memcpy(&old_value, reinterpret_cast<const void*>(addr), size);
+    ASF_CHECK_MSG(pt_.write_count < TinyStm::kMaxWriteSet, "STM write set overflow");
+    pt_.write_set[pt_.write_count] = {addr, size, old_value, o, w, locked_here};
+    TinyStm::WriteEntry* slot = &pt_.write_set[pt_.write_count++];
+    co_await t.Access(AccessKind::kStore, slot, sizeof(TinyStm::WriteEntry));
+    co_await t.Store(AccessKind::kStore, addr, size, value);
+  }
+
+  Task<void*> TxMalloc(uint64_t bytes) override {
+    SimThread& t = thread();
+    CategoryGuard g(t.core(), CycleCategory::kTxNonInstr);
+    t.core().WorkInstructions(rt_.params_.alloc_instructions);
+    void* p = pt_.alloc.TryAlloc(bytes);
+    if (p == nullptr) {
+      // STM attempts survive syscalls: refill inline.
+      co_await t.Access(AccessKind::kSyscall, uint64_t{0}, 1);
+      pt_.alloc.Refill(bytes);
+      p = pt_.alloc.TryAlloc(bytes);
+      ASF_CHECK(p != nullptr);
+    }
+    co_return p;
+  }
+
+  Task<void> TxFree(void* p) override {
+    thread().core().WorkInstructions(4);
+    pt_.alloc.DeferFree(p);
+    co_return;
+  }
+
+  Task<void> UserAbort() override {
+    co_await rt_.RollbackWith(thread(), pt_, AbortCause::kUserAbort);
+  }
+
+ private:
+  TinyStm& rt_;
+  TinyStm::PerThread& pt_;
+};
+
+TinyStm::TinyStm(asf::Machine& machine, const TinyStmParams& params)
+    : machine_(machine), params_(params) {
+  asfcommon::SimArena& arena = machine.arena();
+  orec_count_ = uint64_t{1} << params.orec_count_log2;
+  orecs_ = arena.NewArray<Orec>(orec_count_);
+  clock_ = arena.New<GlobalClock>();
+  const uint32_t n = machine.scheduler().num_cores();
+  threads_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto pt = std::make_unique<PerThread>(&arena);
+    pt->rng.Seed(params.rng_seed + i * 0x517Bu);
+    pt->alloc.Refill(1);
+    pt->read_set = arena.NewArray<ReadEntry>(kMaxReadSet);
+    pt->write_set = arena.NewArray<WriteEntry>(kMaxWriteSet);
+    threads_.push_back(std::move(pt));
+  }
+  // The STM image (orec table, clock, descriptor arrays) is resident after
+  // process initialization, which the paper fast-forwards.
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(orecs_), orec_count_ * sizeof(Orec));
+  machine.mem().PretouchPages(reinterpret_cast<uint64_t>(clock_), sizeof(GlobalClock));
+  for (auto& pt : threads_) {
+    machine.mem().PretouchPages(reinterpret_cast<uint64_t>(pt->read_set),
+                                kMaxReadSet * sizeof(ReadEntry));
+    machine.mem().PretouchPages(reinterpret_cast<uint64_t>(pt->write_set),
+                                kMaxWriteSet * sizeof(WriteEntry));
+  }
+}
+
+TinyStm::~TinyStm() = default;
+
+bool TinyStm::OwnsOrec(const PerThread& pt, const Orec* o) const {
+  for (uint64_t i = 0; i < pt.write_count; ++i) {
+    if (pt.write_set[i].orec == o) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Task<bool> TinyStm::Validate(SimThread& t, PerThread& pt) {
+  for (uint64_t i = 0; i < pt.read_count; ++i) {
+    const ReadEntry& e = pt.read_set[i];
+    t.core().WorkInstructions(params_.validate_instructions_per_entry);
+    co_await t.Access(AccessKind::kLoad, &e.orec->word, 8);
+    uint64_t w = e.orec->word;
+    if (Locked(w)) {
+      if (OwnerOf(w) != t.id()) {
+        co_return false;
+      }
+      continue;  // Our own lock: valid.
+    }
+    if (VersionOf(w) != e.version) {
+      co_return false;
+    }
+  }
+  co_return true;
+}
+
+Task<void> TinyStm::ExtendOrAbort(SimThread& t, PerThread& pt) {
+  co_await t.Access(AccessKind::kLoad, &clock_->time, 8);
+  uint64_t now = clock_->time;
+  bool ok = co_await Validate(t, pt);
+  if (!ok) {
+    co_await RollbackAndAbort(t, pt);
+  }
+  pt.rv = now;
+}
+
+Task<void> TinyStm::RollbackAndAbort(SimThread& t, PerThread& pt) {
+  co_await RollbackWith(t, pt, AbortCause::kStmConflict);
+}
+
+Task<void> TinyStm::RollbackWith(SimThread& t, PerThread& pt, AbortCause cause) {
+  // Restore the undo log in reverse, then release the orecs we locked.
+  // Write-through rollback must release with a *fresh* timestamp, not the
+  // pre-lock word: restoring the old word re-creates the exact value a
+  // concurrent reader validated against (orec ABA), letting it keep a dirty
+  // value it captured while our speculative write was in memory. TinySTM
+  // advances the global clock on rollback for precisely this reason.
+  for (uint64_t i = pt.write_count; i-- > 0;) {
+    const WriteEntry& e = pt.write_set[i];
+    co_await t.Store(AccessKind::kStore, e.addr, e.size, e.old_value);
+  }
+  if (pt.write_count > 0) {
+    uint64_t ts = co_await t.FetchAdd(&clock_->time, 8, 1) + 1;
+    for (uint64_t i = 0; i < pt.write_count; ++i) {
+      const WriteEntry& e = pt.write_set[i];
+      if (e.locked_here) {
+        co_await t.Store(AccessKind::kStore, &e.orec->word, 8, VersionWord(ts));
+      }
+    }
+  }
+  co_await t.AbortSelf(cause);  // Unwinds the attempt; never resumes.
+}
+
+Task<void> TinyStm::Commit(SimThread& t, PerThread& pt) {
+  CategoryGuard g(t.core(), CycleCategory::kTxStartCommit);
+  t.core().WorkInstructions(params_.commit_instructions);
+  if (pt.write_count == 0) {
+    co_return;  // Read-only: the timestamp discipline makes it valid as-is.
+  }
+  uint64_t ts = co_await t.FetchAdd(&clock_->time, 8, 1) + 1;
+  if (ts != pt.rv + 1) {
+    // Someone committed since our snapshot: the read set must be re-checked.
+    bool ok = co_await Validate(t, pt);
+    if (!ok) {
+      co_await RollbackAndAbort(t, pt);
+    }
+  }
+  for (uint64_t i = 0; i < pt.write_count; ++i) {
+    const WriteEntry& e = pt.write_set[i];
+    if (e.locked_here) {
+      co_await t.Store(AccessKind::kStore, &e.orec->word, 8, VersionWord(ts));
+    }
+  }
+}
+
+Task<void> TinyStm::StmAttempt(SimThread& t, PerThread& pt, const BodyFn& body) {
+  pt.read_count = 0;
+  pt.write_count = 0;
+  pt.alloc.OnAttemptStart();
+  {
+    CategoryGuard g(t.core(), CycleCategory::kTxStartCommit);
+    t.core().WorkInstructions(params_.begin_instructions);
+    co_await t.Access(AccessKind::kLoad, &clock_->time, 8);
+    pt.rv = clock_->time;
+  }
+  {
+    CategoryGuard g(t.core(), CycleCategory::kTxAppCode);
+    StmTx tx(*this, t, pt);
+    co_await body(tx);
+  }
+  co_await Commit(t, pt);
+}
+
+Task<void> TinyStm::Atomic(SimThread& t, BodyFn body) {
+  PerThread& pt = *threads_[t.id()];
+  Core& core = t.core();
+  ++pt.stats.tx_started;
+  for (uint32_t retry = 0;; ++retry) {
+    ++pt.stats.stm_attempts;
+    core.BeginAttemptAccounting();
+    AbortCause cause = co_await t.RunAbortable(StmAttempt(t, pt, body));
+    if (cause == AbortCause::kNone) {
+      core.CommitAttemptAccounting();
+      pt.alloc.OnCommit();
+      ++pt.stats.stm_commits;
+      co_return;
+    }
+    core.AbortAttemptAccounting();
+    ++pt.stats.aborts[static_cast<size_t>(cause)];
+    pt.alloc.OnAbort();
+    if (cause == AbortCause::kUserAbort) {
+      co_return;
+    }
+    uint32_t shift = retry < params_.backoff_shift_cap ? retry : params_.backoff_shift_cap;
+    uint64_t max_wait = params_.backoff_base_cycles << shift;
+    uint64_t wait = pt.rng.NextInRange(max_wait / 2, max_wait);
+    pt.stats.backoff_cycles += wait;
+    co_await t.Sleep(wait);
+  }
+}
+
+TxStats TinyStm::TotalStats() const {
+  TxStats total;
+  for (const auto& pt : threads_) {
+    total.Add(pt->stats);
+  }
+  return total;
+}
+
+void TinyStm::ResetStats() {
+  for (auto& pt : threads_) {
+    pt->stats = TxStats{};
+  }
+}
+
+}  // namespace asftm

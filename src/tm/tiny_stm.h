@@ -1,0 +1,141 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// TinySTM-style word-based software transactional memory — the paper's STM
+// baseline (Sec. 5 uses TinySTM 0.9.9 in write-through mode).
+//
+// Algorithm (Felber, Fetzer, Riegel, PPoPP'08 — write-through variant):
+//   * A global time base (version clock) and a table of ownership records
+//     (orecs) hashed by address. An orec is either unlocked, carrying the
+//     version of the last committed write, or locked by a writer.
+//   * Reads: check the orec, read the value, re-check; if the version is
+//     newer than the transaction's read timestamp, attempt a timestamp
+//     extension (re-validate the whole read set at the current clock).
+//   * Writes: encounter-time locking — CAS the orec to locked, log the old
+//     value (undo log), write memory directly (write-through).
+//   * Commit: fetch-add the clock, validate the read set if needed, release
+//     orecs with the new version. Abort: restore the undo log in reverse,
+//     release orecs with their pre-lock versions.
+//
+// All metadata operations (orec loads, CASes, clock fetch-add, read/write
+// set appends) are performed through the simulated memory hierarchy, so the
+// STM's cache footprint and clock-line contention — the effects behind the
+// paper's Figure 9 / Table 1 overhead decomposition — are modeled rather
+// than assumed.
+#ifndef SRC_TM_TINY_STM_H_
+#define SRC_TM_TINY_STM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/asf/machine.h"
+#include "src/common/random.h"
+#include "src/tm/tm_api.h"
+#include "src/tm/tx_allocator.h"
+
+namespace asftm {
+
+struct TinyStmParams {
+  uint32_t orec_count_log2 = 20;  // 2^20 orecs (8 MiB), as TinySTM defaults.
+  // Modeled instruction counts for the software paths (pure ALU work; the
+  // memory traffic is simulated explicitly).
+  uint32_t begin_instructions = 40;  // sigsetjmp + descriptor setup.
+  uint32_t commit_instructions = 30;
+  uint32_t load_instructions = 45;   // Call, hash, checks, read-set append.
+  uint32_t store_instructions = 55;  // Call, hash, CAS setup, undo-log append.
+  uint32_t validate_instructions_per_entry = 4;
+  uint32_t alloc_instructions = 12;
+  uint64_t backoff_base_cycles = 128;
+  uint32_t backoff_shift_cap = 10;
+  uint64_t rng_seed = 0x7A57;
+};
+
+class TinyStm : public TmRuntime {
+ public:
+  TinyStm(asf::Machine& machine, const TinyStmParams& params = TinyStmParams());
+  ~TinyStm() override;
+
+  std::string name() const override { return "TinySTM (write-through)"; }
+  asfsim::Task<void> Atomic(asfsim::SimThread& thread, BodyFn body) override;
+  const TxStats& stats(uint32_t thread_id) const override { return threads_[thread_id]->stats; }
+  TxStats TotalStats() const override;
+  void ResetStats() override;
+
+ private:
+  friend class StmTx;
+
+  struct alignas(asfcommon::kCacheLineBytes) GlobalClock {
+    uint64_t time = 0;
+  };
+
+  // Orec encoding: LSB set -> locked, owner id in the upper bits;
+  // LSB clear -> unlocked, version in the upper bits.
+  struct Orec {
+    uint64_t word = 0;
+  };
+  static bool Locked(uint64_t w) { return (w & 1) != 0; }
+  static uint64_t OwnerOf(uint64_t w) { return w >> 1; }
+  static uint64_t VersionOf(uint64_t w) { return w >> 1; }
+  static uint64_t LockWord(uint32_t tid) { return (static_cast<uint64_t>(tid) << 1) | 1; }
+  static uint64_t VersionWord(uint64_t version) { return version << 1; }
+
+  struct ReadEntry {
+    Orec* orec;
+    uint64_t version;
+  };
+  struct WriteEntry {
+    uint64_t addr;
+    uint32_t size;
+    uint64_t old_value;
+    Orec* orec;
+    uint64_t prev_word;  // Orec content before we locked it (0 if we did not
+                         // lock it at this entry, i.e. a re-write).
+    bool locked_here;
+  };
+
+  // Fixed-capacity, arena-backed descriptor arrays: deterministic addresses
+  // and no mid-run reallocation (a real STM similarly grows its logs rarely).
+  static constexpr uint64_t kMaxReadSet = 1ull << 18;
+  static constexpr uint64_t kMaxWriteSet = 1ull << 16;
+
+  struct PerThread {
+    TxStats stats;
+    TxAllocator alloc;
+    asfcommon::Rng rng;
+    uint64_t rv = 0;  // Read timestamp.
+    ReadEntry* read_set = nullptr;
+    uint64_t read_count = 0;
+    WriteEntry* write_set = nullptr;
+    uint64_t write_count = 0;
+
+    explicit PerThread(asfcommon::SimArena* arena) : alloc(arena) {}
+  };
+
+  Orec* OrecFor(uint64_t addr) {
+    return &orecs_[(addr >> 3) & (orec_count_ - 1)];
+  }
+  bool OwnsOrec(const PerThread& pt, const Orec* o) const;
+
+  asfsim::Task<void> StmAttempt(asfsim::SimThread& t, PerThread& pt, const BodyFn& body);
+  asfsim::Task<void> Commit(asfsim::SimThread& t, PerThread& pt);
+  // Validates the read set at the current clock; extends rv on success.
+  // On failure performs rollback and self-aborts (never resumes).
+  asfsim::Task<void> ExtendOrAbort(asfsim::SimThread& t, PerThread& pt);
+  // Returns whether every read-set entry is still valid.
+  asfsim::Task<bool> Validate(asfsim::SimThread& t, PerThread& pt);
+  // Undoes all writes, releases orecs, self-aborts (never resumes).
+  asfsim::Task<void> RollbackAndAbort(asfsim::SimThread& t, PerThread& pt);
+  asfsim::Task<void> RollbackWith(asfsim::SimThread& t, PerThread& pt,
+                                  asfcommon::AbortCause cause);
+
+  asf::Machine& machine_;
+  const TinyStmParams params_;
+  GlobalClock* clock_;    // Arena-allocated.
+  Orec* orecs_;           // Arena-allocated table of orec_count_ entries.
+  uint64_t orec_count_;
+  std::vector<std::unique_ptr<PerThread>> threads_;
+};
+
+}  // namespace asftm
+
+#endif  // SRC_TM_TINY_STM_H_

@@ -1,0 +1,20 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/tm/tm_stats.h"
+
+namespace asftm {
+
+void TxStats::Add(const TxStats& o) {
+  tx_started += o.tx_started;
+  hw_attempts += o.hw_attempts;
+  stm_attempts += o.stm_attempts;
+  hw_commits += o.hw_commits;
+  serial_commits += o.serial_commits;
+  stm_commits += o.stm_commits;
+  seq_commits += o.seq_commits;
+  backoff_cycles += o.backoff_cycles;
+  for (size_t i = 0; i < aborts.size(); ++i) {
+    aborts[i] += o.aborts[i];
+  }
+}
+
+}  // namespace asftm

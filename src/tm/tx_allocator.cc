@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/tm/tx_allocator.h"
+
+#include <cstdlib>
+
+namespace asftm {
+
+TxAllocator::~TxAllocator() {
+  for (uint8_t* c : all_chunks_) {
+    std::free(c);
+  }
+  // Quarantined objects live inside the chunks; nothing further to do.
+}
+
+void* TxAllocator::TryAlloc(uint64_t bytes) {
+  uint64_t need = RoundUp(bytes);
+  if (need > remaining_) {
+    return nullptr;
+  }
+  void* p = bump_;
+  bump_ += need;
+  remaining_ -= need;
+  allocated_bytes_ += need;
+  return p;
+}
+
+void TxAllocator::Refill(uint64_t min_bytes) {
+  uint64_t size = chunk_bytes_;
+  if (RoundUp(min_bytes) > size) {
+    size = RoundUp(min_bytes);
+  }
+  uint8_t* c;
+  if (arena_ != nullptr) {
+    // Arena chunks give deterministic addresses (and are owned by the arena).
+    c = static_cast<uint8_t*>(arena_->Alloc(size, alignment_));
+  } else {
+    // aligned_alloc keeps chunks line-aligned so object padding is effective.
+    c = static_cast<uint8_t*>(std::aligned_alloc(alignment_, size));
+    ASF_CHECK(c != nullptr);
+    all_chunks_.push_back(c);
+  }
+  chunk_ = c;
+  bump_ = c;
+  remaining_ = size;
+  ++refills_;
+  // Re-anchor the attempt snapshot in the new chunk: if an STM/serial
+  // transaction refilled mid-attempt and later aborts, allocations made
+  // before the refill leak (bounded by one chunk) instead of corrupting the
+  // bump state.
+  attempt_bump_ = bump_;
+  attempt_remaining_ = remaining_;
+  // Chunk pages are intentionally NOT pre-faulted: first-touch page faults
+  // inside transactions are part of the behavior under study (Fig. 6).
+}
+
+void TxAllocator::OnAttemptStart() {
+  attempt_bump_ = bump_;
+  attempt_remaining_ = remaining_;
+  attempt_free_mark_ = pending_frees_.size();
+}
+
+void TxAllocator::OnCommit() {
+  // Deferred frees become quarantined (stand-in for epoch reclamation).
+  for (size_t i = attempt_free_mark_; i < pending_frees_.size(); ++i) {
+    quarantine_.push_back(pending_frees_[i]);
+  }
+  pending_frees_.resize(attempt_free_mark_);
+}
+
+void TxAllocator::OnAbort() {
+  // Allocations of the aborted attempt are returned to the pool; its
+  // deferred frees are forgotten (the objects were never really freed).
+  bump_ = attempt_bump_;
+  remaining_ = attempt_remaining_;
+  pending_frees_.resize(attempt_free_mark_);
+}
+
+}  // namespace asftm

@@ -1,0 +1,101 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Transaction-safe memory allocator (paper Sec. 3.3).
+//
+// ASF-TM cannot call the standard allocator inside a speculative region: an
+// asynchronous abort could leave the allocator's metadata half-updated. The
+// paper's solution — reproduced here — is a custom in-transaction allocator
+// whose fast path only touches thread-local state: a bump pointer into a
+// thread-private chunk. The runtime (not the hardware) undoes allocations of
+// aborted attempts, because the pool metadata is accessed nontransactionally
+// (selective annotation) and therefore survives the rollback.
+//
+// Refilling the pool needs the default allocator (and, in the model, a
+// system call to grow the heap), which is not abort-safe: in hardware mode
+// the transaction aborts with kMallocRefill, the retry loop refills
+// nonspeculatively, and the transaction re-executes — producing the
+// "Abort (malloc)" events of the paper's Figure 6.
+//
+// Frees are deferred to commit time, and the host memory of freed objects is
+// quarantined until the end of the run, standing in for the epoch-based
+// reclamation a production TM uses so that doomed concurrent readers never
+// dereference recycled memory.
+#ifndef SRC_TM_TX_ALLOCATOR_H_
+#define SRC_TM_TX_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/defs.h"
+
+namespace asftm {
+
+class TxAllocator {
+ public:
+  // `alignment` pads every object to a multiple of this (the benchmarks use
+  // 64 to give each node its own cache line, as the paper does to avoid
+  // false-sharing aborts).
+  explicit TxAllocator(asfcommon::SimArena* arena = nullptr, uint64_t chunk_bytes = 64 * 1024,
+                       uint64_t alignment = 64)
+      : arena_(arena), chunk_bytes_(chunk_bytes), alignment_(alignment) {}
+  ~TxAllocator();
+
+  TxAllocator(const TxAllocator&) = delete;
+  TxAllocator& operator=(const TxAllocator&) = delete;
+
+  // Fast path: bump-allocates from the current chunk. Returns nullptr if the
+  // pool must be refilled first (caller decides whether that means an abort,
+  // per execution mode).
+  void* TryAlloc(uint64_t bytes);
+
+  // Slow path: host-allocates a fresh chunk. Never called speculatively.
+  void Refill(uint64_t min_bytes);
+
+  // True if a TryAlloc of `bytes` would need a refill.
+  bool NeedsRefill(uint64_t bytes) const { return RoundUp(bytes) > remaining_; }
+
+  // Defers the free of `p` to commit time.
+  void DeferFree(void* p) { pending_frees_.push_back(p); }
+
+  // Attempt lifecycle: snapshot/rollback of the bump state and the deferred
+  // free list. OnAttemptStart must be called at the beginning of every
+  // attempt; exactly one of OnCommit/OnAbort afterwards.
+  void OnAttemptStart();
+  void OnCommit();
+  void OnAbort();
+
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+  uint64_t refills() const { return refills_; }
+
+  // Host address range of the most recently added chunk (so harnesses can
+  // decide whether to pretouch its pages during warmup).
+  uint64_t last_chunk_addr() const { return reinterpret_cast<uint64_t>(chunk_); }
+  uint64_t chunk_bytes() const { return chunk_bytes_; }
+
+ private:
+  uint64_t RoundUp(uint64_t bytes) const {
+    return (bytes + alignment_ - 1) & ~(alignment_ - 1);
+  }
+
+  asfcommon::SimArena* const arena_;  // When set, chunks come from the arena.
+  const uint64_t chunk_bytes_;
+  const uint64_t alignment_;
+  uint8_t* chunk_ = nullptr;
+  uint64_t remaining_ = 0;
+  uint8_t* bump_ = nullptr;
+
+  // Snapshot of (bump_, remaining_) at attempt start.
+  uint8_t* attempt_bump_ = nullptr;
+  uint64_t attempt_remaining_ = 0;
+  size_t attempt_free_mark_ = 0;
+
+  std::vector<void*> pending_frees_;   // Freed in-tx; quarantined on commit.
+  std::vector<void*> quarantine_;      // Committed frees, reclaimed at exit.
+  std::vector<uint8_t*> all_chunks_;   // Owned chunk storage.
+  uint64_t allocated_bytes_ = 0;
+  uint64_t refills_ = 0;
+};
+
+}  // namespace asftm
+
+#endif  // SRC_TM_TX_ALLOCATOR_H_

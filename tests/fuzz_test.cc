@@ -1,0 +1,174 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Randomized stress tests ("fuzz" within deterministic seeds): concurrent
+// transactional workloads with mixed transaction shapes — small updates,
+// whole-array audits, multi-object swaps, allocation and cancel — executed
+// on every runtime and ASF variant, checking conservation invariants that
+// any serializable execution must satisfy.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/tm/asf_tm.h"
+#include "src/tm/phased_tm.h"
+#include "src/tm/tiny_stm.h"
+#include "tests/tm_test_util.h"
+
+namespace asftm {
+namespace {
+
+using asfcommon::AbortCause;
+using asfsim::SimThread;
+using asfsim::Task;
+using asftest::Pretouch;
+using asftest::QuietParams;
+using asftest::RunWorkers;
+
+struct alignas(64) Cell {
+  uint64_t value = 0;
+};
+
+struct FuzzParam {
+  const char* runtime;  // asf | stm | phased.
+  asf::AsfVariant variant;
+  uint64_t seed;
+};
+
+class TmFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+std::unique_ptr<TmRuntime> MakeRt(const std::string& kind, asf::Machine& m) {
+  if (kind == "asf") {
+    return std::make_unique<AsfTm>(m);
+  }
+  if (kind == "phased") {
+    return std::make_unique<PhasedTm>(m);
+  }
+  return std::make_unique<TinyStm>(m);
+}
+
+TEST_P(TmFuzzTest, MixedTransactionShapesPreserveConservation) {
+  const FuzzParam& param = GetParam();
+  constexpr uint32_t kThreads = 4;
+  constexpr uint32_t kCells = 40;
+  constexpr uint64_t kTokensPerCell = 50;
+  asf::Machine m(QuietParams(param.variant, kThreads));
+  auto rt = MakeRt(param.runtime, m);
+  auto* cells = m.arena().NewArray<Cell>(kCells);
+  for (uint32_t i = 0; i < kCells; ++i) {
+    cells[i].value = kTokensPerCell;
+  }
+  Pretouch(m, cells, kCells * sizeof(Cell));
+
+  uint64_t bad_audits = 0;
+  RunWorkers(m, kThreads, [&](SimThread& t, uint32_t tid) -> Task<void> {
+    asfcommon::Rng rng(param.seed * 131 + tid);
+    for (int op = 0; op < 150; ++op) {
+      uint32_t dice = static_cast<uint32_t>(rng.NextBelow(100));
+      if (dice < 40) {
+        // Small transfer between two cells.
+        uint32_t a = static_cast<uint32_t>(rng.NextBelow(kCells));
+        uint32_t b = static_cast<uint32_t>(rng.NextBelow(kCells));
+        if (a == b) {
+          continue;
+        }
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          uint64_t va = co_await tx.Read(&cells[a].value);
+          uint64_t vb = co_await tx.Read(&cells[b].value);
+          if (va > 0) {
+            co_await tx.Write(&cells[a].value, va - 1);
+            co_await tx.Write(&cells[b].value, vb + 1);
+          }
+        });
+      } else if (dice < 55) {
+        // Three-way rotation (larger footprint, multiple lines).
+        uint32_t base = static_cast<uint32_t>(rng.NextBelow(kCells - 3));
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          uint64_t v0 = co_await tx.Read(&cells[base].value);
+          uint64_t v1 = co_await tx.Read(&cells[base + 1].value);
+          uint64_t v2 = co_await tx.Read(&cells[base + 2].value);
+          co_await tx.Write(&cells[base].value, v2);
+          co_await tx.Write(&cells[base + 1].value, v0);
+          co_await tx.Write(&cells[base + 2].value, v1);
+        });
+      } else if (dice < 70) {
+        // Whole-array audit (over-capacity for LLB-8: exercises fallback).
+        uint64_t sum = 0;
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          sum = 0;
+          for (uint32_t i = 0; i < kCells; ++i) {
+            sum += co_await tx.Read(&cells[i].value);
+          }
+        });
+        if (sum != kCells * kTokensPerCell) {
+          ++bad_audits;
+        }
+      } else if (dice < 85) {
+        // Transfer that cancels halfway (UserAbort must undo the first leg).
+        uint32_t a = static_cast<uint32_t>(rng.NextBelow(kCells));
+        uint32_t b = static_cast<uint32_t>(rng.NextBelow(kCells));
+        if (a == b) {
+          continue;
+        }
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          uint64_t va = co_await tx.Read(&cells[a].value);
+          if (va == 0) {
+            co_return;
+          }
+          co_await tx.Write(&cells[a].value, va - 1);
+          uint64_t vb = co_await tx.Read(&cells[b].value);
+          if ((va ^ vb) & 1) {
+            co_await tx.UserAbort();  // Cancel: the debit must roll back.
+          }
+          co_await tx.Write(&cells[b].value, vb + 1);
+        });
+      } else {
+        // Allocation inside a transaction (exercises the tx allocator).
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          void* p = co_await tx.TxMalloc(48);
+          auto* scratch = static_cast<Cell*>(p);
+          co_await tx.Write(&scratch->value, static_cast<uint64_t>(op));
+          uint32_t a = static_cast<uint32_t>(rng.NextBelow(kCells));
+          uint64_t va = co_await tx.Read(&cells[a].value);
+          co_await tx.Write(&cells[a].value, va);  // Touch-only write.
+          co_await tx.TxFree(p);
+        });
+      }
+    }
+  });
+
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < kCells; ++i) {
+    total += cells[i].value;
+  }
+  EXPECT_EQ(total, kCells * kTokensPerCell) << rt->name();
+  EXPECT_EQ(bad_audits, 0u) << rt->name();
+}
+
+std::string FuzzName(const ::testing::TestParamInfo<FuzzParam>& info) {
+  std::string v = info.param.variant.Name();
+  for (auto& c : v) {
+    if (!isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return std::string(info.param.runtime) + "_" + v + "_s" + std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TmFuzzTest,
+    ::testing::Values(FuzzParam{"asf", asf::AsfVariant::Llb8(), 1},
+                      FuzzParam{"asf", asf::AsfVariant::Llb8(), 2},
+                      FuzzParam{"asf", asf::AsfVariant::Llb256(), 1},
+                      FuzzParam{"asf", asf::AsfVariant::Llb256(), 3},
+                      FuzzParam{"asf", asf::AsfVariant::Llb8WithL1(), 1},
+                      FuzzParam{"asf", asf::AsfVariant::Llb256WithL1(), 1},
+                      FuzzParam{"asf", asf::AsfVariant::Llb256WithL1(), 4},
+                      FuzzParam{"stm", asf::AsfVariant::Llb256(), 1},
+                      FuzzParam{"stm", asf::AsfVariant::Llb256(), 2},
+                      FuzzParam{"phased", asf::AsfVariant::Llb8(), 1},
+                      FuzzParam{"phased", asf::AsfVariant::Llb8(), 2},
+                      FuzzParam{"phased", asf::AsfVariant::Llb256WithL1(), 1}),
+    FuzzName);
+
+}  // namespace
+}  // namespace asftm

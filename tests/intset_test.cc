@@ -1,0 +1,254 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Property tests of the IntegerSet structures: single-threaded equivalence
+// against std::set under random operation streams, and multi-threaded
+// linearization-consistency checks (structure invariants plus size deltas),
+// parameterized over structure type and TM runtime.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/intset/hash_set.h"
+#include "src/intset/linked_list.h"
+#include "src/intset/rb_tree.h"
+#include "src/intset/skip_list.h"
+#include "src/tm/asf_tm.h"
+#include "src/tm/serial_tm.h"
+#include "src/tm/tiny_stm.h"
+#include "tests/tm_test_util.h"
+
+namespace intset {
+namespace {
+
+using asfsim::SimThread;
+using asfsim::Task;
+using asftest::QuietParams;
+using asftest::RunWorkers;
+using asftm::Tx;
+
+std::unique_ptr<IntSet> MakeSet(const std::string& kind) {
+  if (kind == "list") {
+    return std::make_unique<LinkedList>(false);
+  }
+  if (kind == "list-er") {
+    return std::make_unique<LinkedList>(true);
+  }
+  if (kind == "skip") {
+    return std::make_unique<SkipList>();
+  }
+  if (kind == "rb") {
+    return std::make_unique<RbTree>();
+  }
+  if (kind == "hash") {
+    return std::make_unique<HashSet>(10);
+  }
+  ASF_CHECK(false);
+  return nullptr;
+}
+
+std::unique_ptr<asftm::TmRuntime> MakeRuntime(const std::string& kind, asf::Machine& m) {
+  if (kind == "seq") {
+    return std::make_unique<asftm::SequentialTm>(m);
+  }
+  if (kind == "asf") {
+    return std::make_unique<asftm::AsfTm>(m);
+  }
+  if (kind == "stm") {
+    return std::make_unique<asftm::TinyStm>(m);
+  }
+  ASF_CHECK(false);
+  return nullptr;
+}
+
+// ---- Single-thread equivalence against std::set ---------------------------
+
+class IntSetModelTest : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(IntSetModelTest, MatchesReferenceModel) {
+  auto [set_kind, rt_kind] = GetParam();
+  asf::Machine m(QuietParams(asf::AsfVariant::Llb256(), 1));
+  m.mem().PretouchPages(0, 0);  // No-op; workloads fault realistically.
+  auto set = MakeSet(set_kind);
+  auto rt = MakeRuntime(rt_kind, m);
+
+  std::set<uint64_t> model;
+  asfcommon::Rng rng(42);
+  struct Op {
+    int kind;  // 0 = contains, 1 = insert, 2 = remove.
+    uint64_t key;
+  };
+  std::vector<Op> ops;
+  for (int i = 0; i < 600; ++i) {
+    ops.push_back({static_cast<int>(rng.NextBelow(3)), rng.NextBelow(64) + 1});
+  }
+  std::vector<bool> results(ops.size());
+
+  RunWorkers(m, 1, [&](SimThread& t, uint32_t) -> Task<void> {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      bool r = false;
+      co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+        switch (ops[i].kind) {
+          case 0:
+            r = co_await set->Contains(tx, ops[i].key);
+            break;
+          case 1:
+            r = co_await set->Insert(tx, ops[i].key);
+            break;
+          default:
+            r = co_await set->Remove(tx, ops[i].key);
+            break;
+        }
+      });
+      results[i] = r;
+    }
+  });
+
+  // Replay against the model and compare result-by-result.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    bool expect = false;
+    switch (ops[i].kind) {
+      case 0:
+        expect = model.contains(ops[i].key);
+        break;
+      case 1:
+        expect = model.insert(ops[i].key).second;
+        break;
+      default:
+        expect = model.erase(ops[i].key) > 0;
+        break;
+    }
+    EXPECT_EQ(results[i], expect) << "op " << i << " kind " << ops[i].kind;
+  }
+  std::vector<uint64_t> expect_contents(model.begin(), model.end());
+  EXPECT_EQ(set->Snapshot(), expect_contents);
+  EXPECT_EQ(set->CheckInvariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructuresAndRuntimes, IntSetModelTest,
+    ::testing::Combine(::testing::Values("list", "list-er", "skip", "rb", "hash"),
+                       ::testing::Values("seq", "asf", "stm")),
+    [](const auto& info) {
+      return std::get<0>(info.param) == "list-er"
+                 ? "list_er_" + std::get<1>(info.param)
+                 : std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+// ---- Multi-threaded consistency -------------------------------------------
+
+class IntSetConcurrentTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(IntSetConcurrentTest, InvariantsHoldUnderContention) {
+  auto [set_kind, rt_kind] = GetParam();
+  constexpr uint32_t kThreads = 4;
+  asf::Machine m(QuietParams(asf::AsfVariant::Llb256(), kThreads));
+  auto set = MakeSet(set_kind);
+  auto rt = MakeRuntime(rt_kind, m);
+
+  constexpr uint64_t kRange = 128;
+  // Populate with every even key from thread 0's allocator, transactionally.
+  uint64_t initial = 0;
+  std::vector<int64_t> deltas(kThreads, 0);
+  asfsim::SimBarrier barrier(kThreads);
+  RunWorkers(m, kThreads, [&](SimThread& t, uint32_t tid) -> Task<void> {
+    if (tid == 0) {
+      for (uint64_t k = 2; k <= kRange; k += 2) {
+        bool r = false;
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          r = co_await set->Insert(tx, k);
+        });
+        if (r) {
+          ++initial;
+        }
+      }
+    }
+    co_await barrier.Arrive(t);
+    asfcommon::Rng rng(777 + tid);
+    for (int i = 0; i < 120; ++i) {
+      uint64_t key = rng.NextBelow(kRange) + 1;
+      int op = static_cast<int>(rng.NextBelow(100));
+      bool r = false;
+      if (op < 20) {  // 20% updates split insert/remove, 80% lookups.
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          r = co_await set->Insert(tx, key);
+        });
+        if (r) {
+          ++deltas[tid];
+        }
+      } else if (op < 40) {
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          r = co_await set->Remove(tx, key);
+        });
+        if (r) {
+          --deltas[tid];
+        }
+      } else {
+        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+          r = co_await set->Contains(tx, key);
+        });
+      }
+    }
+  });
+
+  EXPECT_EQ(set->CheckInvariants(), "") << set->name() << " on " << rt->name();
+  int64_t expected_size = static_cast<int64_t>(initial);
+  for (int64_t d : deltas) {
+    expected_size += d;
+  }
+  EXPECT_EQ(static_cast<int64_t>(set->Snapshot().size()), expected_size);
+  // Every element is within the operating range.
+  for (uint64_t k : set->Snapshot()) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, kRange);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, IntSetConcurrentTest,
+    ::testing::Combine(::testing::Values("list", "list-er", "skip", "rb", "hash"),
+                       ::testing::Values("asf", "stm")),
+    [](const auto& info) {
+      return std::get<0>(info.param) == "list-er"
+                 ? "list_er_" + std::get<1>(info.param)
+                 : std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+// Early release keeps small-LLB hardware commits possible on long lists.
+TEST(LinkedListEarlyRelease, AvoidsSerialFallbackOnLlb8) {
+  asf::Machine m_plain(QuietParams(asf::AsfVariant::Llb8(), 1));
+  asf::Machine m_er(QuietParams(asf::AsfVariant::Llb8(), 1));
+  constexpr uint64_t kElements = 48;
+
+  auto run = [&](asf::Machine& m, bool er) {
+    auto set = std::make_unique<LinkedList>(er);
+    asftm::AsfTm rt(m);
+    RunWorkers(m, 1, [&](SimThread& t, uint32_t) -> Task<void> {
+      for (uint64_t k = 1; k <= kElements; ++k) {
+        co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+          co_await set->Insert(tx, k * 10);
+        });
+      }
+      // Lookups near the tail traverse the whole list.
+      for (int i = 0; i < 20; ++i) {
+        co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+          co_await set->Contains(tx, kElements * 10);
+        });
+      }
+    });
+    return rt.TotalStats();
+  };
+
+  asftm::TxStats plain = run(m_plain, false);
+  asftm::TxStats with_er = run(m_er, true);
+  // Without early release, long traversals overflow the 8-entry LLB and go
+  // serial; with early release they commit in hardware.
+  EXPECT_GT(plain.serial_commits, 0u);
+  EXPECT_EQ(with_er.serial_commits, 0u);
+  EXPECT_GT(with_er.hw_commits, plain.hw_commits);
+}
+
+}  // namespace
+}  // namespace intset

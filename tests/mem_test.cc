@@ -1,0 +1,190 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Unit tests for the cache model, TLB, and memory-system timing/coherence.
+#include <gtest/gtest.h>
+
+#include "src/mem/cache.h"
+#include "src/mem/memory_system.h"
+#include "src/mem/tlb.h"
+
+namespace asfmem {
+namespace {
+
+TEST(Cache, HitAfterInsert) {
+  Cache c(CacheGeometry{4 * 1024, 2});  // 64 lines, 32 sets, 2 ways.
+  EXPECT_FALSE(c.Probe(100));
+  EXPECT_FALSE(c.Insert(100).has_value());
+  EXPECT_TRUE(c.Probe(100));
+  EXPECT_TRUE(c.Touch(100));
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache c(CacheGeometry{4 * 1024, 2});  // 32 sets.
+  // Three lines mapping to set 0: line numbers 0, 32, 64.
+  EXPECT_FALSE(c.Insert(0).has_value());
+  EXPECT_FALSE(c.Insert(32).has_value());
+  c.Touch(0);  // Make 32 the LRU.
+  auto evicted = c.Insert(64);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 32u);
+  EXPECT_TRUE(c.Probe(0));
+  EXPECT_TRUE(c.Probe(64));
+  EXPECT_FALSE(c.Probe(32));
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  Cache c(CacheGeometry{4 * 1024, 2});
+  c.Insert(7);
+  EXPECT_TRUE(c.Invalidate(7));
+  EXPECT_FALSE(c.Probe(7));
+  EXPECT_FALSE(c.Invalidate(7));
+}
+
+TEST(Cache, InsertPresentLinePromotesWithoutEviction) {
+  Cache c(CacheGeometry{4 * 1024, 2});
+  c.Insert(0);
+  c.Insert(32);
+  EXPECT_FALSE(c.Insert(0).has_value());  // Re-insert: no eviction.
+  EXPECT_TRUE(c.Probe(32));
+}
+
+TEST(Tlb, MissThenHit) {
+  Tlb tlb(TlbParams{});
+  uint64_t first = tlb.Translate(0x400000);
+  EXPECT_GT(first, 0u);  // Walk.
+  EXPECT_EQ(tlb.Translate(0x400008), 0u);  // Same page: L1 TLB hit.
+  EXPECT_EQ(tlb.walks(), 1u);
+}
+
+TEST(Tlb, L2CatchesL1Overflow) {
+  TlbParams p;
+  Tlb tlb(p);
+  // Touch more pages than the 48-entry L1 TLB holds, then revisit the first:
+  // should hit L2 (cost l2_hit_cycles), not a full walk.
+  for (uint64_t i = 0; i < 60; ++i) {
+    tlb.Translate(i * asfcommon::kPageBytes);
+  }
+  uint64_t cost = tlb.Translate(0);
+  EXPECT_EQ(cost, p.l2_hit_cycles);
+}
+
+class MemorySystemTest : public ::testing::Test {
+ protected:
+  MemorySystemTest() : mem_(4, Params()) { mem_.PretouchPages(0, 1ull << 30); }
+
+  static MemParams Params() {
+    MemParams p;
+    return p;
+  }
+
+  MemorySystem mem_;
+};
+
+TEST_F(MemorySystemTest, ColdLoadHitsRamThenL1) {
+  MemResult r1 = mem_.Access(0, 0x10000, 8, false);
+  EXPECT_GE(r1.latency, Params().ram_latency);
+  MemResult r2 = mem_.Access(0, 0x10000, 8, false);
+  EXPECT_EQ(r2.latency, Params().l1_latency);
+}
+
+TEST_F(MemorySystemTest, SharedReadThenRemoteHit) {
+  mem_.Access(0, 0x20000, 8, false);  // Core 0 loads (RAM).
+  mem_.Access(1, 0x20040, 8, false);  // Warm core 1's TLB for the page.
+  MemResult r = mem_.Access(1, 0x20000, 8, false);  // Core 1: L3 hit.
+  EXPECT_EQ(r.latency, Params().l3_latency);
+}
+
+TEST_F(MemorySystemTest, StoreInvalidatesRemoteCopies) {
+  mem_.Access(0, 0x30000, 8, false);
+  mem_.Access(1, 0x30000, 8, false);
+  EXPECT_TRUE(mem_.L1Holds(0, 0x30000 >> 6));
+  EXPECT_TRUE(mem_.L1Holds(1, 0x30000 >> 6));
+  mem_.Access(0, 0x30000, 8, true);  // Core 0 writes: invalidate core 1.
+  EXPECT_FALSE(mem_.L1Holds(1, 0x30000 >> 6));
+  // Core 1 re-load now forwards from core 0 (dirty remote).
+  MemResult r = mem_.Access(1, 0x30000, 8, false);
+  EXPECT_EQ(r.latency, Params().remote_latency);
+}
+
+TEST_F(MemorySystemTest, ExclusiveStoreIsCheap) {
+  mem_.Access(0, 0x40000, 8, true);  // Gains ownership.
+  MemResult r = mem_.Access(0, 0x40000, 8, true);
+  EXPECT_EQ(r.latency, Params().store_hit_latency);
+}
+
+TEST_F(MemorySystemTest, SharedStorePaysUpgrade) {
+  mem_.Access(0, 0x50000, 8, false);
+  mem_.Access(1, 0x50000, 8, false);  // Both share the line.
+  MemResult r = mem_.Access(0, 0x50000, 8, true);
+  EXPECT_EQ(r.latency, Params().upgrade_latency);
+  EXPECT_EQ(mem_.stats(0).upgrades, 1u);
+}
+
+TEST_F(MemorySystemTest, LineSpanningAccessChargesBothLines) {
+  // 8 bytes starting 4 bytes before a line boundary touch two lines.
+  uint64_t addr = 0x60000 + 60;
+  MemResult r = mem_.Access(0, addr, 8, false);
+  EXPECT_GE(r.latency, 2 * Params().ram_latency);
+}
+
+TEST_F(MemorySystemTest, PageFaultChargedOnceAndReported) {
+  MemParams p;
+  MemorySystem mem(1, p);  // No pretouch.
+  MemResult r1 = mem.Access(0, 0x123456, 8, false);
+  EXPECT_TRUE(r1.page_fault);
+  EXPECT_GE(r1.latency, p.page_fault_cycles);
+  MemResult r2 = mem.Access(0, 0x123458, 8, false);
+  EXPECT_FALSE(r2.page_fault);
+}
+
+TEST_F(MemorySystemTest, StoreTlbQuirkSkipsTranslationCost) {
+  MemParams p;
+  p.ptlsim_store_tlb_quirk = true;
+  MemorySystem mem(1, p);
+  mem.PretouchPages(0, 1ull << 30);
+  // First store to a fresh page: with the quirk, no TLB walk cost; the
+  // total must equal the pure RAM latency.
+  MemResult r = mem.Access(0, 0x70000, 8, true);
+  EXPECT_EQ(r.latency, p.ram_latency);
+}
+
+class DropRecorder : public MemEventListener {
+ public:
+  void OnL1LineDropped(uint32_t core, uint64_t line) override {
+    drops.emplace_back(core, line);
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> drops;
+};
+
+TEST_F(MemorySystemTest, ListenerSeesAssociativityEvictions) {
+  DropRecorder rec;
+  mem_.SetListener(&rec);
+  // L1: 64 KB 2-way => 512 sets. Three lines mapping to the same set:
+  // line numbers 0, 512, 1024 (addresses 0, 512*64, 1024*64).
+  mem_.Access(0, 0, 8, false);
+  mem_.Access(0, 512 * 64, 8, false);
+  mem_.Access(0, 1024 * 64, 8, false);
+  bool saw_evict = false;
+  for (auto& [core, line] : rec.drops) {
+    if (core == 0 && (line == 0 || line == 512)) {
+      saw_evict = true;
+    }
+  }
+  EXPECT_TRUE(saw_evict);
+}
+
+TEST_F(MemorySystemTest, ListenerSeesRemoteInvalidation) {
+  DropRecorder rec;
+  mem_.SetListener(&rec);
+  mem_.Access(1, 0x80000, 8, false);
+  mem_.Access(0, 0x80000, 8, true);
+  bool saw = false;
+  for (auto& [core, line] : rec.drops) {
+    if (core == 1 && line == (0x80000 >> 6)) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace asfmem

@@ -1,0 +1,116 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Tests of the STAMP reproductions: every app must produce validated output
+// on every runtime and thread count (atomicity end-to-end), and key paper
+// behaviors must hold (labyrinth degenerates to serial mode on LLB
+// variants; ssca2 transactions are tiny; kmeans-high aborts more than
+// kmeans-low).
+#include <gtest/gtest.h>
+
+#include "src/harness/stamp_driver.h"
+
+namespace harness {
+namespace {
+
+class StampValidationTest
+    : public ::testing::TestWithParam<std::tuple<std::string, RuntimeKind, uint32_t>> {};
+
+TEST_P(StampValidationTest, OutputValidates) {
+  auto [app_name, runtime, threads] = GetParam();
+  auto app = MakeStampApp(app_name);
+  StampConfig cfg;
+  cfg.runtime = runtime;
+  cfg.threads = threads;
+  cfg.variant = asf::AsfVariant::Llb256();
+  StampResult r = RunStamp(*app, cfg);
+  EXPECT_EQ(r.validation, "") << app_name;
+  EXPECT_GT(r.exec_cycles, 0u);
+  EXPECT_GT(r.tm.Commits(), 0u);
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<std::tuple<std::string, RuntimeKind, uint32_t>>& info) {
+  auto [app, rt, threads] = info.param;
+  std::string name = app + "_";
+  name += RuntimeKindName(rt);
+  name += "_" + std::to_string(threads) + "t";
+  for (auto& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, StampValidationTest,
+    ::testing::Combine(::testing::ValuesIn(StampAppNames()),
+                       ::testing::Values(RuntimeKind::kAsfTm, RuntimeKind::kTinyStm),
+                       ::testing::Values(2u, 8u)),
+    ParamName);
+
+TEST(Stamp, LabyrinthGoesSerialOnLlbVariants) {
+  auto app = MakeStampApp("labyrinth");
+  StampConfig cfg;
+  cfg.threads = 4;
+  cfg.variant = asf::AsfVariant::Llb256();
+  StampResult r = RunStamp(*app, cfg);
+  EXPECT_EQ(r.validation, "");
+  // The grid-copy read set (32*32*2 cells = 128 lines... exceeds LLB-8; the
+  // full copy spans more lines than LLB-256 holds together with path writes)
+  // forces the routing transactions into serial-irrevocable mode.
+  EXPECT_GT(r.tm.serial_commits, 0u);
+  EXPECT_GT(r.tm.Aborts(asfcommon::AbortCause::kCapacity), 0u);
+}
+
+TEST(Stamp, Ssca2StaysInHardwareEvenOnLlb8) {
+  auto app = MakeStampApp("ssca2");
+  StampConfig cfg;
+  cfg.threads = 4;
+  cfg.variant = asf::AsfVariant::Llb8();
+  StampResult r = RunStamp(*app, cfg);
+  EXPECT_EQ(r.validation, "");
+  // Tiny transactions: everything fits even the smallest LLB.
+  EXPECT_EQ(r.tm.serial_commits, 0u);
+  EXPECT_GT(r.tm.hw_commits, 0u);
+}
+
+TEST(Stamp, KmeansHighContentionAbortsMore) {
+  StampConfig cfg;
+  cfg.threads = 8;
+  auto low = MakeStampApp("kmeans-low");
+  StampResult rl = RunStamp(*low, cfg);
+  auto high = MakeStampApp("kmeans-high");
+  StampResult rh = RunStamp(*high, cfg);
+  EXPECT_EQ(rl.validation, "");
+  EXPECT_EQ(rh.validation, "");
+  EXPECT_GT(rh.tm.Aborts(asfcommon::AbortCause::kContention),
+            rl.tm.Aborts(asfcommon::AbortCause::kContention));
+}
+
+TEST(Stamp, AsfScalesOnVacation) {
+  StampConfig cfg;
+  cfg.variant = asf::AsfVariant::Llb256();
+  cfg.threads = 1;
+  auto app1 = MakeStampApp("vacation-low");
+  StampResult r1 = RunStamp(*app1, cfg);
+  cfg.threads = 8;
+  auto app8 = MakeStampApp("vacation-low");
+  StampResult r8 = RunStamp(*app8, cfg);
+  EXPECT_EQ(r1.validation, "");
+  EXPECT_EQ(r8.validation, "");
+  EXPECT_LT(r8.exec_cycles, r1.exec_cycles / 2);  // At least 2x on 8 cores.
+}
+
+TEST(Stamp, DeterministicAcrossRuns) {
+  StampConfig cfg;
+  cfg.threads = 4;
+  auto a = MakeStampApp("intruder");
+  StampResult ra = RunStamp(*a, cfg);
+  auto b = MakeStampApp("intruder");
+  StampResult rb = RunStamp(*b, cfg);
+  EXPECT_EQ(ra.exec_cycles, rb.exec_cycles);
+  EXPECT_EQ(ra.tm.TotalAborts(), rb.tm.TotalAborts());
+}
+
+}  // namespace
+}  // namespace harness

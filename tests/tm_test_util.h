@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Shared helpers for tests that spawn simulated worker threads on a Machine.
+#ifndef TESTS_TM_TEST_UTIL_H_
+#define TESTS_TM_TEST_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/asf/machine.h"
+
+namespace asftest {
+
+using WorkerFn = std::function<asfsim::Task<void>(asfsim::SimThread&, uint32_t)>;
+
+// Spawns `n` workers (thread i runs fn(thread, i)) and runs the simulation
+// to completion.
+inline void RunWorkers(asf::Machine& m, uint32_t n, const WorkerFn& fn) {
+  struct Box {
+    asfsim::SimThread* t = nullptr;
+    uint32_t id = 0;
+    const WorkerFn* fn = nullptr;
+  };
+  std::vector<std::unique_ptr<Box>> boxes;
+  auto trampoline = [](Box* b) -> asfsim::Task<void> {
+    co_await (*b->fn)(*b->t, b->id);
+  };
+  for (uint32_t i = 0; i < n; ++i) {
+    auto box = std::make_unique<Box>();
+    box->id = i;
+    box->fn = &fn;
+    boxes.push_back(std::move(box));
+    boxes.back()->t = &m.scheduler().Spawn(trampoline(boxes.back().get()));
+  }
+  m.scheduler().Run();
+}
+
+inline void Pretouch(asf::Machine& m, const void* p, uint64_t bytes) {
+  m.mem().PretouchPages(reinterpret_cast<uint64_t>(p), bytes);
+}
+
+inline asf::MachineParams QuietParams(asf::AsfVariant variant, uint32_t cores) {
+  asf::MachineParams p;
+  p.num_cores = cores;
+  p.core.timer_enabled = false;
+  p.variant = variant;
+  return p;
+}
+
+}  // namespace asftest
+
+#endif  // TESTS_TM_TEST_UTIL_H_

@@ -1,0 +1,124 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Tests for the execution tracer and the offline aggregation that mirrors
+// the paper's Table-1 methodology: a traced run's offline cycle breakdown
+// must agree with the online per-category accounting.
+#include <gtest/gtest.h>
+
+#include "src/sim/trace.h"
+#include "src/tm/asf_tm.h"
+#include "tests/tm_test_util.h"
+
+namespace asfsim {
+namespace {
+
+using asfcommon::AbortCause;
+using asftest::Pretouch;
+using asftest::QuietParams;
+using asftest::RunWorkers;
+
+struct alignas(64) Cell {
+  uint64_t value = 0;
+};
+
+TEST(Trace, RecordsOperationsInIssueOrder) {
+  asf::Machine m(QuietParams(asf::AsfVariant::Llb8(), 2));
+  Tracer tracer;
+  m.scheduler().SetTracer(&tracer);
+  Cell a;
+  Cell b;
+  Pretouch(m, &a, sizeof(a));
+  Pretouch(m, &b, sizeof(b));
+  RunWorkers(m, 2, [&](SimThread& t, uint32_t tid) -> Task<void> {
+    Cell* mine = tid == 0 ? &a : &b;
+    for (int i = 0; i < 5; ++i) {
+      t.core().WorkCycles(10 + tid * 3);
+      co_await t.Store(AccessKind::kStore, &mine->value, 8, static_cast<uint64_t>(i));
+    }
+  });
+  ASSERT_EQ(tracer.events().size(), 10u);
+  // Events are logged in global processing order == nondecreasing cycles.
+  uint64_t prev = 0;
+  for (const TraceEvent& ev : tracer.events()) {
+    EXPECT_GE(ev.cycle, prev);
+    prev = ev.cycle;
+    EXPECT_EQ(ev.kind, AccessKind::kStore);
+    EXPECT_EQ(ev.size, 8u);
+  }
+}
+
+TEST(Trace, SummaryCountsKindsAndLatency) {
+  std::vector<TraceEvent> events = {
+      {100, 0x40, 0, 8, AccessKind::kTxLoad, CycleCategory::kTxLoadStore, 3},
+      {110, 0x80, 0, 8, AccessKind::kTxStore, CycleCategory::kTxLoadStore, 4},
+      {120, 0x00, 0, 1, AccessKind::kCommit, CycleCategory::kTxStartCommit, 20},
+      {90, 0xC0, 1, 8, AccessKind::kLoad, CycleCategory::kOutsideTx, 210},
+  };
+  TraceSummary s = Summarize(events);
+  EXPECT_EQ(s.total_ops, 4u);
+  EXPECT_EQ(s.OpsOf(AccessKind::kTxLoad), 1u);
+  EXPECT_EQ(s.OpsOf(AccessKind::kCommit), 1u);
+  EXPECT_EQ(s.total_latency, 237u);
+  EXPECT_EQ(s.CyclesOf(CycleCategory::kTxLoadStore), 7u);
+  EXPECT_EQ(s.first_cycle, 90u);
+  EXPECT_EQ(s.last_cycle, 120u);
+}
+
+TEST(Trace, OfflineBreakdownMatchesOnlineAccounting) {
+  // Run a transactional workload with the tracer attached: the latency mass
+  // the offline analysis attributes to barrier operations must equal the
+  // online kTxLoadStore *memory* share (online additionally counts the
+  // barriers' ALU work, so offline <= online, and both must be nonzero).
+  asf::Machine m(QuietParams(asf::AsfVariant::Llb256(), 1));
+  Tracer tracer;
+  m.scheduler().SetTracer(&tracer);
+  asftm::AsfTm rt(m);
+  Cell cell;
+  Pretouch(m, &cell, sizeof(cell));
+  RunWorkers(m, 1, [&](SimThread& t, uint32_t) -> Task<void> {
+    for (int i = 0; i < 50; ++i) {
+      co_await rt.Atomic(t, [&](asftm::Tx& tx) -> Task<void> {
+        uint64_t v = co_await tx.Read(&cell.value);
+        co_await tx.Write(&cell.value, v + 1);
+      });
+    }
+  });
+  TraceSummary s = Summarize(tracer.events());
+  EXPECT_EQ(s.OpsOf(AccessKind::kSpeculate), 50u);
+  EXPECT_EQ(s.OpsOf(AccessKind::kCommit), 50u);
+  EXPECT_EQ(s.OpsOf(AccessKind::kTxStore), 50u);
+  // One serial-lock monitor load + one data load per transaction.
+  EXPECT_EQ(s.OpsOf(AccessKind::kTxLoad), 100u);
+  uint64_t online = m.scheduler().core(0).CategoryCycles(CycleCategory::kTxLoadStore);
+  uint64_t offline = s.CyclesOf(CycleCategory::kTxLoadStore);
+  EXPECT_GT(offline, 0u);
+  EXPECT_LE(offline, online);
+  EXPECT_GT(offline * 2, online);  // Same order: ALU share is small.
+}
+
+TEST(Trace, TracingIsSimulationInvisible) {
+  // The same run with and without the tracer yields identical cycle counts
+  // ("without any interference with the benchmark's execution").
+  auto run = [](bool traced) {
+    asf::Machine m(QuietParams(asf::AsfVariant::Llb8(), 2));
+    Tracer tracer;
+    if (traced) {
+      m.scheduler().SetTracer(&tracer);
+    }
+    asftm::AsfTm rt(m);
+    Cell cell;
+    m.mem().PretouchPages(reinterpret_cast<uint64_t>(&cell), sizeof(cell));
+    RunWorkers(m, 2, [&](SimThread& t, uint32_t) -> Task<void> {
+      for (int i = 0; i < 40; ++i) {
+        co_await rt.Atomic(t, [&](asftm::Tx& tx) -> Task<void> {
+          uint64_t v = co_await tx.Read(&cell.value);
+          co_await tx.Write(&cell.value, v + 1);
+        });
+      }
+    });
+    return m.scheduler().MaxCycle();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace asfsim

@@ -1,0 +1,184 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// asf_explore — command-line experiment runner for the ASF TM stack.
+//
+// Runs a single configuration of either workload family and prints the full
+// measurement (throughput / execution time, abort breakdown, cycle
+// categories). This is the downstream user's entry point for exploring the
+// design space without writing code.
+//
+// Examples:
+//   asf_explore --workload intset --structure rb --range 8192 --threads 8
+//   asf_explore --workload intset --structure list-er --variant llb8
+//   asf_explore --workload stamp --app vacation-low --runtime stm --threads 4
+//   asf_explore --workload stamp --app labyrinth --variant llb256-l1 --scale 2
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/common/abort_cause.h"
+#include "src/harness/stamp_driver.h"
+
+namespace {
+
+using harness::RuntimeKind;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+void Usage() {
+  std::printf(
+      "asf_explore --workload intset|stamp [options]\n"
+      "  common:  --runtime asf|stm|seq|lock|phased   --variant llb8|llb256|llb8-l1|llb256-l1\n"
+      "           --threads N (1..8)   --seed N   --no-timer\n"
+      "  intset:  --structure list|list-er|skip|rb|hash  --range N  --update PCT  --ops N\n"
+      "  stamp:   --app genome|intruder|kmeans-low|kmeans-high|labyrinth|ssca2|\n"
+      "                 vacation-low|vacation-high       --scale N\n");
+}
+
+RuntimeKind ParseRuntime(const std::string& s) {
+  if (s == "asf") {
+    return RuntimeKind::kAsfTm;
+  }
+  if (s == "stm") {
+    return RuntimeKind::kTinyStm;
+  }
+  if (s == "seq") {
+    return RuntimeKind::kSequential;
+  }
+  if (s == "lock") {
+    return RuntimeKind::kGlobalLock;
+  }
+  if (s == "phased") {
+    return RuntimeKind::kPhasedTm;
+  }
+  std::fprintf(stderr, "unknown runtime '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+asf::AsfVariant ParseVariant(const std::string& s) {
+  if (s == "llb8") {
+    return asf::AsfVariant::Llb8();
+  }
+  if (s == "llb256") {
+    return asf::AsfVariant::Llb256();
+  }
+  if (s == "llb8-l1") {
+    return asf::AsfVariant::Llb8WithL1();
+  }
+  if (s == "llb256-l1") {
+    return asf::AsfVariant::Llb256WithL1();
+  }
+  std::fprintf(stderr, "unknown variant '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+void PrintTmStats(const asftm::TxStats& tm) {
+  std::printf("transactions:\n");
+  std::printf("  started %lu | commits: hw %lu, serial %lu, stm %lu, seq %lu\n", tm.tx_started,
+              tm.hw_commits, tm.serial_commits, tm.stm_commits, tm.seq_commits);
+  std::printf("  aborts %lu (rate %.2f%%):", tm.TotalAborts(), tm.AbortRatePercent());
+  for (size_t i = 1; i < tm.aborts.size(); ++i) {
+    if (tm.aborts[i] != 0) {
+      std::printf(" %s=%lu", asfcommon::AbortCauseName(static_cast<asfcommon::AbortCause>(i)),
+                  tm.aborts[i]);
+    }
+  }
+  std::printf("\n  backoff cycles %lu\n", tm.backoff_cycles);
+}
+
+void PrintBreakdown(const harness::CycleBreakdown& b) {
+  std::printf("cycle breakdown:\n");
+  for (size_t i = 0; i < b.cycles.size(); ++i) {
+    std::printf("  %-16s %12lu\n",
+                asfsim::CycleCategoryName(static_cast<asfsim::CycleCategory>(i)), b.cycles[i]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  bool timer = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      Usage();
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--no-timer") == 0) {
+      timer = false;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+      args.kv[argv[i] + 2] = argv[i + 1];
+      ++i;
+      continue;
+    }
+    std::fprintf(stderr, "bad argument '%s'\n", argv[i]);
+    Usage();
+    return 2;
+  }
+
+  std::string workload = args.Get("workload", "intset");
+  RuntimeKind runtime = ParseRuntime(args.Get("runtime", "asf"));
+  asf::AsfVariant variant = ParseVariant(args.Get("variant", "llb256"));
+  uint32_t threads = static_cast<uint32_t>(args.GetInt("threads", 8));
+  uint64_t seed = args.GetInt("seed", 1);
+
+  if (workload == "intset") {
+    harness::IntsetConfig cfg;
+    cfg.structure = args.Get("structure", "rb");
+    cfg.key_range = args.GetInt("range", 1024);
+    cfg.update_pct = static_cast<uint32_t>(args.GetInt("update", 20));
+    cfg.threads = threads;
+    cfg.ops_per_thread = args.GetInt("ops", 2000);
+    cfg.runtime = runtime;
+    cfg.variant = variant;
+    cfg.seed = seed;
+    cfg.timer_interrupts = timer;
+    harness::IntsetResult r = harness::RunIntset(cfg);
+    std::printf("intset %s | range %lu | %u%% updates | %u threads | %s | %s\n",
+                cfg.structure.c_str(), cfg.key_range, cfg.update_pct, threads,
+                harness::RuntimeKindName(runtime), variant.Name().c_str());
+    std::printf("throughput: %.2f tx/us (%lu tx in %lu cycles)\n", r.tx_per_us, r.committed_tx,
+                r.measure_cycles);
+    PrintTmStats(r.tm);
+    PrintBreakdown(r.breakdown);
+    return 0;
+  }
+
+  if (workload == "stamp") {
+    std::string app_name = args.Get("app", "genome");
+    auto app = harness::MakeStampApp(app_name);
+    harness::StampConfig cfg;
+    cfg.runtime = runtime;
+    cfg.variant = variant;
+    cfg.threads = threads;
+    cfg.scale = static_cast<uint32_t>(args.GetInt("scale", 1));
+    cfg.seed = seed;
+    cfg.timer_interrupts = timer;
+    harness::StampResult r = harness::RunStamp(*app, cfg);
+    std::printf("stamp %s | scale %u | %u threads | %s | %s\n", app_name.c_str(), cfg.scale,
+                threads, harness::RuntimeKindName(runtime), variant.Name().c_str());
+    std::printf("execution time: %.3f ms (%lu cycles); validation: %s\n", r.exec_ms,
+                r.exec_cycles, r.validation.empty() ? "OK" : r.validation.c_str());
+    PrintTmStats(r.tm);
+    PrintBreakdown(r.breakdown);
+    return r.validation.empty() ? 0 : 1;
+  }
+
+  std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+  Usage();
+  return 2;
+}

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_sim_accuracy.cc" "CMakeFiles/fig3_sim_accuracy.dir/bench/fig3_sim_accuracy.cc.o" "gcc" "CMakeFiles/fig3_sim_accuracy.dir/bench/fig3_sim_accuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/asf_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/stamp/CMakeFiles/asf_stamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/intset/CMakeFiles/asf_intset.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/asf_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/asf/CMakeFiles/asf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

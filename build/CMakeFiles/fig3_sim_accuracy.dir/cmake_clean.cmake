@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_sim_accuracy.dir/bench/fig3_sim_accuracy.cc.o"
+  "CMakeFiles/fig3_sim_accuracy.dir/bench/fig3_sim_accuracy.cc.o.d"
+  "bench/fig3_sim_accuracy"
+  "bench/fig3_sim_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sim_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

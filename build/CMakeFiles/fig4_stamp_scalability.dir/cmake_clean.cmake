@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_stamp_scalability.dir/bench/fig4_stamp_scalability.cc.o"
+  "CMakeFiles/fig4_stamp_scalability.dir/bench/fig4_stamp_scalability.cc.o.d"
+  "bench/fig4_stamp_scalability"
+  "bench/fig4_stamp_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_stamp_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_abort_reasons.dir/bench/fig6_abort_reasons.cc.o"
+  "CMakeFiles/fig6_abort_reasons.dir/bench/fig6_abort_reasons.cc.o.d"
+  "bench/fig6_abort_reasons"
+  "bench/fig6_abort_reasons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_abort_reasons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_capacity.dir/bench/fig7_capacity.cc.o"
+  "CMakeFiles/fig7_capacity.dir/bench/fig7_capacity.cc.o.d"
+  "bench/fig7_capacity"
+  "bench/fig7_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_early_release.dir/bench/fig8_early_release.cc.o"
+  "CMakeFiles/fig8_early_release.dir/bench/fig8_early_release.cc.o.d"
+  "bench/fig8_early_release"
+  "bench/fig8_early_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_early_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_table1_overheads.dir/bench/fig9_table1_overheads.cc.o"
+  "CMakeFiles/fig9_table1_overheads.dir/bench/fig9_table1_overheads.cc.o.d"
+  "bench/fig9_table1_overheads"
+  "bench/fig9_table1_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_table1_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtmc_pipeline.dir/dtmc_pipeline.cc.o"
+  "CMakeFiles/dtmc_pipeline.dir/dtmc_pipeline.cc.o.d"
+  "dtmc_pipeline"
+  "dtmc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtmc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockfree_queue.dir/lockfree_queue.cc.o"
+  "CMakeFiles/lockfree_queue.dir/lockfree_queue.cc.o.d"
+  "lockfree_queue"
+  "lockfree_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockfree_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

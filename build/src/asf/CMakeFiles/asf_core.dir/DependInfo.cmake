@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asf/asf_context.cc" "src/asf/CMakeFiles/asf_core.dir/asf_context.cc.o" "gcc" "src/asf/CMakeFiles/asf_core.dir/asf_context.cc.o.d"
+  "/root/repo/src/asf/machine.cc" "src/asf/CMakeFiles/asf_core.dir/machine.cc.o" "gcc" "src/asf/CMakeFiles/asf_core.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asf_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_core.dir/asf_context.cc.o"
+  "CMakeFiles/asf_core.dir/asf_context.cc.o.d"
+  "CMakeFiles/asf_core.dir/machine.cc.o"
+  "CMakeFiles/asf_core.dir/machine.cc.o.d"
+  "libasf_core.a"
+  "libasf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_common.dir/abort_cause.cc.o"
+  "CMakeFiles/asf_common.dir/abort_cause.cc.o.d"
+  "CMakeFiles/asf_common.dir/arena.cc.o"
+  "CMakeFiles/asf_common.dir/arena.cc.o.d"
+  "CMakeFiles/asf_common.dir/random.cc.o"
+  "CMakeFiles/asf_common.dir/random.cc.o.d"
+  "CMakeFiles/asf_common.dir/table.cc.o"
+  "CMakeFiles/asf_common.dir/table.cc.o.d"
+  "libasf_common.a"
+  "libasf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

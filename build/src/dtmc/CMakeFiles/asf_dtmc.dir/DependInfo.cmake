@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtmc/instrument_pass.cc" "src/dtmc/CMakeFiles/asf_dtmc.dir/instrument_pass.cc.o" "gcc" "src/dtmc/CMakeFiles/asf_dtmc.dir/instrument_pass.cc.o.d"
+  "/root/repo/src/dtmc/ir.cc" "src/dtmc/CMakeFiles/asf_dtmc.dir/ir.cc.o" "gcc" "src/dtmc/CMakeFiles/asf_dtmc.dir/ir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_dtmc.dir/instrument_pass.cc.o"
+  "CMakeFiles/asf_dtmc.dir/instrument_pass.cc.o.d"
+  "CMakeFiles/asf_dtmc.dir/ir.cc.o"
+  "CMakeFiles/asf_dtmc.dir/ir.cc.o.d"
+  "libasf_dtmc.a"
+  "libasf_dtmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_dtmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

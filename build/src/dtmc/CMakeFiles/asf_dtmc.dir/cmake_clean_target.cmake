@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasf_dtmc.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for asf_dtmc.
+# This may be replaced when dependencies are built.

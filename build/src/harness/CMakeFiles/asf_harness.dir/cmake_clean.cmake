@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_harness.dir/experiment.cc.o"
+  "CMakeFiles/asf_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/asf_harness.dir/stamp_driver.cc.o"
+  "CMakeFiles/asf_harness.dir/stamp_driver.cc.o.d"
+  "libasf_harness.a"
+  "libasf_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

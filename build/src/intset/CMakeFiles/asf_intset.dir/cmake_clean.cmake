@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_intset.dir/hash_set.cc.o"
+  "CMakeFiles/asf_intset.dir/hash_set.cc.o.d"
+  "CMakeFiles/asf_intset.dir/linked_list.cc.o"
+  "CMakeFiles/asf_intset.dir/linked_list.cc.o.d"
+  "CMakeFiles/asf_intset.dir/rb_tree.cc.o"
+  "CMakeFiles/asf_intset.dir/rb_tree.cc.o.d"
+  "CMakeFiles/asf_intset.dir/skip_list.cc.o"
+  "CMakeFiles/asf_intset.dir/skip_list.cc.o.d"
+  "libasf_intset.a"
+  "libasf_intset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_intset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for asf_intset.
+# This may be replaced when dependencies are built.

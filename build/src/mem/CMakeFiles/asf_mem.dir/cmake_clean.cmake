@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_mem.dir/cache.cc.o"
+  "CMakeFiles/asf_mem.dir/cache.cc.o.d"
+  "CMakeFiles/asf_mem.dir/memory_system.cc.o"
+  "CMakeFiles/asf_mem.dir/memory_system.cc.o.d"
+  "libasf_mem.a"
+  "libasf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

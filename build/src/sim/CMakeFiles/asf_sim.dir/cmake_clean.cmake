@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_sim.dir/core.cc.o"
+  "CMakeFiles/asf_sim.dir/core.cc.o.d"
+  "CMakeFiles/asf_sim.dir/scheduler.cc.o"
+  "CMakeFiles/asf_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/asf_sim.dir/trace.cc.o"
+  "CMakeFiles/asf_sim.dir/trace.cc.o.d"
+  "libasf_sim.a"
+  "libasf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_stamp.dir/genome.cc.o"
+  "CMakeFiles/asf_stamp.dir/genome.cc.o.d"
+  "CMakeFiles/asf_stamp.dir/intruder.cc.o"
+  "CMakeFiles/asf_stamp.dir/intruder.cc.o.d"
+  "CMakeFiles/asf_stamp.dir/kmeans.cc.o"
+  "CMakeFiles/asf_stamp.dir/kmeans.cc.o.d"
+  "CMakeFiles/asf_stamp.dir/labyrinth.cc.o"
+  "CMakeFiles/asf_stamp.dir/labyrinth.cc.o.d"
+  "CMakeFiles/asf_stamp.dir/ssca2.cc.o"
+  "CMakeFiles/asf_stamp.dir/ssca2.cc.o.d"
+  "CMakeFiles/asf_stamp.dir/vacation.cc.o"
+  "CMakeFiles/asf_stamp.dir/vacation.cc.o.d"
+  "libasf_stamp.a"
+  "libasf_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tm/asf_tm.cc" "src/tm/CMakeFiles/asf_tm.dir/asf_tm.cc.o" "gcc" "src/tm/CMakeFiles/asf_tm.dir/asf_tm.cc.o.d"
+  "/root/repo/src/tm/lock_elision.cc" "src/tm/CMakeFiles/asf_tm.dir/lock_elision.cc.o" "gcc" "src/tm/CMakeFiles/asf_tm.dir/lock_elision.cc.o.d"
+  "/root/repo/src/tm/phased_tm.cc" "src/tm/CMakeFiles/asf_tm.dir/phased_tm.cc.o" "gcc" "src/tm/CMakeFiles/asf_tm.dir/phased_tm.cc.o.d"
+  "/root/repo/src/tm/serial_tm.cc" "src/tm/CMakeFiles/asf_tm.dir/serial_tm.cc.o" "gcc" "src/tm/CMakeFiles/asf_tm.dir/serial_tm.cc.o.d"
+  "/root/repo/src/tm/tiny_stm.cc" "src/tm/CMakeFiles/asf_tm.dir/tiny_stm.cc.o" "gcc" "src/tm/CMakeFiles/asf_tm.dir/tiny_stm.cc.o.d"
+  "/root/repo/src/tm/tm_stats.cc" "src/tm/CMakeFiles/asf_tm.dir/tm_stats.cc.o" "gcc" "src/tm/CMakeFiles/asf_tm.dir/tm_stats.cc.o.d"
+  "/root/repo/src/tm/tx_allocator.cc" "src/tm/CMakeFiles/asf_tm.dir/tx_allocator.cc.o" "gcc" "src/tm/CMakeFiles/asf_tm.dir/tx_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asf/CMakeFiles/asf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

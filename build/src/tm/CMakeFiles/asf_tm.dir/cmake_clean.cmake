@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_tm.dir/asf_tm.cc.o"
+  "CMakeFiles/asf_tm.dir/asf_tm.cc.o.d"
+  "CMakeFiles/asf_tm.dir/lock_elision.cc.o"
+  "CMakeFiles/asf_tm.dir/lock_elision.cc.o.d"
+  "CMakeFiles/asf_tm.dir/phased_tm.cc.o"
+  "CMakeFiles/asf_tm.dir/phased_tm.cc.o.d"
+  "CMakeFiles/asf_tm.dir/serial_tm.cc.o"
+  "CMakeFiles/asf_tm.dir/serial_tm.cc.o.d"
+  "CMakeFiles/asf_tm.dir/tiny_stm.cc.o"
+  "CMakeFiles/asf_tm.dir/tiny_stm.cc.o.d"
+  "CMakeFiles/asf_tm.dir/tm_stats.cc.o"
+  "CMakeFiles/asf_tm.dir/tm_stats.cc.o.d"
+  "CMakeFiles/asf_tm.dir/tx_allocator.cc.o"
+  "CMakeFiles/asf_tm.dir/tx_allocator.cc.o.d"
+  "libasf_tm.a"
+  "libasf_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

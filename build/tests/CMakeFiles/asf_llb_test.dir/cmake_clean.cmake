@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_llb_test.dir/asf_llb_test.cc.o"
+  "CMakeFiles/asf_llb_test.dir/asf_llb_test.cc.o.d"
+  "asf_llb_test"
+  "asf_llb_test.pdb"
+  "asf_llb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_llb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

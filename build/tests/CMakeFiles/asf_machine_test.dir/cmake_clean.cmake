@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_machine_test.dir/asf_machine_test.cc.o"
+  "CMakeFiles/asf_machine_test.dir/asf_machine_test.cc.o.d"
+  "asf_machine_test"
+  "asf_machine_test.pdb"
+  "asf_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_tm_test.dir/hybrid_tm_test.cc.o"
+  "CMakeFiles/hybrid_tm_test.dir/hybrid_tm_test.cc.o.d"
+  "hybrid_tm_test"
+  "hybrid_tm_test.pdb"
+  "hybrid_tm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_tm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intset_test.dir/intset_test.cc.o"
+  "CMakeFiles/intset_test.dir/intset_test.cc.o.d"
+  "intset_test"
+  "intset_test.pdb"
+  "intset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

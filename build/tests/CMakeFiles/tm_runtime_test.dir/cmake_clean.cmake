@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_runtime_test.dir/tm_runtime_test.cc.o"
+  "CMakeFiles/tm_runtime_test.dir/tm_runtime_test.cc.o.d"
+  "tm_runtime_test"
+  "tm_runtime_test.pdb"
+  "tm_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_sweep_test.dir/variant_sweep_test.cc.o"
+  "CMakeFiles/variant_sweep_test.dir/variant_sweep_test.cc.o.d"
+  "variant_sweep_test"
+  "variant_sweep_test.pdb"
+  "variant_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asf_explore.dir/asf_explore.cc.o"
+  "CMakeFiles/asf_explore.dir/asf_explore.cc.o.d"
+  "asf_explore"
+  "asf_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asf_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -29,12 +29,23 @@
 
 namespace {
 
-harness::IntsetResult Run(harness::IntsetConfig cfg) { return harness::RunIntset(cfg); }
+// Base-seed override from --seed; applied to every intset run of the
+// ablations so the whole study can be re-rolled with one flag.
+uint64_t g_seed = 0;
+
+harness::IntsetResult Run(harness::IntsetConfig cfg) {
+  if (g_seed != 0) {
+    cfg.seed = g_seed;
+  }
+  return harness::RunIntset(cfg);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  benchutil::JsonReport report("ablation_design_choices", opt);
+  g_seed = opt.seed;
   const uint64_t ops = opt.quick ? 300 : 1200;
 
   std::printf("Ablation studies of ASF-TM design choices\n\n");
@@ -60,6 +71,7 @@ int main(int argc, char** argv) {
                         r.tm.Aborts(asfcommon::AbortCause::kCapacity)))});
     }
     table.Print();
+    report.Add(table);
   }
 
   {
@@ -81,6 +93,7 @@ int main(int argc, char** argv) {
                     asfcommon::Table::Int(static_cast<long long>(r.tm.serial_commits))});
     }
     table.Print();
+    report.Add(table);
   }
 
   {
@@ -103,6 +116,7 @@ int main(int argc, char** argv) {
       }
     }
     table.Print();
+    report.Add(table);
   }
 
   {
@@ -124,6 +138,7 @@ int main(int argc, char** argv) {
       table.AddRow(row);
     }
     table.Print();
+    report.Add(table);
   }
 
   {
@@ -148,6 +163,7 @@ int main(int argc, char** argv) {
                     asfcommon::Table::Int(static_cast<long long>(r.tm.stm_commits))});
     }
     table.Print();
+    report.Add(table);
   }
 
   {
@@ -166,6 +182,9 @@ int main(int argc, char** argv) {
       asf::MachineParams mp =
           harness::PaperMachineParams(cfg.variant, cfg.threads, cfg.timer_interrupts);
       mp.mem.l1.ways = ways;
+      if (g_seed != 0) {
+        cfg.seed = g_seed;
+      }
       harness::IntsetResult r = harness::RunIntsetOnParams(cfg, mp);
       table.AddRow({std::to_string(ways) + "-way 64 KiB",
                     asfcommon::Table::Num(r.tx_per_us, 2),
@@ -174,6 +193,7 @@ int main(int argc, char** argv) {
                     asfcommon::Table::Int(static_cast<long long>(r.tm.serial_commits))});
     }
     table.Print();
+    report.Add(table);
   }
 
   {
@@ -211,6 +231,7 @@ int main(int argc, char** argv) {
                     asfcommon::Table::Int(static_cast<long long>(lock.real_acquisitions()))});
     }
     table.Print();
+    report.Add(table);
   }
 
   {
@@ -232,6 +253,7 @@ int main(int argc, char** argv) {
                     asfcommon::Table::Int(static_cast<long long>(r.tm.serial_commits))});
     }
     table.Print();
+    report.Add(table);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -1,19 +1,41 @@
 // Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
-// Shared helpers for the per-figure benchmark harnesses.
+// Shared helpers for the per-figure benchmark harnesses: strict command-line
+// parsing and the machine-readable JSON run report behind --json.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/common/table.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+
 namespace benchutil {
 
 struct Options {
-  bool quick = false;  // Reduced op counts for smoke runs.
-  bool csv = false;    // Emit CSV after the human-readable tables.
+  bool quick = false;        // Reduced op counts for smoke runs.
+  bool csv = false;          // Emit CSV after the human-readable tables.
+  std::string json_path;     // Write a JSON run report here (empty = off).
+  uint64_t seed = 0;         // Override the benchmark's base seed (0 = keep).
 };
 
+inline void PrintUsage(const char* prog, std::FILE* out) {
+  std::fprintf(out,
+               "usage: %s [--quick] [--csv] [--json <path>] [--seed <n>]\n"
+               "  --quick        reduced op counts (smoke runs)\n"
+               "  --csv          emit CSV after the human-readable tables\n"
+               "  --json <path>  write a machine-readable JSON run report\n"
+               "  --seed <n>     override the benchmark's base RNG seed\n",
+               prog);
+}
+
+// Strict parser: unknown flags and missing operands are errors (exit 2), so
+// a typo cannot silently run the wrong configuration.
 inline Options ParseArgs(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
@@ -21,6 +43,33 @@ inline Options ParseArgs(int argc, char** argv) {
       opt.quick = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       opt.csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --json requires a path operand\n", argv[0]);
+        PrintUsage(argv[0], stderr);
+        std::exit(2);
+      }
+      opt.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --seed requires a numeric operand\n", argv[0]);
+        PrintUsage(argv[0], stderr);
+        std::exit(2);
+      }
+      char* end = nullptr;
+      opt.seed = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || opt.seed == 0) {
+        std::fprintf(stderr, "%s: --seed operand must be a positive integer, got '%s'\n",
+                     argv[0], argv[i]);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(argv[0], stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
+      PrintUsage(argv[0], stderr);
+      std::exit(2);
     }
   }
   return opt;
@@ -30,6 +79,74 @@ inline const std::vector<uint32_t>& ThreadCounts() {
   static const std::vector<uint32_t> kThreads = {1, 2, 4, 8};
   return kThreads;
 }
+
+// Collects the tables a benchmark printed and writes them as one JSON
+// document: {"benchmark", "quick", "seed", "tables": [{title, header,
+// rows}...]}. Rows are kept as strings, exactly as printed, so the report is
+// byte-comparable across runs.
+class JsonReport {
+ public:
+  JsonReport(std::string benchmark, const Options& opt)
+      : benchmark_(std::move(benchmark)), opt_(opt) {}
+
+  void Add(const asfcommon::Table& t) {
+    if (opt_.json_path.empty()) {
+      return;
+    }
+    tables_.push_back(t);
+  }
+
+  // Writes the report if --json was given. On I/O failure prints the error
+  // and returns false.
+  bool Write() const {
+    if (opt_.json_path.empty()) {
+      return true;
+    }
+    std::string out;
+    asfobs::JsonWriter w(&out, /*pretty=*/true);
+    w.BeginObject();
+    w.KV("benchmark", benchmark_);
+    w.KV("quick", opt_.quick);
+    w.KV("seed", opt_.seed);
+    w.Key("tables");
+    w.BeginArray();
+    for (const asfcommon::Table& t : tables_) {
+      w.BeginObject();
+      w.KV("title", t.title());
+      w.Key("header");
+      w.BeginArray();
+      for (const std::string& h : t.header()) {
+        w.String(h);
+      }
+      w.EndArray();
+      w.Key("rows");
+      w.BeginArray();
+      for (const auto& row : t.rows()) {
+        w.BeginArray();
+        for (const std::string& cell : row) {
+          w.String(cell);
+        }
+        w.EndArray();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    out.push_back('\n');
+    std::string error;
+    if (!asfobs::WriteTextFile(opt_.json_path, out, &error)) {
+      std::fprintf(stderr, "json report: %s\n", error.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string benchmark_;
+  Options opt_;
+  std::vector<asfcommon::Table> tables_;
+};
 
 }  // namespace benchutil
 

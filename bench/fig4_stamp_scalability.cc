@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  benchutil::JsonReport report("fig4_stamp_scalability", opt);
   const uint32_t scale = opt.quick ? 1 : 2;
 
   struct Series {
@@ -48,6 +49,9 @@ int main(int argc, char** argv) {
         cfg.variant = s.variant;
         cfg.threads = threads;
         cfg.scale = scale;
+        if (opt.seed != 0) {
+          cfg.seed = opt.seed;
+        }
         harness::StampResult r = harness::RunStamp(*app, cfg);
         if (!r.validation.empty()) {
           std::fprintf(stderr, "VALIDATION FAILED (%s, %s, %u thr): %s\n", app_name.c_str(),
@@ -65,6 +69,9 @@ int main(int argc, char** argv) {
       cfg.runtime = harness::RuntimeKind::kSequential;
       cfg.threads = 1;
       cfg.scale = scale;
+      if (opt.seed != 0) {
+        cfg.seed = opt.seed;
+      }
       harness::StampResult r = harness::RunStamp(*app, cfg);
       table.AddRow({"Sequential (1thr)", asfcommon::Table::Num(r.exec_ms, 3)});
     }
@@ -72,6 +79,7 @@ int main(int argc, char** argv) {
     if (opt.csv) {
       table.PrintCsv(stdout);
     }
+    report.Add(table);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -24,6 +24,7 @@ struct Panel {
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  benchutil::JsonReport report("fig5_intset_scalability", opt);
   const uint64_t ops = opt.quick ? 300 : 1500;
 
   // The eight panels of Figure 5.
@@ -62,6 +63,9 @@ int main(int argc, char** argv) {
         cfg.threads = threads;
         cfg.ops_per_thread = ops;
         cfg.variant = variant;
+        if (opt.seed != 0) {
+          cfg.seed = opt.seed;
+        }
         harness::IntsetResult r = harness::RunIntset(cfg);
         row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
       }
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
     if (opt.csv) {
       table.PrintCsv(stdout);
     }
+    report.Add(table);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -26,6 +26,7 @@ double Pct(uint64_t part, uint64_t whole) {
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  benchutil::JsonReport report("fig6_abort_reasons", opt);
   const uint32_t scale = opt.quick ? 1 : 2;
   const asf::AsfVariant variants[] = {
       asf::AsfVariant::Llb8(),
@@ -49,12 +50,18 @@ int main(int argc, char** argv) {
         cfg.variant = variant;
         cfg.threads = threads;
         cfg.scale = scale;
+        if (opt.seed != 0) {
+          cfg.seed = opt.seed;
+        }
         harness::StampResult r = harness::RunStamp(*app, cfg);
         if (!r.validation.empty()) {
           std::fprintf(stderr, "VALIDATION FAILED: %s\n", r.validation.c_str());
           return 1;
         }
-        uint64_t attempts = r.tm.hw_attempts + r.tm.serial_commits;
+        // Figure 6 defines the abort rate over all attempts, including
+        // serial-mode and STM attempts; TotalAttempts() matches
+        // TxStats::AbortRatePercent.
+        uint64_t attempts = r.tm.TotalAttempts();
         table.AddRow({variant.Name(), std::to_string(threads),
                       asfcommon::Table::Num(Pct(r.tm.TotalAborts(), attempts), 2),
                       asfcommon::Table::Num(Pct(r.tm.Aborts(AbortCause::kContention), attempts), 2),
@@ -74,6 +81,7 @@ int main(int argc, char** argv) {
     if (opt.csv) {
       table.PrintCsv(stdout);
     }
+    report.Add(table);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  benchutil::JsonReport report("fig7_capacity", opt);
   const uint64_t ops = opt.quick ? 200 : 800;
   const asf::AsfVariant variants[] = {
       asf::AsfVariant::Llb8(),
@@ -45,6 +46,9 @@ int main(int argc, char** argv) {
         cfg.threads = 8;
         cfg.ops_per_thread = ops;
         cfg.variant = variant;
+        if (opt.seed != 0) {
+          cfg.seed = opt.seed;
+        }
         harness::IntsetResult r = harness::RunIntset(cfg);
         row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
       }
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
     if (opt.csv) {
       table.PrintCsv(stdout);
     }
+    report.Add(table);
   }
 
   {
@@ -76,6 +81,9 @@ int main(int argc, char** argv) {
         cfg.threads = 8;
         cfg.ops_per_thread = ops;
         cfg.variant = variant;
+        if (opt.seed != 0) {
+          cfg.seed = opt.seed;
+        }
         harness::IntsetResult r = harness::RunIntset(cfg);
         row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
       }
@@ -85,6 +93,7 @@ int main(int argc, char** argv) {
     if (opt.csv) {
       table.PrintCsv(stdout);
     }
+    report.Add(table);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

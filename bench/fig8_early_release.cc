@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  benchutil::JsonReport report("fig8_early_release", opt);
   const uint64_t ops = opt.quick ? 200 : 800;
   const uint64_t sizes[] = {8, 16, 32, 64, 128, 256, 512};
 
@@ -39,6 +40,9 @@ int main(int argc, char** argv) {
         cfg.threads = 8;
         cfg.ops_per_thread = ops;
         cfg.variant = variant;
+        if (opt.seed != 0) {
+          cfg.seed = opt.seed;
+        }
         harness::IntsetResult r = harness::RunIntset(cfg);
         row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
       }
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
     if (opt.csv) {
       table.PrintCsv(stdout);
     }
+    report.Add(table);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -23,7 +23,8 @@ struct Workload {
   uint32_t update_pct;
 };
 
-harness::IntsetResult Run(const Workload& w, harness::RuntimeKind rt, uint64_t ops) {
+harness::IntsetResult Run(const Workload& w, harness::RuntimeKind rt, uint64_t ops,
+                          uint64_t seed) {
   harness::IntsetConfig cfg;
   cfg.structure = w.structure;
   cfg.key_range = 256;
@@ -33,6 +34,9 @@ harness::IntsetResult Run(const Workload& w, harness::RuntimeKind rt, uint64_t o
   cfg.ops_per_thread = ops;
   cfg.runtime = rt;
   cfg.variant = asf::AsfVariant::Llb256();
+  if (seed != 0) {
+    cfg.seed = seed;
+  }
   return harness::RunIntset(cfg);
 }
 
@@ -47,6 +51,7 @@ std::string Ratio(uint64_t asf, uint64_t stm) {
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  benchutil::JsonReport report("fig9_table1_overheads", opt);
   const uint64_t ops = opt.quick ? 1000 : 4000;
 
   const Workload workloads[] = {
@@ -61,8 +66,8 @@ int main(int argc, char** argv) {
       "spent inside transactions, ASF-TM (LLB-256) vs TinySTM.\n\n");
 
   for (const Workload& w : workloads) {
-    harness::IntsetResult asf = Run(w, harness::RuntimeKind::kAsfTm, ops);
-    harness::IntsetResult stm = Run(w, harness::RuntimeKind::kTinyStm, ops);
+    harness::IntsetResult asf = Run(w, harness::RuntimeKind::kAsfTm, ops, opt.seed);
+    harness::IntsetResult stm = Run(w, harness::RuntimeKind::kTinyStm, ops, opt.seed);
 
     asfcommon::Table table(std::string("Table 1: ") + w.title);
     table.SetHeader({"category", "ASF", "STM", "Ratio (STM/ASF)"});
@@ -106,6 +111,8 @@ int main(int argc, char** argv) {
       table.PrintCsv(stdout);
       fig.PrintCsv(stdout);
     }
+    report.Add(table);
+    report.Add(fig);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -6,6 +6,15 @@ function(asf_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
   target_link_libraries(${name} PRIVATE asf_harness)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  # Smoke test: a --quick run must succeed and emit a parseable --json report
+  # containing the required top-level keys (validated by tools/json_check).
+  add_test(NAME bench_smoke_${name}
+           COMMAND ${name} --quick --json ${CMAKE_BINARY_DIR}/bench/${name}.smoke.json)
+  add_test(NAME bench_smoke_${name}_json
+           COMMAND json_check ${CMAKE_BINARY_DIR}/bench/${name}.smoke.json
+                   benchmark quick seed tables)
+  set_tests_properties(bench_smoke_${name}_json PROPERTIES
+                       DEPENDS bench_smoke_${name})
 endfunction()
 
 asf_add_bench(fig3_sim_accuracy)

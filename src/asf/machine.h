@@ -21,6 +21,7 @@
 #include "src/asf/asf_params.h"
 #include "src/common/abort_cause.h"
 #include "src/mem/memory_system.h"
+#include "src/obs/tx_event.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/task.h"
 
@@ -49,6 +50,12 @@ class Machine : public asfsim::AccessHandler, public asfmem::MemEventListener {
   asfcommon::SimArena& arena() { return arena_; }
   AsfContext& context(uint32_t core) { return *contexts_[core]; }
   const MachineParams& params() const { return params_; }
+
+  // Optional host-side transaction-lifecycle observer. The TM runtimes emit
+  // TxBegin/TxCommit/TxAbort/FallbackTransition/Backoff events through this
+  // sink at zero simulated cost; null (the default) disables emission.
+  void SetTxSink(asfobs::TxEventSink* sink) { tx_sink_ = sink; }
+  asfobs::TxEventSink* tx_sink() const { return tx_sink_; }
 
   // Executes the ABORT instruction on `t`'s core: architectural rollback
   // with `cause` reported in rAX, then control-flow unwind of the thread's
@@ -79,6 +86,7 @@ class Machine : public asfsim::AccessHandler, public asfmem::MemEventListener {
   asfmem::MemorySystem mem_;
   std::vector<std::unique_ptr<AsfContext>> contexts_;
   std::vector<asfcommon::AbortCause> staged_abort_;
+  asfobs::TxEventSink* tx_sink_ = nullptr;
 };
 
 }  // namespace asf

@@ -34,6 +34,8 @@ class Table {
 
   const std::string& title() const { return title_; }
   size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:
   std::string title_;

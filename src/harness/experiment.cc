@@ -134,6 +134,12 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
                                const asf::MachineParams& machine_params) {
   ASF_CHECK(cfg.threads >= 1 && cfg.threads <= 8);
   asf::Machine m(machine_params);
+  if (cfg.obs.tracer != nullptr) {
+    m.scheduler().SetTracer(cfg.obs.tracer);
+  }
+  if (cfg.obs.tx_sink != nullptr) {
+    m.SetTxSink(cfg.obs.tx_sink);
+  }
   auto set = MakeSet(cfg.structure, &m.arena());
   auto rt = MakeRuntime(cfg.runtime, m, cfg);
   PretouchStructure(m, cfg.structure, set.get());
@@ -175,6 +181,15 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
         m.context(c).ResetStats();
       }
       m.mem().ResetStats();
+      // Host-side observers drop warm-up data at the same instant the
+      // statistics reset (no co_await between the resets), so the trace
+      // covers exactly the measured window.
+      if (cfg.obs.tracer != nullptr) {
+        cfg.obs.tracer->Clear();
+      }
+      if (cfg.obs.tx_sink != nullptr) {
+        cfg.obs.tx_sink->OnMeasurementReset();
+      }
       measure_start = t.core().clock();
     }
     co_await barrier_b.Arrive(t);

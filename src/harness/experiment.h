@@ -15,9 +15,21 @@
 #include "src/asf/machine.h"
 #include "src/common/abort_cause.h"
 #include "src/intset/int_set.h"
+#include "src/obs/tx_event.h"
+#include "src/sim/trace.h"
 #include "src/tm/tm_api.h"
 
 namespace harness {
+
+// Optional host-side observers for a run. The harness installs them on the
+// machine before the workload starts and resets them at the measurement
+// barrier (atomically with the statistics reset, so they see exactly the
+// measured window). Both are borrowed, not owned, and cost zero simulated
+// cycles; leave null to disable.
+struct ObsHooks {
+  asfsim::Tracer* tracer = nullptr;        // Memory ops + cycle spans.
+  asfobs::TxEventSink* tx_sink = nullptr;  // Transaction lifecycle events.
+};
 
 enum class RuntimeKind {
   kAsfTm,       // ASF-TM on the configured ASF variant.
@@ -47,6 +59,7 @@ struct IntsetConfig {
   // Extra per-barrier ABI dispatch instructions (models dynamic linking /
   // no-LTO; -1 = default inlined cost).
   int barrier_instructions = -1;
+  ObsHooks obs;
 };
 
 struct CycleBreakdown {

@@ -55,6 +55,12 @@ const std::vector<std::string>& StampAppNames() {
 StampResult RunStamp(stamp::StampApp& app, const StampConfig& cfg) {
   ASF_CHECK(cfg.threads >= 1 && cfg.threads <= 8);
   asf::Machine m(PaperMachineParams(cfg.variant, cfg.threads, cfg.timer_interrupts));
+  if (cfg.obs.tracer != nullptr) {
+    m.scheduler().SetTracer(cfg.obs.tracer);
+  }
+  if (cfg.obs.tx_sink != nullptr) {
+    m.SetTxSink(cfg.obs.tx_sink);
+  }
   IntsetConfig rt_cfg;  // Runtime construction shares the intset factory.
   rt_cfg.seed = cfg.seed;
   auto rt = MakeRuntime(cfg.runtime, m, rt_cfg);
@@ -75,6 +81,12 @@ StampResult RunStamp(stamp::StampApp& app, const StampConfig& cfg) {
         m.context(c).ResetStats();
       }
       m.mem().ResetStats();
+      if (cfg.obs.tracer != nullptr) {
+        cfg.obs.tracer->Clear();
+      }
+      if (cfg.obs.tx_sink != nullptr) {
+        cfg.obs.tx_sink->OnMeasurementReset();
+      }
       measure_start = t.core().clock();
     }
     co_await barrier_b.Arrive(t);

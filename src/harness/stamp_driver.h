@@ -21,6 +21,7 @@ struct StampConfig {
   uint32_t scale = 1;  // Input-size multiplier (1 = default sim-scale).
   uint64_t seed = 42;
   bool timer_interrupts = true;
+  ObsHooks obs;
 };
 
 struct StampResult {

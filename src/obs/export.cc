@@ -1,0 +1,383 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "src/common/defs.h"
+#include "src/obs/json.h"
+
+namespace asfobs {
+
+namespace {
+
+// Spans are tagged with core-local attempt ids; make them globally unique.
+// Attempt sequence numbers stay far below 2^48 in any feasible run.
+uint64_t AttemptKey(uint32_t core, uint64_t attempt) {
+  return (static_cast<uint64_t>(core) << 48) | attempt;
+}
+
+// Track ids within the trace's single process: two lanes per core, one for
+// memory operations and one for transaction lifecycle slices.
+int64_t MemTid(uint32_t core) { return 2 * static_cast<int64_t>(core) + 1; }
+int64_t TxTid(uint32_t core) { return 2 * static_cast<int64_t>(core) + 2; }
+
+void MetadataEvent(JsonWriter& w, const char* what, int64_t tid, const std::string& name) {
+  w.BeginObject();
+  w.KV("ph", "M");
+  w.KV("name", what);
+  w.KV("pid", 1);
+  if (tid >= 0) {
+    w.KV("tid", tid);
+  }
+  w.Key("args");
+  w.BeginObject();
+  w.KV("name", name);
+  w.EndObject();
+  w.EndObject();
+}
+
+void EventCommon(JsonWriter& w, const char* ph, const std::string& name, int64_t tid,
+                 uint64_t ts) {
+  w.KV("ph", ph);
+  w.KV("name", name);
+  w.KV("pid", 1);
+  w.KV("tid", tid);
+  w.KV("ts", ts);
+}
+
+}  // namespace
+
+TraceAnalysis AnalyzeTrace(const std::vector<asfsim::CycleSpan>& spans,
+                           const std::vector<TxEvent>& tx_events) {
+  TraceAnalysis a;
+
+  std::unordered_set<uint64_t> aborted;
+  for (const TxEvent& ev : tx_events) {
+    if (ev.kind == TxEventKind::kTxAbort && ev.attempt != 0) {
+      aborted.insert(AttemptKey(ev.core, ev.attempt));
+    }
+  }
+
+  bool first = true;
+  for (const asfsim::CycleSpan& s : spans) {
+    asfsim::CycleCategory cat = s.category;
+    if (s.attempt != 0 && aborted.count(AttemptKey(s.core, s.attempt)) != 0) {
+      cat = asfsim::CycleCategory::kTxAbortWaste;
+    }
+    a.category_cycles[static_cast<size_t>(cat)] += s.cycles;
+    a.total_cycles += s.cycles;
+    if (first || s.start < a.first_cycle) {
+      a.first_cycle = s.start;
+    }
+    if (first || s.start + s.cycles > a.last_cycle) {
+      a.last_cycle = s.start + s.cycles;
+    }
+    first = false;
+  }
+
+  for (const TxEvent& ev : tx_events) {
+    switch (ev.kind) {
+      case TxEventKind::kTxCommit:
+        ++a.total_commits;
+        a.commits_by_mode[static_cast<size_t>(ev.mode)] += 1;
+        break;
+      case TxEventKind::kTxAbort:
+        ++a.total_aborts;
+        a.aborts_by_cause[static_cast<size_t>(ev.cause)] += 1;
+        break;
+      case TxEventKind::kFallbackTransition:
+        ++a.fallback_transitions;
+        break;
+      case TxEventKind::kBackoffEnd:
+        ++a.backoff_windows;
+        a.backoff_cycles += ev.arg0;
+        break;
+      default:
+        break;
+    }
+  }
+  return a;
+}
+
+std::string WritePerfettoTrace(const PerfettoInput& in) {
+  static const std::vector<asfsim::TraceEvent> kNoMemEvents;
+  static const std::vector<asfsim::CycleSpan> kNoSpans;
+  static const std::vector<TxEvent> kNoTxEvents;
+  const auto& mem = in.mem_events != nullptr ? *in.mem_events : kNoMemEvents;
+  const auto& spans = in.spans != nullptr ? *in.spans : kNoSpans;
+  const auto& txs = in.tx_events != nullptr ? *in.tx_events : kNoTxEvents;
+
+  TraceAnalysis analysis = AnalyzeTrace(spans, txs);
+
+  std::string out;
+  out.reserve(256 + mem.size() * 120 + txs.size() * 100 + spans.size() * 30);
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.KV("displayTimeUnit", "ns");
+
+  w.Key("traceEvents");
+  w.BeginArray();
+
+  MetadataEvent(w, "process_name", -1, in.benchmark);
+  for (uint32_t c = 0; c < in.num_cores; ++c) {
+    MetadataEvent(w, "thread_name", MemTid(c), "core " + std::to_string(c) + " mem");
+    MetadataEvent(w, "thread_name", TxTid(c), "core " + std::to_string(c) + " tx");
+  }
+
+  for (const asfsim::TraceEvent& ev : mem) {
+    w.BeginObject();
+    EventCommon(w, "X", asfsim::AccessKindName(ev.kind), MemTid(ev.core), ev.cycle);
+    w.KV("dur", ev.latency);
+    w.KV("cat", asfsim::CycleCategoryName(ev.category));
+    w.Key("args");
+    w.BeginObject();
+    char addr[32];
+    std::snprintf(addr, sizeof(addr), "0x%llx", static_cast<unsigned long long>(ev.addr));
+    w.KV("addr", addr);
+    w.KV("size", ev.size);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  for (const TxEvent& ev : txs) {
+    w.BeginObject();
+    switch (ev.kind) {
+      case TxEventKind::kTxBegin:
+        EventCommon(w, "B", std::string("tx:") + TxModeName(ev.mode), TxTid(ev.core), ev.cycle);
+        w.Key("args");
+        w.BeginObject();
+        w.KV("attempt", ev.attempt);
+        w.KV("retry", ev.retry);
+        w.EndObject();
+        break;
+      case TxEventKind::kTxCommit:
+        EventCommon(w, "E", std::string("tx:") + TxModeName(ev.mode), TxTid(ev.core), ev.cycle);
+        w.Key("args");
+        w.BeginObject();
+        w.KV("outcome", "commit");
+        w.KV("readSet", ev.arg0);
+        w.KV("writeSet", ev.arg1);
+        w.KV("retry", ev.retry);
+        w.EndObject();
+        break;
+      case TxEventKind::kTxAbort:
+        EventCommon(w, "E", std::string("tx:") + TxModeName(ev.mode), TxTid(ev.core), ev.cycle);
+        w.Key("args");
+        w.BeginObject();
+        w.KV("outcome", "abort");
+        w.KV("cause", asfcommon::AbortCauseName(ev.cause));
+        w.EndObject();
+        break;
+      case TxEventKind::kFallbackTransition:
+        EventCommon(w, "i",
+                    std::string("fallback:") + TxModeName(static_cast<TxMode>(ev.arg0)) + "->" +
+                        TxModeName(ev.mode),
+                    TxTid(ev.core), ev.cycle);
+        w.KV("s", "t");
+        break;
+      case TxEventKind::kBackoffStart:
+        EventCommon(w, "B", "backoff", TxTid(ev.core), ev.cycle);
+        break;
+      case TxEventKind::kBackoffEnd:
+        EventCommon(w, "E", "backoff", TxTid(ev.core), ev.cycle);
+        break;
+      case TxEventKind::kNumKinds:
+        break;
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Custom section (ignored by Perfetto): raw data + totals for re-analysis
+  // by tools/trace_report, in compact positional-array form.
+  w.Key("asf");
+  w.BeginObject();
+  w.KV("benchmark", in.benchmark);
+  w.KV("numCores", in.num_cores);
+
+  w.Key("categoryTotals");
+  w.BeginObject();
+  for (size_t i = 0; i < analysis.category_cycles.size(); ++i) {
+    w.KV(asfsim::CycleCategoryName(static_cast<asfsim::CycleCategory>(i)),
+         analysis.category_cycles[i]);
+  }
+  w.EndObject();
+
+  w.Key("analysis");
+  w.BeginObject();
+  w.KV("totalCycles", analysis.total_cycles);
+  w.KV("commits", analysis.total_commits);
+  w.KV("aborts", analysis.total_aborts);
+  w.KV("abortRatePercent", analysis.AbortRatePercent());
+  w.KV("fallbackTransitions", analysis.fallback_transitions);
+  w.KV("backoffWindows", analysis.backoff_windows);
+  w.KV("backoffCycles", analysis.backoff_cycles);
+  w.EndObject();
+
+  // [[start, cycles, core, category, attempt], ...]
+  w.Key("spans");
+  w.BeginArray();
+  for (const asfsim::CycleSpan& s : spans) {
+    w.BeginArray();
+    w.UInt(s.start);
+    w.UInt(s.cycles);
+    w.UInt(s.core);
+    w.UInt(static_cast<uint64_t>(s.category));
+    w.UInt(s.attempt);
+    w.EndArray();
+  }
+  w.EndArray();
+
+  // [[cycle, core, kind, mode, cause, attempt, retry, arg0, arg1], ...]
+  w.Key("txEvents");
+  w.BeginArray();
+  for (const TxEvent& ev : txs) {
+    w.BeginArray();
+    w.UInt(ev.cycle);
+    w.UInt(ev.core);
+    w.UInt(static_cast<uint64_t>(ev.kind));
+    w.UInt(static_cast<uint64_t>(ev.mode));
+    w.UInt(static_cast<uint64_t>(ev.cause));
+    w.UInt(ev.attempt);
+    w.UInt(ev.retry);
+    w.UInt(ev.arg0);
+    w.UInt(ev.arg1);
+    w.EndArray();
+  }
+  w.EndArray();
+
+  // Offline aggregation of the memory-op events (asfsim::Summarize), so the
+  // report tool can cross-check its own traceEvents re-aggregation.
+  asfsim::TraceSummary mem_summary = asfsim::Summarize(mem);
+  w.Key("memSummary");
+  w.BeginObject();
+  w.KV("totalOps", mem_summary.total_ops);
+  w.KV("totalLatency", mem_summary.total_latency);
+  w.KV("firstCycle", mem_summary.first_cycle);
+  w.KV("lastCycle", mem_summary.last_cycle);
+  w.Key("opsByKind");
+  w.BeginObject();
+  for (size_t i = 0; i <= static_cast<size_t>(asfsim::AccessKind::kSyscall); ++i) {
+    if (mem_summary.ops_by_kind[i] != 0) {
+      w.KV(asfsim::AccessKindName(static_cast<asfsim::AccessKind>(i)), mem_summary.ops_by_kind[i]);
+    }
+  }
+  w.EndObject();
+  w.Key("latencyByCategory");
+  w.BeginObject();
+  for (size_t i = 0; i < mem_summary.cycles_by_category.size(); ++i) {
+    w.KV(asfsim::CycleCategoryName(static_cast<asfsim::CycleCategory>(i)),
+         mem_summary.cycles_by_category[i]);
+  }
+  w.EndObject();
+  w.EndObject();
+
+  w.EndObject();  // asf
+  w.EndObject();  // root
+  out.push_back('\n');
+  return out;
+}
+
+bool LoadAsfSection(const JsonValue& root, std::vector<asfsim::CycleSpan>* spans,
+                    std::vector<TxEvent>* tx_events, std::string* error) {
+  const JsonValue* asf = root.Get("asf");
+  if (asf == nullptr || !asf->IsObject()) {
+    if (error != nullptr) {
+      *error = "document has no \"asf\" section";
+    }
+    return false;
+  }
+  const JsonValue* jspans = asf->Get("spans");
+  const JsonValue* jtxs = asf->Get("txEvents");
+  if (jspans == nullptr || !jspans->IsArray() || jtxs == nullptr || !jtxs->IsArray()) {
+    if (error != nullptr) {
+      *error = "\"asf\" section lacks spans/txEvents arrays";
+    }
+    return false;
+  }
+  spans->clear();
+  spans->reserve(jspans->size());
+  for (const JsonValue& row : jspans->items()) {
+    if (!row.IsArray() || row.size() != 5) {
+      if (error != nullptr) {
+        *error = "malformed span entry (want [start, cycles, core, category, attempt])";
+      }
+      return false;
+    }
+    asfsim::CycleSpan s;
+    s.start = row.at(0).AsUInt();
+    s.cycles = row.at(1).AsUInt();
+    s.core = static_cast<uint32_t>(row.at(2).AsUInt());
+    s.category = static_cast<asfsim::CycleCategory>(row.at(3).AsUInt());
+    s.attempt = row.at(4).AsUInt();
+    spans->push_back(s);
+  }
+  tx_events->clear();
+  tx_events->reserve(jtxs->size());
+  for (const JsonValue& row : jtxs->items()) {
+    if (!row.IsArray() || row.size() != 9) {
+      if (error != nullptr) {
+        *error =
+            "malformed txEvent entry (want [cycle, core, kind, mode, cause, "
+            "attempt, retry, arg0, arg1])";
+      }
+      return false;
+    }
+    TxEvent ev;
+    ev.cycle = row.at(0).AsUInt();
+    ev.core = static_cast<uint32_t>(row.at(1).AsUInt());
+    ev.kind = static_cast<TxEventKind>(row.at(2).AsUInt());
+    ev.mode = static_cast<TxMode>(row.at(3).AsUInt());
+    ev.cause = static_cast<asfcommon::AbortCause>(row.at(4).AsUInt());
+    ev.attempt = row.at(5).AsUInt();
+    ev.retry = static_cast<uint32_t>(row.at(6).AsUInt());
+    ev.arg0 = row.at(7).AsUInt();
+    ev.arg1 = row.at(8).AsUInt();
+    tx_events->push_back(ev);
+  }
+  return true;
+}
+
+bool WriteTextFile(const std::string& path, std::string_view content, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  size_t written = content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  int rc = std::fclose(f);
+  if (written != content.size() || rc != 0) {
+    if (error != nullptr) {
+      *error = "short write to " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ReadTextFile(const std::string& path, std::string* out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok && error != nullptr) {
+    *error = "read error on " + path;
+  }
+  return ok;
+}
+
+}  // namespace asfobs

@@ -1,0 +1,100 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Trace exporters and offline trace analysis.
+//
+// WritePerfettoTrace() serializes one measured run as Chrome/Perfetto
+// trace_event JSON ("traceEvents"): per-core memory-operation slices and
+// transaction-lifecycle tracks, loadable in ui.perfetto.dev. A parallel
+// top-level "asf" section carries the raw cycle spans, lifecycle events, and
+// aggregate totals in compact form so tools/trace_report can re-analyze the
+// exported file without the original process.
+//
+// AnalyzeTrace() reproduces the online cycle accounting offline — the
+// paper's Table 1/Figure 9 methodology ("cycle breakdown by offline analysis
+// and aggregation of the traces"): spans charged into a per-attempt buffer
+// (attempt != 0) are reclassified as kTxAbortWaste when a TxAbort event
+// carries the same (core, attempt) id, exactly mirroring what
+// Core::AbortAttemptAccounting did online. The per-category totals therefore
+// match Core::CategoryCycles() bit for bit; tests assert this.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/abort_cause.h"
+#include "src/obs/tx_event.h"
+#include "src/sim/trace.h"
+
+namespace asfobs {
+
+class JsonValue;
+
+// Offline aggregation of one run's spans + lifecycle events.
+struct TraceAnalysis {
+  // Cycles per category after aborted-attempt reclassification; matches the
+  // online Core::CategoryCycles() sums exactly.
+  std::array<uint64_t, static_cast<size_t>(asfsim::CycleCategory::kNumCategories)>
+      category_cycles{};
+  uint64_t total_cycles = 0;
+
+  std::array<uint64_t, static_cast<size_t>(asfcommon::AbortCause::kNumCauses)> aborts_by_cause{};
+  std::array<uint64_t, static_cast<size_t>(TxMode::kNumModes)> commits_by_mode{};
+  uint64_t total_commits = 0;
+  uint64_t total_aborts = 0;
+  uint64_t fallback_transitions = 0;
+  uint64_t backoff_windows = 0;
+  uint64_t backoff_cycles = 0;
+  uint64_t first_cycle = 0;
+  uint64_t last_cycle = 0;
+
+  uint64_t CyclesOf(asfsim::CycleCategory c) const {
+    return category_cycles[static_cast<size_t>(c)];
+  }
+  uint64_t AbortsOf(asfcommon::AbortCause c) const {
+    return aborts_by_cause[static_cast<size_t>(c)];
+  }
+  // Fig. 6 definition: aborted attempts / all attempts.
+  double AbortRatePercent() const {
+    uint64_t attempts = total_commits + total_aborts;
+    return attempts == 0 ? 0.0
+                         : 100.0 * static_cast<double>(total_aborts) /
+                               static_cast<double>(attempts);
+  }
+};
+
+TraceAnalysis AnalyzeTrace(const std::vector<asfsim::CycleSpan>& spans,
+                           const std::vector<TxEvent>& tx_events);
+
+// Input to the Perfetto exporter: the tracer's memory-op events and cycle
+// spans plus the lifecycle-event log, all from the same measured window.
+struct PerfettoInput {
+  std::string benchmark;  // Process name in the trace, e.g. "intset-llb256".
+  uint32_t num_cores = 0;
+  const std::vector<asfsim::TraceEvent>* mem_events = nullptr;  // May be null.
+  const std::vector<asfsim::CycleSpan>* spans = nullptr;        // May be null.
+  const std::vector<TxEvent>* tx_events = nullptr;              // May be null.
+};
+
+// Returns the complete JSON document text.
+std::string WritePerfettoTrace(const PerfettoInput& in);
+
+// Writes `content` to `path` (replacing it). Returns false and fills *error
+// on I/O failure.
+bool WriteTextFile(const std::string& path, std::string_view content, std::string* error);
+
+// Reads all of `path` into *out. Returns false and fills *error on failure.
+bool ReadTextFile(const std::string& path, std::string* out, std::string* error);
+
+// Rebuilds the raw spans and lifecycle events from a parsed trace document's
+// "asf" section (the compact positional arrays WritePerfettoTrace emitted).
+// Returns false and fills *error when the document lacks the section or an
+// entry is malformed.
+bool LoadAsfSection(const JsonValue& root, std::vector<asfsim::CycleSpan>* spans,
+                    std::vector<TxEvent>* tx_events, std::string* error);
+
+}  // namespace asfobs
+
+#endif  // SRC_OBS_EXPORT_H_

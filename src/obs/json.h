@@ -1,0 +1,113 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Minimal JSON support for the observability layer: a streaming writer (used
+// by the exporters and run reports) and a recursive-descent parser (used by
+// tools/trace_report and the report validators). No external dependencies.
+//
+// Numbers are stored as doubles; every integer the stack emits (cycle counts,
+// line addresses) is below 2^53 and therefore round-trips exactly.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace asfobs {
+
+// --- Writer -----------------------------------------------------------------
+
+// Streaming JSON writer appending to a caller-owned string. Scopes must be
+// balanced; the writer inserts commas and (optionally) indentation.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out, bool pretty = false) : out_(out), pretty_(pretty) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Object member key; must be followed by exactly one value (or scope).
+  void Key(std::string_view key);
+
+  void String(std::string_view v);
+  void Int(int64_t v);
+  void UInt(uint64_t v);
+  void Double(double v);
+  void Bool(bool v);
+  void Null();
+
+  // Convenience: Key + value.
+  void KV(std::string_view key, std::string_view v) { Key(key); String(v); }
+  void KV(std::string_view key, const char* v) { Key(key); String(v); }
+  void KV(std::string_view key, uint64_t v) { Key(key); UInt(v); }
+  void KV(std::string_view key, int64_t v) { Key(key); Int(v); }
+  void KV(std::string_view key, int v) { Key(key); Int(v); }
+  void KV(std::string_view key, unsigned v) { Key(key); UInt(v); }
+  void KV(std::string_view key, double v) { Key(key); Double(v); }
+  void KV(std::string_view key, bool v) { Key(key); Bool(v); }
+
+  static void AppendEscaped(std::string* out, std::string_view v);
+
+ private:
+  void BeforeValue();
+  void Newline();
+
+  std::string* out_;
+  bool pretty_;
+  // Per-open-scope state: whether a value was already written (comma needed).
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+// --- Value tree + parser ----------------------------------------------------
+
+class JsonValue {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsArray() const { return type_ == Type::kArray; }
+  bool IsObject() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  uint64_t AsUInt() const { return static_cast<uint64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  // Arrays.
+  size_t size() const { return array_.size(); }
+  const JsonValue& at(size_t i) const { return array_[i]; }
+  const std::vector<JsonValue>& items() const { return array_; }
+
+  // Objects (insertion order preserved). Returns nullptr when missing.
+  const JsonValue* Get(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return object_; }
+
+  // Parses `text` into `*out`. On failure returns false and describes the
+  // problem (with offset) in *error.
+  static bool Parse(std::string_view text, JsonValue* out, std::string* error);
+
+  // Raw storage — public so the file-local parser can populate values
+  // directly; readers should use the typed accessors above.
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace asfobs
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,180 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/obs/json.h"
+
+namespace asfobs {
+
+Histogram::Histogram(std::string name, std::vector<uint64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  ASF_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    ASF_CHECK_MSG(bounds_[i] > bounds_[i - 1], "histogram bounds must increase");
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(uint64_t v) {
+  // First bound >= v, i.e. "v <= bound" semantics; past-the-end = overflow.
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[std::min(i, buckets_.size() - 1)] += 1;
+  if (count_ == 0 || v < min_) {
+    min_ = v;
+  }
+  max_ = std::max(max_, v);
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::BucketBound(size_t i) const {
+  return i < bounds_.size() ? bounds_[i] : std::numeric_limits<uint64_t>::max();
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+  rank = std::max<uint64_t>(1, std::min(rank, count_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return i < bounds_.size() ? bounds_[i] : max_;
+    }
+  }
+  return max_;
+}
+
+std::vector<uint64_t> ExponentialBuckets(uint64_t first, double factor, size_t count) {
+  ASF_CHECK(first > 0 && factor > 1.0 && count > 0);
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  double v = static_cast<double>(first);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t b = static_cast<uint64_t>(v + 0.5);
+    if (!bounds.empty() && b <= bounds.back()) {
+      b = bounds.back() + 1;  // Keep strictly increasing for small firsts.
+    }
+    bounds.push_back(b);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<uint64_t> LinearBuckets(uint64_t first, uint64_t step, size_t count) {
+  ASF_CHECK(step > 0 && count > 0);
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(first + i * step);
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::AddCounter(const std::string& name) {
+  Counter* existing = FindCounter(name);
+  if (existing != nullptr) {
+    return *existing;
+  }
+  counters_.push_back(std::make_unique<Counter>(name));
+  return *counters_.back();
+}
+
+Histogram& MetricsRegistry::AddHistogram(const std::string& name, std::vector<uint64_t> bounds) {
+  Histogram* existing = FindHistogram(name);
+  if (existing != nullptr) {
+    return *existing;
+  }
+  histograms_.push_back(std::make_unique<Histogram>(name, std::move(bounds)));
+  return *histograms_.back();
+}
+
+Counter* MetricsRegistry::FindCounter(const std::string& name) {
+  for (auto& c : counters_) {
+    if (c->name() == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+Histogram* MetricsRegistry::FindHistogram(const std::string& name) {
+  for (auto& h : histograms_) {
+    if (h->name() == name) {
+      return h.get();
+    }
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& c : counters_) {
+    c->Reset();
+  }
+  for (auto& h : histograms_) {
+    h->Reset();
+  }
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& c : counters_) {
+    w.KV(c->name(), c->value());
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& h : histograms_) {
+    w.Key(h->name());
+    w.BeginObject();
+    w.KV("count", h->count());
+    w.KV("sum", h->sum());
+    w.KV("min", h->min());
+    w.KV("max", h->max());
+    w.KV("mean", h->Mean());
+    w.KV("p50", h->Percentile(50));
+    w.KV("p99", h->Percentile(99));
+    w.Key("buckets");
+    w.BeginArray();
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      if (h->BucketCount(i) == 0) {
+        continue;  // Sparse encoding: most buckets are empty.
+      }
+      w.BeginArray();
+      if (i + 1 == h->num_buckets()) {
+        w.String("inf");
+      } else {
+        w.UInt(h->BucketBound(i));
+      }
+      w.UInt(h->BucketCount(i));
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace asfobs

@@ -1,0 +1,105 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Metrics registry: named counters and fixed-bucket histograms populated by
+// host-side observers. Means hide the TM scalability cliffs the paper's
+// methodology is after — per-transaction *distributions* (retry counts,
+// latencies, set sizes) are what explain them — so histograms are first-class
+// here, with deterministic registration order for reproducible exports.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/defs.h"
+
+namespace asfobs {
+
+class JsonWriter;
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  uint64_t value() const { return value_; }
+  void Increment(uint64_t by = 1) { value_ += by; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::string name_;
+  uint64_t value_ = 0;
+};
+
+// Fixed-bucket histogram over uint64 samples. Bucket i counts samples v with
+// v <= bounds[i] (first matching bucket); samples above the last bound land
+// in the overflow bucket. Bounds are fixed at construction: observation is
+// O(#buckets) worst case with no allocation, cheap enough for per-event use.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<uint64_t> bounds);
+
+  const std::string& name() const { return name_; }
+  void Observe(uint64_t v);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // Upper-bound estimate of the p-th percentile (0 < p <= 100): the bound of
+  // the bucket containing that rank (max() for the overflow bucket).
+  uint64_t Percentile(double p) const;
+
+  size_t num_buckets() const { return bounds_.size() + 1; }  // + overflow.
+  // Bound of bucket i; the overflow bucket reports UINT64_MAX.
+  uint64_t BucketBound(size_t i) const;
+  uint64_t BucketCount(size_t i) const { return buckets_[i]; }
+
+ private:
+  std::string name_;
+  std::vector<uint64_t> bounds_;   // Strictly increasing.
+  std::vector<uint64_t> buckets_;  // bounds_.size() + 1 (overflow last).
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+// Common bucket layouts.
+std::vector<uint64_t> ExponentialBuckets(uint64_t first, double factor, size_t count);
+std::vector<uint64_t> LinearBuckets(uint64_t first, uint64_t step, size_t count);
+
+// Owns counters and histograms; names are unique. Registration order is the
+// export order, so runs are byte-for-byte comparable.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& AddCounter(const std::string& name);
+  Histogram& AddHistogram(const std::string& name, std::vector<uint64_t> bounds);
+
+  Counter* FindCounter(const std::string& name);
+  Histogram* FindHistogram(const std::string& name);
+
+  const std::vector<std::unique_ptr<Counter>>& counters() const { return counters_; }
+  const std::vector<std::unique_ptr<Histogram>>& histograms() const { return histograms_; }
+
+  // Zeroes every metric (registration survives).
+  void Reset();
+
+  // Serializes as {"counters": {...}, "histograms": {...}}.
+  void WriteJson(JsonWriter& w) const;
+
+ private:
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace asfobs
+
+#endif  // SRC_OBS_METRICS_H_

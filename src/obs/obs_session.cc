@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/obs/obs_session.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/abort_cause.h"
+
+namespace asfobs {
+
+LifecycleMetrics::LifecycleMetrics(MetricsRegistry* registry)
+    : registry_(registry),
+      tx_latency_(registry->AddHistogram("tx_latency_cycles", ExponentialBuckets(64, 2.0, 20))),
+      read_set_(registry->AddHistogram("read_set_lines", ExponentialBuckets(1, 2.0, 13))),
+      write_set_(registry->AddHistogram("write_set_lines", ExponentialBuckets(1, 2.0, 13))),
+      retries_(registry->AddHistogram("retries_per_commit", LinearBuckets(0, 1, 17))),
+      backoff_(registry->AddHistogram("backoff_cycles", ExponentialBuckets(32, 2.0, 16))),
+      begins_(registry->AddCounter("tx_begins")),
+      fallbacks_(registry->AddCounter("fallback_transitions")) {
+  // Pre-register the per-mode and per-cause counters so export order is
+  // stable regardless of which events a run happens to produce.
+  for (int m = 1; m < static_cast<int>(TxMode::kNumModes); ++m) {
+    registry->AddCounter(std::string("commits.") + TxModeName(static_cast<TxMode>(m)));
+  }
+  for (uint32_t c = 1; c < static_cast<uint32_t>(asfcommon::AbortCause::kNumCauses); ++c) {
+    registry->AddCounter(std::string("aborts.") +
+                         asfcommon::AbortCauseName(static_cast<asfcommon::AbortCause>(c)));
+  }
+}
+
+void LifecycleMetrics::OnTxEvent(const TxEvent& ev) {
+  if (ev.core >= open_begin_.size()) {
+    open_begin_.resize(ev.core + 1, 0);
+  }
+  switch (ev.kind) {
+    case TxEventKind::kTxBegin:
+      begins_.Increment();
+      open_begin_[ev.core] = ev.cycle;
+      break;
+    case TxEventKind::kTxCommit: {
+      tx_latency_.Observe(ev.cycle - open_begin_[ev.core]);
+      read_set_.Observe(ev.arg0);
+      write_set_.Observe(ev.arg1);
+      retries_.Observe(ev.retry);
+      Counter* c = registry_->FindCounter(std::string("commits.") + TxModeName(ev.mode));
+      if (c != nullptr) {
+        c->Increment();
+      }
+      break;
+    }
+    case TxEventKind::kTxAbort: {
+      tx_latency_.Observe(ev.cycle - open_begin_[ev.core]);
+      Counter* c =
+          registry_->FindCounter(std::string("aborts.") + asfcommon::AbortCauseName(ev.cause));
+      if (c != nullptr) {
+        c->Increment();
+      }
+      break;
+    }
+    case TxEventKind::kFallbackTransition:
+      fallbacks_.Increment();
+      break;
+    case TxEventKind::kBackoffStart:
+      break;
+    case TxEventKind::kBackoffEnd:
+      backoff_.Observe(ev.arg0);
+      break;
+    case TxEventKind::kNumKinds:
+      break;
+  }
+}
+
+void LifecycleMetrics::OnMeasurementReset() {
+  registry_->Reset();
+  std::fill(open_begin_.begin(), open_begin_.end(), 0);
+}
+
+}  // namespace asfobs

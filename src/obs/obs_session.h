@@ -1,0 +1,85 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Ready-made lifecycle-event consumers: an in-memory event log, a metrics
+// adapter that folds events into a MetricsRegistry, and ObsSession, which
+// bundles both behind a single sink for the harnesses to install.
+#ifndef SRC_OBS_OBS_SESSION_H_
+#define SRC_OBS_OBS_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/tx_event.h"
+
+namespace asfobs {
+
+// Appends every event to a vector; cleared at the measurement barrier.
+class TxEventLog final : public TxEventSink {
+ public:
+  explicit TxEventLog(size_t reserve = 1 << 12) { events_.reserve(reserve); }
+
+  void OnTxEvent(const TxEvent& ev) override { events_.push_back(ev); }
+  void OnMeasurementReset() override { events_.clear(); }
+
+  const std::vector<TxEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<TxEvent> events_;
+};
+
+// Folds lifecycle events into counters and histograms on a caller-owned
+// registry. Histograms cover the distributions the paper's figures average
+// over: attempt latency (simulated cycles), read/write-set size, retries per
+// committed atomic block, and backoff duration.
+class LifecycleMetrics final : public TxEventSink {
+ public:
+  explicit LifecycleMetrics(MetricsRegistry* registry);
+
+  void OnTxEvent(const TxEvent& ev) override;
+  void OnMeasurementReset() override;
+
+ private:
+  MetricsRegistry* registry_;
+  Histogram& tx_latency_;
+  Histogram& read_set_;
+  Histogram& write_set_;
+  Histogram& retries_;
+  Histogram& backoff_;
+  Counter& begins_;
+  Counter& fallbacks_;
+  // Begin cycle of the attempt currently open on each core (0 = none).
+  std::vector<uint64_t> open_begin_;
+};
+
+// One observability session: event log + lifecycle metrics behind one sink.
+// Install with machine.SetTxSink(&session) (or via harness ObsHooks); the
+// harness's measurement barrier calls OnMeasurementReset() so only measured
+// work is reported.
+class ObsSession final : public TxEventSink {
+ public:
+  ObsSession() : metrics_sink_(&registry_) {}
+
+  void OnTxEvent(const TxEvent& ev) override {
+    log_.OnTxEvent(ev);
+    metrics_sink_.OnTxEvent(ev);
+  }
+  void OnMeasurementReset() override {
+    log_.OnMeasurementReset();
+    metrics_sink_.OnMeasurementReset();
+  }
+
+  TxEventLog& log() { return log_; }
+  const TxEventLog& log() const { return log_; }
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
+ private:
+  MetricsRegistry registry_;
+  TxEventLog log_;
+  LifecycleMetrics metrics_sink_;
+};
+
+}  // namespace asfobs
+
+#endif  // SRC_OBS_OBS_SESSION_H_

@@ -1,0 +1,46 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/obs/tx_event.h"
+
+namespace asfobs {
+
+const char* TxEventKindName(TxEventKind k) {
+  switch (k) {
+    case TxEventKind::kTxBegin:
+      return "tx-begin";
+    case TxEventKind::kTxCommit:
+      return "tx-commit";
+    case TxEventKind::kTxAbort:
+      return "tx-abort";
+    case TxEventKind::kFallbackTransition:
+      return "fallback";
+    case TxEventKind::kBackoffStart:
+      return "backoff-start";
+    case TxEventKind::kBackoffEnd:
+      return "backoff-end";
+    case TxEventKind::kNumKinds:
+      break;
+  }
+  return "invalid";
+}
+
+const char* TxModeName(TxMode m) {
+  switch (m) {
+    case TxMode::kNone:
+      return "none";
+    case TxMode::kHardware:
+      return "hw";
+    case TxMode::kSerial:
+      return "serial";
+    case TxMode::kStm:
+      return "stm";
+    case TxMode::kElision:
+      return "elision";
+    case TxMode::kLock:
+      return "lock";
+    case TxMode::kNumModes:
+      break;
+  }
+  return "invalid";
+}
+
+}  // namespace asfobs

@@ -1,0 +1,87 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Transaction lifecycle events — the observability layer's view of the TM
+// runtimes. The runtimes (asf_tm, phased_tm, tiny_stm, lock_elision) emit one
+// structured event per attempt boundary, fallback transition, and backoff
+// window through a sink installed on the Machine. Emission is host-side and
+// costs zero simulated cycles; with no sink installed the only cost is one
+// pointer test per would-be event.
+//
+// This header is dependency-light on purpose (asf_common only): the machine
+// layer stores a sink pointer without pulling in the rest of src/obs/.
+#ifndef SRC_OBS_TX_EVENT_H_
+#define SRC_OBS_TX_EVENT_H_
+
+#include <cstdint>
+
+#include "src/common/abort_cause.h"
+
+namespace asfobs {
+
+enum class TxEventKind : uint8_t {
+  kTxBegin = 0,          // One transaction attempt starts.
+  kTxCommit,             // The attempt committed (mode says how).
+  kTxAbort,              // The attempt aborted (cause says why).
+  kFallbackTransition,   // Execution strategy changed (e.g. hw -> serial).
+  kBackoffStart,         // Contention-management backoff begins.
+  kBackoffEnd,           // Backoff ended; arg0 = cycles waited.
+  kNumKinds,
+};
+
+const char* TxEventKindName(TxEventKind k);
+
+// Execution mode of an attempt (TxBegin/TxCommit/TxAbort) or the destination
+// of a FallbackTransition (whose source travels in arg0).
+enum class TxMode : uint8_t {
+  kNone = 0,
+  kHardware,   // ASF speculative region.
+  kSerial,     // Serial-irrevocable mode.
+  kStm,        // Software TM attempt.
+  kElision,    // Speculative lock elision.
+  kLock,       // Real lock acquisition (elision fallback).
+  kNumModes,
+};
+
+const char* TxModeName(TxMode m);
+
+struct TxEvent {
+  uint64_t cycle = 0;  // Core clock at emission.
+  uint32_t core = 0;
+  TxEventKind kind = TxEventKind::kTxBegin;
+  TxMode mode = TxMode::kNone;
+  // TxAbort: why the attempt died.
+  asfcommon::AbortCause cause = asfcommon::AbortCause::kNone;
+  // Core-local attempt-accounting id (asfsim::Core::attempt_seq()); 0 when
+  // the attempt is not attempt-accounted (serial mode, lock elision). Links
+  // lifecycle events to the cycle spans charged into the same attempt, which
+  // is what lets offline analysis reclassify aborted work as waste.
+  uint64_t attempt = 0;
+  // Attempt ordinal within the atomic block: 0 for the first try, so a
+  // TxCommit's `retry` equals the aborted attempts that preceded it.
+  uint32_t retry = 0;
+  // Kind-specific payload:
+  //   TxCommit:            arg0 = read-set size, arg1 = write-set size
+  //                        (cache lines for hardware modes, log entries for
+  //                        the STM).
+  //   TxAbort:             arg0 = read-set size, arg1 = write-set size at
+  //                        death when known (0 otherwise).
+  //   kFallbackTransition: arg0 = source TxMode.
+  //   kBackoffEnd:         arg0 = cycles waited.
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+// Sink interface. Implementations must not touch simulated state: they are
+// host-side observers ("without any interference with the benchmark's
+// execution").
+class TxEventSink {
+ public:
+  virtual ~TxEventSink() = default;
+  virtual void OnTxEvent(const TxEvent& ev) = 0;
+  // Invoked by harnesses at the measurement barrier, atomically with the
+  // statistics reset: drop everything recorded during warm-up.
+  virtual void OnMeasurementReset() {}
+};
+
+}  // namespace asfobs
+
+#endif  // SRC_OBS_TX_EVENT_H_

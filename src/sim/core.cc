@@ -23,15 +23,52 @@ const char* CycleCategoryName(CycleCategory c) {
   return "invalid";
 }
 
+const char* AccessKindName(AccessKind k) {
+  switch (k) {
+    case AccessKind::kLoad:
+      return "load";
+    case AccessKind::kStore:
+      return "store";
+    case AccessKind::kTxLoad:
+      return "tx-load";
+    case AccessKind::kTxStore:
+      return "tx-store";
+    case AccessKind::kWatchR:
+      return "watchr";
+    case AccessKind::kWatchW:
+      return "watchw";
+    case AccessKind::kRelease:
+      return "release";
+    case AccessKind::kSpeculate:
+      return "speculate";
+    case AccessKind::kCommit:
+      return "commit";
+    case AccessKind::kAbortOp:
+      return "abort";
+    case AccessKind::kSyscall:
+      return "syscall";
+  }
+  return "invalid";
+}
+
 uint64_t Core::TakePendingWork() {
   if (!has_pending_work_) {
     return 0;
   }
   uint64_t total = 0;
+  const uint64_t attempt = attempt_open_ ? attempt_seq_ : 0;
   auto& sink = attempt_open_ ? attempt_buffer_ : categories_;
   for (size_t i = 0; i < pending_by_cat_.size(); ++i) {
-    total += pending_by_cat_[i];
-    sink[i] += pending_by_cat_[i];
+    uint64_t batch = pending_by_cat_[i];
+    if (batch == 0) {
+      continue;
+    }
+    sink[i] += batch;
+    if (span_sink_ != nullptr) {
+      span_sink_->RecordSpan(
+          {clock_ + total, batch, id_, static_cast<CycleCategory>(i), attempt});
+    }
+    total += batch;
     pending_by_cat_[i] = 0;
   }
   has_pending_work_ = false;
@@ -45,6 +82,10 @@ void Core::AdvanceTo(uint64_t cycle) {
     return;
   }
   uint64_t delta = cycle - clock_;
+  if (span_sink_ != nullptr) {
+    span_sink_->RecordSpan(
+        {clock_, delta, id_, category_, attempt_open_ ? attempt_seq_ : 0});
+  }
   clock_ = cycle;
   auto& sink = attempt_open_ ? attempt_buffer_ : categories_;
   sink[static_cast<size_t>(category_)] += delta;
@@ -53,6 +94,7 @@ void Core::AdvanceTo(uint64_t cycle) {
 void Core::BeginAttemptAccounting() {
   ASF_CHECK(!attempt_open_);
   attempt_open_ = true;
+  ++attempt_seq_;
   attempt_buffer_.fill(0);
 }
 

@@ -51,6 +51,30 @@ enum class CycleCategory : uint8_t {
 };
 
 const char* CycleCategoryName(CycleCategory c);
+const char* AccessKindName(AccessKind k);
+
+// One contiguous charge of cycles to a category, as recorded by a core's
+// span sink (host-side observer; see Tracer). Every cycle a core's clock
+// advances is covered by exactly one span, so offline aggregation of spans
+// reproduces the online per-category accounting. `attempt` is nonzero when
+// the cycles were charged into an open per-attempt buffer: offline analysis
+// must fold such spans into kTxAbortWaste when the attempt later aborted —
+// the same reclassification CommitAttemptAccounting/AbortAttemptAccounting
+// perform online (lifecycle events report each attempt's outcome by id).
+struct CycleSpan {
+  uint64_t start;   // Core clock before the charge.
+  uint64_t cycles;  // Charged cycles (> 0).
+  uint32_t core;
+  CycleCategory category;
+  uint64_t attempt;  // Core-local attempt id (Core::attempt_seq()); 0 = none.
+};
+
+// Host-side consumer of cycle spans (implemented by asfsim::Tracer).
+class CycleSpanSink {
+ public:
+  virtual ~CycleSpanSink() = default;
+  virtual void RecordSpan(const CycleSpan& span) = 0;
+};
 
 // Outcome of processing one access in the machine model.
 struct AccessOutcome {
@@ -136,6 +160,14 @@ class Core {
   CycleCategory category() const { return category_; }
   void SetCategory(CycleCategory c) { category_ = c; }
 
+  // Optional host-side span observer (zero simulated cost; null = disabled).
+  void SetSpanSink(CycleSpanSink* sink) { span_sink_ = sink; }
+
+  // Monotone id of the most recently opened attempt-accounting buffer (never
+  // reset, so ids stay unique across a measurement-barrier stats reset).
+  uint64_t attempt_seq() const { return attempt_seq_; }
+  bool attempt_open() const { return attempt_open_; }
+
   // Opens a per-attempt accounting buffer. While open, cycles accumulate in
   // the buffer; CommitAttempt() folds them into their real categories and
   // AbortAttempt() folds everything into kTxAbortWaste. This reproduces the
@@ -169,6 +201,8 @@ class Core {
   uint64_t total_work_cycles_ = 0;
   uint64_t next_timer_ = 0;
   CycleCategory category_ = CycleCategory::kOutsideTx;
+  CycleSpanSink* span_sink_ = nullptr;
+  uint64_t attempt_seq_ = 0;
   bool attempt_open_ = false;
   std::array<uint64_t, static_cast<size_t>(CycleCategory::kNumCategories)> categories_{};
   std::array<uint64_t, static_cast<size_t>(CycleCategory::kNumCategories)> attempt_buffer_{};

@@ -107,6 +107,13 @@ Scheduler::Scheduler(uint32_t num_cores, const CoreParams& params) {
 
 Scheduler::~Scheduler() = default;
 
+void Scheduler::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& core : cores_) {
+    core->SetSpanSink(tracer);
+  }
+}
+
 SimThread& Scheduler::Spawn(Task<void> root) {
   ASF_CHECK_MSG(threads_.size() < cores_.size(), "more threads than cores");
   ASF_CHECK(!running_);

@@ -233,9 +233,11 @@ class Scheduler {
   // before Run() if any thread performs accesses.
   void SetAccessHandler(AccessHandler* handler) { handler_ = handler; }
 
-  // Optional host-side tracer: records every processed operation at zero
-  // simulated cost (the paper's offline-analysis methodology).
-  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  // Optional host-side tracer: records every processed operation and every
+  // cycle-span charge at zero simulated cost (the paper's offline-analysis
+  // methodology). Also installs the tracer as each core's span sink;
+  // SetTracer(nullptr) detaches everywhere.
+  void SetTracer(Tracer* tracer);
 
   // Hook invoked when a timer interrupt fires on a thread's core; returns
   // true if an active speculative region was rolled back (the scheduler then

@@ -32,16 +32,28 @@ struct TraceEvent {
   uint64_t latency;        // Cycles charged for this operation.
 };
 
-class Tracer {
+// In addition to memory-operation events, the tracer records every cycle
+// span the cores charge (CycleSpanSink): together they make the trace
+// self-contained — offline aggregation of the spans reproduces the online
+// per-category cycle accounting exactly (see src/obs/export.h).
+class Tracer : public CycleSpanSink {
  public:
   explicit Tracer(size_t reserve = 1 << 16) { events_.reserve(reserve); }
 
   void Record(const TraceEvent& ev) { events_.push_back(ev); }
+  void RecordSpan(const CycleSpan& span) override { spans_.push_back(span); }
+
   const std::vector<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  const std::vector<CycleSpan>& spans() const { return spans_; }
+
+  void Clear() {
+    events_.clear();
+    spans_.clear();
+  }
 
  private:
   std::vector<TraceEvent> events_;
+  std::vector<CycleSpan> spans_;
 };
 
 // Offline aggregation of a trace.

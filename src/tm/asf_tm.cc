@@ -3,9 +3,13 @@
 
 #include <cstring>
 
+#include "src/tm/tx_observe.h"
+
 namespace asftm {
 
 using asfcommon::AbortCause;
+using asfobs::TxEventKind;
+using asfobs::TxMode;
 using asfsim::AccessKind;
 using asfsim::CategoryGuard;
 using asfsim::Core;
@@ -187,6 +191,11 @@ Task<void> AsfTm::HwAttempt(SimThread& t, PerThread& pt, const BodyFn& body) {
   {
     CategoryGuard g(core, CycleCategory::kTxStartCommit);
     core.WorkInstructions(params_.commit_instructions);
+    // COMMIT clears the protected set; snapshot its size for the lifecycle
+    // event the retry loop emits after the attempt returns.
+    asf::AsfContext& ctx = machine_.context(t.id());
+    pt.last_read_lines = ctx.read_set_lines();
+    pt.last_write_lines = ctx.write_set_lines();
     co_await t.Access(AccessKind::kCommit, uint64_t{0}, 1);
   }
 }
@@ -197,9 +206,11 @@ Task<void> AsfTm::SerialBody(SimThread& t, PerThread& pt, const BodyFn& body) {
   co_await body(tx);
 }
 
-Task<void> AsfTm::RunSerial(SimThread& t, PerThread& pt, const BodyFn& body) {
+Task<void> AsfTm::RunSerial(SimThread& t, PerThread& pt, const BodyFn& body, uint32_t retry) {
   Core& core = t.core();
   co_await serial_mutex_.Acquire(t);
+  ++pt.stats.serial_attempts;
+  EmitTxEvent(machine_, t, TxEventKind::kTxBegin, TxMode::kSerial, AbortCause::kNone, 0, retry);
   {
     CategoryGuard g(core, CycleCategory::kTxStartCommit);
     core.WorkInstructions(params_.begin_instructions);
@@ -222,10 +233,14 @@ Task<void> AsfTm::RunSerial(SimThread& t, PerThread& pt, const BodyFn& body) {
   if (cause == AbortCause::kNone) {
     pt.alloc.OnCommit();
     ++pt.stats.serial_commits;
+    EmitTxEvent(machine_, t, TxEventKind::kTxCommit, TxMode::kSerial, AbortCause::kNone, 0, retry,
+                0, pt.serial_undo.size());
   } else {
     ASF_CHECK_MSG(cause == AbortCause::kUserAbort, "unexpected serial-mode abort");
     pt.alloc.OnAbort();
     ++pt.stats.aborts[static_cast<size_t>(AbortCause::kUserAbort)];
+    EmitTxEvent(machine_, t, TxEventKind::kTxAbort, TxMode::kSerial, AbortCause::kUserAbort, 0,
+                retry);
   }
 }
 
@@ -234,7 +249,11 @@ Task<void> AsfTm::Backoff(SimThread& t, PerThread& pt, uint32_t retry) {
   uint64_t max_wait = params_.backoff_base_cycles << shift;
   uint64_t wait = pt.rng.NextInRange(max_wait / 2, max_wait);
   pt.stats.backoff_cycles += wait;
+  EmitTxEvent(machine_, t, TxEventKind::kBackoffStart, TxMode::kHardware, AbortCause::kNone, 0,
+              retry);
   co_await t.Sleep(wait);
+  EmitTxEvent(machine_, t, TxEventKind::kBackoffEnd, TxMode::kHardware, AbortCause::kNone, 0,
+              retry, wait);
 }
 
 Task<void> AsfTm::Atomic(SimThread& t, BodyFn body) {
@@ -242,10 +261,14 @@ Task<void> AsfTm::Atomic(SimThread& t, BodyFn body) {
   Core& core = t.core();
   ++pt.stats.tx_started;
   uint32_t contention_retries = 0;
+  uint32_t aborted_attempts = 0;  // Lifecycle retry ordinal for this block.
   bool go_serial = false;
   for (;;) {
     if (go_serial) {
-      co_await RunSerial(t, pt, body);
+      EmitTxEvent(machine_, t, TxEventKind::kFallbackTransition, TxMode::kSerial,
+                  AbortCause::kNone, 0, aborted_attempts,
+                  static_cast<uint64_t>(TxMode::kHardware));
+      co_await RunSerial(t, pt, body, aborted_attempts);
       co_return;
     }
     // Wait for any serializer to drain before speculating (cheap pre-check;
@@ -260,16 +283,23 @@ Task<void> AsfTm::Atomic(SimThread& t, BodyFn body) {
     }
     ++pt.stats.hw_attempts;
     core.BeginAttemptAccounting();
+    EmitTxEvent(machine_, t, TxEventKind::kTxBegin, TxMode::kHardware, AbortCause::kNone,
+                core.attempt_seq(), aborted_attempts);
     AbortCause cause = co_await t.RunAbortable(HwAttempt(t, pt, body));
     if (cause == AbortCause::kNone) {
       core.CommitAttemptAccounting();
       pt.alloc.OnCommit();
       ++pt.stats.hw_commits;
+      EmitTxEvent(machine_, t, TxEventKind::kTxCommit, TxMode::kHardware, AbortCause::kNone,
+                  core.attempt_seq(), aborted_attempts, pt.last_read_lines, pt.last_write_lines);
       co_return;
     }
     core.AbortAttemptAccounting();
     ++pt.stats.aborts[static_cast<size_t>(cause)];
     pt.alloc.OnAbort();
+    EmitTxEvent(machine_, t, TxEventKind::kTxAbort, TxMode::kHardware, cause, core.attempt_seq(),
+                aborted_attempts);
+    ++aborted_attempts;
     switch (cause) {
       case AbortCause::kRestartSerial:
         break;  // Re-wait for the serializer; not a real retry.

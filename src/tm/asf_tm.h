@@ -87,6 +87,10 @@ class AsfTm : public TmRuntime {
     TxAllocator alloc;
     asfcommon::Rng rng;
     uint64_t refill_bytes = 0;  // Allocation size that triggered kMallocRefill.
+    // Protected-set sizes captured just before COMMIT (the commit clears the
+    // ASF context), reported in the TxCommit lifecycle event.
+    uint64_t last_read_lines = 0;
+    uint64_t last_write_lines = 0;
     // Undo log for serial mode: the serial token serializes all
     // transactions, but language-level cancel (Tx::UserAbort) must still be
     // able to roll the attempt back (GCC libitm's "serial" vs
@@ -99,7 +103,8 @@ class AsfTm : public TmRuntime {
   };
 
   asfsim::Task<void> HwAttempt(asfsim::SimThread& t, PerThread& pt, const BodyFn& body);
-  asfsim::Task<void> RunSerial(asfsim::SimThread& t, PerThread& pt, const BodyFn& body);
+  asfsim::Task<void> RunSerial(asfsim::SimThread& t, PerThread& pt, const BodyFn& body,
+                               uint32_t retry);
   asfsim::Task<void> SerialBody(asfsim::SimThread& t, PerThread& pt, const BodyFn& body);
   asfsim::Task<void> Backoff(asfsim::SimThread& t, PerThread& pt, uint32_t retry);
 

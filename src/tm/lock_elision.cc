@@ -1,9 +1,13 @@
 // Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
 #include "src/tm/lock_elision.h"
 
+#include "src/tm/tx_observe.h"
+
 namespace asftm {
 
 using asfcommon::AbortCause;
+using asfobs::TxEventKind;
+using asfobs::TxMode;
 using asfsim::AccessKind;
 using asfsim::SimThread;
 using asfsim::Task;
@@ -14,7 +18,8 @@ ElidableLock::ElidableLock(asf::Machine& machine, const ElisionParams& params)
   machine.mem().PretouchPages(reinterpret_cast<uint64_t>(lock_word_), sizeof(LockWord));
 }
 
-Task<void> ElidableLock::ElidedAttempt(SimThread& t, const Body& body) {
+Task<void> ElidableLock::ElidedAttempt(SimThread& t, const Body& body, uint64_t* rs,
+                                       uint64_t* ws) {
   co_await t.Access(AccessKind::kSpeculate, uint64_t{0}, 1);
   // Monitor the lock word without writing it: the lock stays free for other
   // elisions; a real acquisition's store aborts us (requester wins).
@@ -24,6 +29,9 @@ Task<void> ElidableLock::ElidedAttempt(SimThread& t, const Body& body) {
     co_await machine_.AbortRegion(t, AbortCause::kRestartSerial);
   }
   co_await body(/*elided=*/true);
+  asf::AsfContext& ctx = machine_.context(t.id());
+  *rs = ctx.read_set_lines();
+  *ws = ctx.write_set_lines();
   co_await t.Access(AccessKind::kCommit, uint64_t{0}, 1);
 }
 
@@ -38,27 +46,42 @@ Task<void> ElidableLock::CriticalSection(SimThread& t, Body body) {
       }
       co_await t.Sleep(100);
     }
-    AbortCause cause = co_await t.RunAbortable(ElidedAttempt(t, body));
+    EmitTxEvent(machine_, t, TxEventKind::kTxBegin, TxMode::kElision, AbortCause::kNone, 0,
+                retry);
+    uint64_t rs = 0;
+    uint64_t ws = 0;
+    AbortCause cause = co_await t.RunAbortable(ElidedAttempt(t, body, &rs, &ws));
     if (cause == AbortCause::kNone) {
       ++elided_commits_;
+      EmitTxEvent(machine_, t, TxEventKind::kTxCommit, TxMode::kElision, AbortCause::kNone, 0,
+                  retry, rs, ws);
       co_return;
     }
     ++elision_aborts_;
+    EmitTxEvent(machine_, t, TxEventKind::kTxAbort, TxMode::kElision, cause, 0, retry);
     if (cause == AbortCause::kRestartSerial) {
       continue;  // Lock was held; waiting again is not a failed elision.
     }
     uint64_t wait = rng_.NextInRange(params_.backoff_base_cycles / 2,
                                      params_.backoff_base_cycles << (retry < 6 ? retry : 6));
+    EmitTxEvent(machine_, t, TxEventKind::kBackoffStart, TxMode::kElision, AbortCause::kNone, 0,
+                retry);
     co_await t.Sleep(wait);
+    EmitTxEvent(machine_, t, TxEventKind::kBackoffEnd, TxMode::kElision, AbortCause::kNone, 0,
+                retry, wait);
   }
   // Fallback: take the lock for real. The store aborts every concurrent
   // elision monitoring the word.
+  EmitTxEvent(machine_, t, TxEventKind::kFallbackTransition, TxMode::kLock, AbortCause::kNone, 0,
+              0, static_cast<uint64_t>(TxMode::kElision));
   co_await fallback_.Acquire(t);
   co_await t.Store(AccessKind::kStore, &lock_word_->word, 8, 1);
   ++real_acquisitions_;
+  EmitTxEvent(machine_, t, TxEventKind::kTxBegin, TxMode::kLock, AbortCause::kNone, 0, 0);
   co_await body(/*elided=*/false);
   co_await t.Store(AccessKind::kStore, &lock_word_->word, 8, 0);
   fallback_.Release(t);
+  EmitTxEvent(machine_, t, TxEventKind::kTxCommit, TxMode::kLock, AbortCause::kNone, 0, 0);
 }
 
 }  // namespace asftm

@@ -57,7 +57,10 @@ class ElidableLock {
     uint64_t word = 0;
   };
 
-  asfsim::Task<void> ElidedAttempt(asfsim::SimThread& t, const Body& body);
+  // `rs`/`ws` receive the protected-set sizes just before COMMIT (the commit
+  // clears the ASF context), for the TxCommit lifecycle event.
+  asfsim::Task<void> ElidedAttempt(asfsim::SimThread& t, const Body& body, uint64_t* rs,
+                                   uint64_t* ws);
 
   asf::Machine& machine_;
   const ElisionParams params_;

@@ -3,9 +3,13 @@
 
 #include <cstring>
 
+#include "src/tm/tx_observe.h"
+
 namespace asftm {
 
 using asfcommon::AbortCause;
+using asfobs::TxEventKind;
+using asfobs::TxMode;
 using asfsim::AccessKind;
 using asfsim::CategoryGuard;
 using asfsim::Core;
@@ -111,6 +115,9 @@ Task<void> PhasedTm::HwAttempt(SimThread& t, PerThread& pt, const BodyFn& body) 
   {
     CategoryGuard g(core, CycleCategory::kTxStartCommit);
     core.WorkInstructions(params_.commit_instructions);
+    asf::AsfContext& ctx = machine_.context(t.id());
+    pt.last_read_lines = ctx.read_set_lines();
+    pt.last_write_lines = ctx.write_set_lines();
     co_await t.Access(AccessKind::kCommit, uint64_t{0}, 1);
   }
 }
@@ -120,7 +127,11 @@ Task<void> PhasedTm::Backoff(SimThread& t, PerThread& pt, uint32_t retry) {
   uint64_t max_wait = params_.backoff_base_cycles << shift;
   uint64_t wait = pt.rng.NextInRange(max_wait / 2, max_wait);
   pt.stats.backoff_cycles += wait;
+  EmitTxEvent(machine_, t, TxEventKind::kBackoffStart, TxMode::kHardware, AbortCause::kNone, 0,
+              retry);
   co_await t.Sleep(wait);
+  EmitTxEvent(machine_, t, TxEventKind::kBackoffEnd, TxMode::kHardware, AbortCause::kNone, 0,
+              retry, wait);
 }
 
 Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
@@ -128,22 +139,31 @@ Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
   Core& core = t.core();
   ++pt.stats.tx_started;
   uint32_t contention_retries = 0;
+  uint32_t aborted_attempts = 0;  // Lifecycle retry ordinal for this block.
   for (;;) {
     co_await t.Access(AccessKind::kLoad, &phase_->phase, 8);
     if (phase_->phase == kHardware) {
       // ---- Hardware phase ----
       ++pt.stats.hw_attempts;
       core.BeginAttemptAccounting();
+      EmitTxEvent(machine_, t, TxEventKind::kTxBegin, TxMode::kHardware, AbortCause::kNone,
+                  core.attempt_seq(), aborted_attempts);
       AbortCause cause = co_await t.RunAbortable(HwAttempt(t, pt, body));
       if (cause == AbortCause::kNone) {
         core.CommitAttemptAccounting();
         pt.alloc.OnCommit();
         ++pt.stats.hw_commits;
+        EmitTxEvent(machine_, t, TxEventKind::kTxCommit, TxMode::kHardware, AbortCause::kNone,
+                    core.attempt_seq(), aborted_attempts, pt.last_read_lines,
+                    pt.last_write_lines);
         co_return;
       }
       core.AbortAttemptAccounting();
       ++pt.stats.aborts[static_cast<size_t>(cause)];
       pt.alloc.OnAbort();
+      EmitTxEvent(machine_, t, TxEventKind::kTxAbort, TxMode::kHardware, cause,
+                  core.attempt_seq(), aborted_attempts);
+      ++aborted_attempts;
       switch (cause) {
         case AbortCause::kRestartSerial:
           continue;  // Phase flipped under us; re-dispatch.
@@ -162,6 +182,9 @@ Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
                            params_.software_quota);
           co_await t.Store(AccessKind::kStore, &phase_->phase, 8, kSoftware);
           ++to_software_;
+          EmitTxEvent(machine_, t, TxEventKind::kFallbackTransition, TxMode::kStm,
+                      AbortCause::kNone, 0, aborted_attempts,
+                      static_cast<uint64_t>(TxMode::kHardware));
           continue;
         case AbortCause::kPageFault:
         case AbortCause::kInterrupt:
@@ -174,6 +197,9 @@ Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
                              params_.software_quota);
             co_await t.Store(AccessKind::kStore, &phase_->phase, 8, kSoftware);
             ++to_software_;
+            EmitTxEvent(machine_, t, TxEventKind::kFallbackTransition, TxMode::kStm,
+                        AbortCause::kNone, 0, aborted_attempts,
+                        static_cast<uint64_t>(TxMode::kHardware));
             continue;
           }
           co_await Backoff(t, pt, contention_retries);
@@ -217,6 +243,8 @@ Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
         }
         co_await t.Store(AccessKind::kStore, &phase_->phase, 8, kHardware);
         ++to_hardware_;
+        EmitTxEvent(machine_, t, TxEventKind::kFallbackTransition, TxMode::kHardware,
+                    AbortCause::kNone, 0, 0, static_cast<uint64_t>(TxMode::kStm));
       }
     }
     co_return;

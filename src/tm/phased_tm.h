@@ -70,6 +70,9 @@ class PhasedTm : public TmRuntime {
     TxAllocator alloc;
     asfcommon::Rng rng;
     uint64_t refill_bytes = 0;
+    // Protected-set sizes captured just before COMMIT (see AsfTm::PerThread).
+    uint64_t last_read_lines = 0;
+    uint64_t last_write_lines = 0;
   };
 
   asfsim::Task<void> HwAttempt(asfsim::SimThread& t, PerThread& pt, const BodyFn& body);

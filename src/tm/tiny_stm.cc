@@ -3,6 +3,8 @@
 
 #include <cstring>
 
+#include "src/tm/tx_observe.h"
+
 namespace asftm {
 
 using asfcommon::AbortCause;
@@ -264,16 +266,24 @@ Task<void> TinyStm::Atomic(SimThread& t, BodyFn body) {
   for (uint32_t retry = 0;; ++retry) {
     ++pt.stats.stm_attempts;
     core.BeginAttemptAccounting();
+    EmitTxEvent(machine_, t, asfobs::TxEventKind::kTxBegin, asfobs::TxMode::kStm,
+                AbortCause::kNone, core.attempt_seq(), retry);
     AbortCause cause = co_await t.RunAbortable(StmAttempt(t, pt, body));
     if (cause == AbortCause::kNone) {
       core.CommitAttemptAccounting();
       pt.alloc.OnCommit();
       ++pt.stats.stm_commits;
+      // read_count/write_count survive the attempt: log entries, the STM
+      // analog of the hardware modes' protected-set line counts.
+      EmitTxEvent(machine_, t, asfobs::TxEventKind::kTxCommit, asfobs::TxMode::kStm,
+                  AbortCause::kNone, core.attempt_seq(), retry, pt.read_count, pt.write_count);
       co_return;
     }
     core.AbortAttemptAccounting();
     ++pt.stats.aborts[static_cast<size_t>(cause)];
     pt.alloc.OnAbort();
+    EmitTxEvent(machine_, t, asfobs::TxEventKind::kTxAbort, asfobs::TxMode::kStm, cause,
+                core.attempt_seq(), retry, pt.read_count, pt.write_count);
     if (cause == AbortCause::kUserAbort) {
       co_return;
     }
@@ -281,7 +291,11 @@ Task<void> TinyStm::Atomic(SimThread& t, BodyFn body) {
     uint64_t max_wait = params_.backoff_base_cycles << shift;
     uint64_t wait = pt.rng.NextInRange(max_wait / 2, max_wait);
     pt.stats.backoff_cycles += wait;
+    EmitTxEvent(machine_, t, asfobs::TxEventKind::kBackoffStart, asfobs::TxMode::kStm,
+                AbortCause::kNone, 0, retry);
     co_await t.Sleep(wait);
+    EmitTxEvent(machine_, t, asfobs::TxEventKind::kBackoffEnd, asfobs::TxMode::kStm,
+                AbortCause::kNone, 0, retry, wait);
   }
 }
 

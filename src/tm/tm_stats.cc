@@ -7,6 +7,7 @@ void TxStats::Add(const TxStats& o) {
   tx_started += o.tx_started;
   hw_attempts += o.hw_attempts;
   stm_attempts += o.stm_attempts;
+  serial_attempts += o.serial_attempts;
   hw_commits += o.hw_commits;
   serial_commits += o.serial_commits;
   stm_commits += o.stm_commits;

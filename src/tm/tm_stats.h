@@ -17,6 +17,7 @@ struct TxStats {
   uint64_t tx_started = 0;      // Atomic blocks entered.
   uint64_t hw_attempts = 0;     // ASF speculative-region attempts.
   uint64_t stm_attempts = 0;    // STM attempts.
+  uint64_t serial_attempts = 0; // Serial-irrevocable executions entered.
   uint64_t hw_commits = 0;      // Committed in an ASF region.
   uint64_t serial_commits = 0;  // Committed in serial-irrevocable mode.
   uint64_t stm_commits = 0;     // Committed by the STM.
@@ -35,10 +36,18 @@ struct TxStats {
     }
     return n;
   }
+  // All execution attempts, committed or aborted. hw/stm/serial attempts are
+  // counted when entered; sequential (uninstrumented) executions cannot
+  // abort, so their commit count is their attempt count.
+  uint64_t TotalAttempts() const {
+    return hw_attempts + stm_attempts + serial_attempts + seq_commits;
+  }
   // Abort rate as used in the paper's Figure 6: aborted attempts over all
-  // attempts (committed + aborted).
+  // attempts (committed + aborted). Serial attempts must be counted as
+  // attempts, not commits: a serial attempt that user-aborts would otherwise
+  // be missing from the denominator while its abort is in the numerator.
   double AbortRatePercent() const {
-    uint64_t attempts = hw_attempts + stm_attempts + serial_commits + seq_commits;
+    uint64_t attempts = TotalAttempts();
     if (attempts == 0) {
       return 0.0;
     }

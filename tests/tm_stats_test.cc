@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Unit tests pinning the TxStats attempt accounting to the paper's Figure 6
+// definition: abort rate = aborted attempts / all attempts. Serial-mode
+// executions are attempts like any other — a serial attempt that user-aborts
+// must appear in the denominator, not only in the numerator.
+#include <gtest/gtest.h>
+
+#include "src/common/abort_cause.h"
+#include "src/tm/tm_stats.h"
+
+namespace {
+
+using asfcommon::AbortCause;
+using asftm::TxStats;
+
+TEST(TxStats, ZeroAttemptsGiveZeroAbortRate) {
+  TxStats s;
+  EXPECT_EQ(s.TotalAttempts(), 0u);
+  EXPECT_EQ(s.TotalAborts(), 0u);
+  EXPECT_DOUBLE_EQ(s.AbortRatePercent(), 0.0);
+}
+
+TEST(TxStats, HardwareOnlyAbortRate) {
+  TxStats s;
+  s.hw_attempts = 10;
+  s.hw_commits = 7;
+  s.aborts[static_cast<size_t>(AbortCause::kContention)] = 2;
+  s.aborts[static_cast<size_t>(AbortCause::kCapacity)] = 1;
+  EXPECT_EQ(s.TotalAttempts(), 10u);
+  EXPECT_EQ(s.TotalAborts(), 3u);
+  EXPECT_DOUBLE_EQ(s.AbortRatePercent(), 30.0);
+}
+
+TEST(TxStats, SerialOnlyUserAbortCountsAttemptInDenominator) {
+  // One serial attempt that user-aborts: the rate is 1 abort / 1 attempt =
+  // 100%, not 1/0. Before serial attempts were tracked, the denominator was
+  // built from commits and missed this attempt entirely.
+  TxStats s;
+  s.serial_attempts = 1;
+  s.aborts[static_cast<size_t>(AbortCause::kUserAbort)] = 1;
+  EXPECT_EQ(s.TotalAttempts(), 1u);
+  EXPECT_DOUBLE_EQ(s.AbortRatePercent(), 100.0);
+}
+
+TEST(TxStats, MixedModesCountEveryAttemptOnce) {
+  TxStats s;
+  s.hw_attempts = 8;       // 5 commit, 3 abort (2 contention + 1 restart-serial).
+  s.hw_commits = 5;
+  s.serial_attempts = 1;   // The restarted block commits serially.
+  s.serial_commits = 1;
+  s.stm_attempts = 4;      // 3 commit, 1 conflict abort.
+  s.stm_commits = 3;
+  s.seq_commits = 2;       // Uninstrumented executions: attempt == commit.
+  s.aborts[static_cast<size_t>(AbortCause::kContention)] = 2;
+  s.aborts[static_cast<size_t>(AbortCause::kRestartSerial)] = 1;
+  s.aborts[static_cast<size_t>(AbortCause::kStmConflict)] = 1;
+  EXPECT_EQ(s.TotalAttempts(), 8u + 1 + 4 + 2);
+  EXPECT_EQ(s.TotalAborts(), 4u);
+  EXPECT_EQ(s.Commits(), 5u + 1 + 3 + 2);
+  EXPECT_DOUBLE_EQ(s.AbortRatePercent(), 100.0 * 4.0 / 15.0);
+}
+
+TEST(TxStats, AddSumsSerialAttempts) {
+  TxStats a;
+  a.hw_attempts = 2;
+  a.serial_attempts = 1;
+  a.backoff_cycles = 10;
+  a.aborts[static_cast<size_t>(AbortCause::kContention)] = 1;
+  TxStats b;
+  b.serial_attempts = 3;
+  b.stm_attempts = 4;
+  b.aborts[static_cast<size_t>(AbortCause::kContention)] = 2;
+  a.Add(b);
+  EXPECT_EQ(a.serial_attempts, 4u);
+  EXPECT_EQ(a.TotalAttempts(), 2u + 4 + 4);
+  EXPECT_EQ(a.Aborts(AbortCause::kContention), 3u);
+  EXPECT_EQ(a.backoff_cycles, 10u);
+}
+
+}  // namespace

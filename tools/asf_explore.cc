@@ -18,7 +18,11 @@
 #include <string>
 
 #include "src/common/abort_cause.h"
+#include "src/harness/report.h"
 #include "src/harness/stamp_driver.h"
+#include "src/obs/export.h"
+#include "src/obs/obs_session.h"
+#include "src/sim/trace.h"
 
 namespace {
 
@@ -42,6 +46,9 @@ void Usage() {
       "asf_explore --workload intset|stamp [options]\n"
       "  common:  --runtime asf|stm|seq|lock|phased   --variant llb8|llb256|llb8-l1|llb256-l1\n"
       "           --threads N (1..8)   --seed N   --no-timer\n"
+      "           --trace PATH   export a Perfetto trace_event JSON of the measured\n"
+      "                          window (open in ui.perfetto.dev; tools/trace_report)\n"
+      "           --report PATH  write the run's config+result as JSON\n"
       "  intset:  --structure list|list-er|skip|rb|hash  --range N  --update PCT  --ops N\n"
       "  stamp:   --app genome|intruder|kmeans-low|kmeans-high|labyrinth|ssca2|\n"
       "                 vacation-low|vacation-high       --scale N\n");
@@ -106,6 +113,35 @@ void PrintBreakdown(const harness::CycleBreakdown& b) {
   }
 }
 
+// Writes the Perfetto trace for one observed run; returns false on I/O error.
+bool ExportTrace(const std::string& path, const std::string& benchmark, uint32_t cores,
+                 const asfsim::Tracer& tracer, const asfobs::ObsSession& session) {
+  asfobs::PerfettoInput in;
+  in.benchmark = benchmark;
+  in.num_cores = cores;
+  in.mem_events = &tracer.events();
+  in.spans = &tracer.spans();
+  in.tx_events = &session.log().events();
+  std::string error;
+  if (!asfobs::WriteTextFile(path, asfobs::WritePerfettoTrace(in), &error)) {
+    std::fprintf(stderr, "trace export: %s\n", error.c_str());
+    return false;
+  }
+  std::printf("trace written to %s (open in ui.perfetto.dev or tools/trace_report)\n",
+              path.c_str());
+  return true;
+}
+
+bool WriteReport(const std::string& path, const std::string& json) {
+  std::string error;
+  if (!asfobs::WriteTextFile(path, json, &error)) {
+    std::fprintf(stderr, "report export: %s\n", error.c_str());
+    return false;
+  }
+  std::printf("report written to %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,6 +171,18 @@ int main(int argc, char** argv) {
   asf::AsfVariant variant = ParseVariant(args.Get("variant", "llb256"));
   uint32_t threads = static_cast<uint32_t>(args.GetInt("threads", 8));
   uint64_t seed = args.GetInt("seed", 1);
+  std::string trace_path = args.Get("trace", "");
+  std::string report_path = args.Get("report", "");
+
+  // Observers are only attached when an export was requested; without them
+  // the run is byte-identical to an unobserved one.
+  asfsim::Tracer tracer;
+  asfobs::ObsSession session;
+  harness::ObsHooks obs;
+  if (!trace_path.empty()) {
+    obs.tracer = &tracer;
+    obs.tx_sink = &session;
+  }
 
   if (workload == "intset") {
     harness::IntsetConfig cfg;
@@ -147,6 +195,7 @@ int main(int argc, char** argv) {
     cfg.variant = variant;
     cfg.seed = seed;
     cfg.timer_interrupts = timer;
+    cfg.obs = obs;
     harness::IntsetResult r = harness::RunIntset(cfg);
     std::printf("intset %s | range %lu | %u%% updates | %u threads | %s | %s\n",
                 cfg.structure.c_str(), cfg.key_range, cfg.update_pct, threads,
@@ -155,7 +204,16 @@ int main(int argc, char** argv) {
                 r.measure_cycles);
     PrintTmStats(r.tm);
     PrintBreakdown(r.breakdown);
-    return 0;
+    bool ok = true;
+    if (!trace_path.empty()) {
+      ok = ExportTrace(trace_path, "intset-" + cfg.structure + "-" + variant.Name(), cfg.threads,
+                       tracer, session) &&
+           ok;
+    }
+    if (!report_path.empty()) {
+      ok = WriteReport(report_path, harness::IntsetReportJson(cfg, r)) && ok;
+    }
+    return ok ? 0 : 1;
   }
 
   if (workload == "stamp") {
@@ -168,6 +226,7 @@ int main(int argc, char** argv) {
     cfg.scale = static_cast<uint32_t>(args.GetInt("scale", 1));
     cfg.seed = seed;
     cfg.timer_interrupts = timer;
+    cfg.obs = obs;
     harness::StampResult r = harness::RunStamp(*app, cfg);
     std::printf("stamp %s | scale %u | %u threads | %s | %s\n", app_name.c_str(), cfg.scale,
                 threads, harness::RuntimeKindName(runtime), variant.Name().c_str());
@@ -175,7 +234,16 @@ int main(int argc, char** argv) {
                 r.exec_cycles, r.validation.empty() ? "OK" : r.validation.c_str());
     PrintTmStats(r.tm);
     PrintBreakdown(r.breakdown);
-    return r.validation.empty() ? 0 : 1;
+    bool ok = r.validation.empty();
+    if (!trace_path.empty()) {
+      ok = ExportTrace(trace_path, "stamp-" + app_name + "-" + variant.Name(), cfg.threads,
+                       tracer, session) &&
+           ok;
+    }
+    if (!report_path.empty()) {
+      ok = WriteReport(report_path, harness::StampReportJson(app_name, cfg, r)) && ok;
+    }
+    return ok ? 0 : 1;
   }
 
   std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());

@@ -1,0 +1,46 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Validates a JSON document: parses it and checks that the required
+// top-level keys are present. Used by the bench smoke tests to assert that
+// every fig* binary's --json report is well-formed.
+//
+//   usage: json_check <file> [required-key...]
+//
+// Exit status: 0 when the file parses and all keys exist, 1 otherwise.
+#include <cstdio>
+
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file> [required-key...]\n", argv[0]);
+    return 2;
+  }
+  std::string text;
+  std::string error;
+  if (!asfobs::ReadTextFile(argv[1], &text, &error)) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    return 1;
+  }
+  asfobs::JsonValue doc;
+  if (!asfobs::JsonValue::Parse(text, &doc, &error)) {
+    std::fprintf(stderr, "%s: %s: parse error: %s\n", argv[0], argv[1], error.c_str());
+    return 1;
+  }
+  if (!doc.IsObject()) {
+    std::fprintf(stderr, "%s: %s: top-level value is not an object\n", argv[0], argv[1]);
+    return 1;
+  }
+  int missing = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (doc.Get(argv[i]) == nullptr) {
+      std::fprintf(stderr, "%s: %s: missing required key \"%s\"\n", argv[0], argv[1], argv[i]);
+      ++missing;
+    }
+  }
+  if (missing != 0) {
+    return 1;
+  }
+  std::printf("%s: ok (%zu top-level members)\n", argv[1], doc.members().size());
+  return 0;
+}

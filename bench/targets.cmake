@@ -25,6 +25,20 @@ asf_add_bench(fig7_capacity)
 asf_add_bench(fig8_early_release)
 asf_add_bench(fig9_table1_overheads)
 asf_add_bench(ablation_design_choices)
+asf_add_bench(stress_faults)
+
+# Fault-injection stress targets (docs/ROBUSTNESS.md): one per built-in
+# schedule on all four policy-driven runtimes, plus a determinism check that
+# runs every configuration twice and compares the replay digests. All carry
+# the "stress" label (`ctest -L stress`).
+foreach(sched interrupt-heavy capacity-heavy adversarial-contention)
+  add_test(NAME stress_faults_${sched}
+           COMMAND stress_faults --quick --schedule ${sched})
+  set_tests_properties(stress_faults_${sched} PROPERTIES LABELS "stress")
+endforeach()
+add_test(NAME stress_faults_replay
+         COMMAND stress_faults --quick --verify-replay)
+set_tests_properties(stress_faults_replay PROPERTIES LABELS "stress")
 
 add_executable(micro_substrate ${CMAKE_SOURCE_DIR}/bench/micro_substrate.cc)
 target_link_libraries(micro_substrate PRIVATE asf_harness benchmark::benchmark)

@@ -1,6 +1,8 @@
 // Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
 #include "src/asf/machine.h"
 
+#include "src/fault/fault_injector.h"
+
 namespace asf {
 
 using asfcommon::AbortCause;
@@ -38,6 +40,34 @@ AccessOutcome Machine::OnAccess(SimThread& thread, AccessKind kind, uint64_t add
   const uint32_t cid = thread.id();
   AsfContext& ctx = *contexts_[cid];
   const AsfCosts& costs = params_.costs;
+
+  // 0. Fault injection (src/fault): the scheduled adverse event, if any,
+  //    strikes before the access's own semantics — a timer interrupt or
+  //    conflicting probe does not wait for the victim's instruction to
+  //    retire. kAbortOp is exempt: that region is already dying.
+  uint64_t injected_latency = 0;
+  if (fault_injector_ != nullptr && kind != AccessKind::kAbortOp) {
+    asffault::InjectionOutcome inj = fault_injector_->OnAccess(cid, kind, ctx.active());
+    injected_latency = inj.extra_latency;
+    if (inj.cause != AbortCause::kNone) {
+      if (tx_sink_ != nullptr) {
+        asfobs::TxEvent ev;
+        ev.cycle = thread.core().clock();
+        ev.core = cid;
+        ev.kind = asfobs::TxEventKind::kFaultInjected;
+        ev.cause = inj.cause;
+        ev.attempt = thread.core().attempt_seq();
+        ev.arg0 = inj.abort ? 1 : 0;
+        ev.arg1 = inj.extra_latency;
+        tx_sink_->OnTxEvent(ev);
+      }
+      if (inj.abort) {
+        ctx.Abort(inj.cause);
+        thread.MarkAbort(inj.cause);
+        return {injected_latency + costs.abort_op, true};
+      }
+    }
+  }
 
   switch (kind) {
     case AccessKind::kSpeculate: {
@@ -91,7 +121,7 @@ AccessOutcome Machine::OnAccess(SimThread& thread, AccessKind kind, uint64_t add
   //    requester observes pre-speculative data.
   const uint64_t first = LineOf(addr);
   const uint64_t last = LineOf(addr + size - 1);
-  uint64_t extra = 0;
+  uint64_t extra = injected_latency;  // Latency-only injections (no region).
   for (uint32_t o = 0; o < scheduler_.num_threads(); ++o) {
     if (o == cid || !contexts_[o]->active()) {
       continue;

@@ -25,6 +25,10 @@
 #include "src/sim/scheduler.h"
 #include "src/sim/task.h"
 
+namespace asffault {
+class FaultInjector;
+}  // namespace asffault
+
 namespace asf {
 
 struct MachineParams {
@@ -57,6 +61,15 @@ class Machine : public asfsim::AccessHandler, public asfmem::MemEventListener {
   void SetTxSink(asfobs::TxEventSink* sink) { tx_sink_ = sink; }
   asfobs::TxEventSink* tx_sink() const { return tx_sink_; }
 
+  // Optional deterministic fault injector (src/fault): consulted once per
+  // processed access, before the access's own semantics. Injected faults
+  // abort the active region with the scheduled cause (emitting a
+  // kFaultInjected event through the TxEvent sink) or, for interrupt/page-
+  // fault injections outside a region, charge service latency only. Null
+  // (the default) disables injection; the injector is borrowed, not owned.
+  void SetFaultInjector(asffault::FaultInjector* injector) { fault_injector_ = injector; }
+  asffault::FaultInjector* fault_injector() const { return fault_injector_; }
+
   // Executes the ABORT instruction on `t`'s core: architectural rollback
   // with `cause` reported in rAX, then control-flow unwind of the thread's
   // abortable scope. The returned task never resumes its awaiter.
@@ -87,6 +100,7 @@ class Machine : public asfsim::AccessHandler, public asfmem::MemEventListener {
   std::vector<std::unique_ptr<AsfContext>> contexts_;
   std::vector<asfcommon::AbortCause> staged_abort_;
   asfobs::TxEventSink* tx_sink_ = nullptr;
+  asffault::FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace asf

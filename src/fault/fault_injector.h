@@ -1,0 +1,93 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Deterministic, seedable fault injector.
+//
+// Installed on asf::Machine with SetFaultInjector(); the machine consults it
+// once per processed access, in global cycle order, which is what makes a
+// seeded schedule replay bit for bit: the k-th consultation of a run always
+// sees the same (core, kind, region state) and therefore draws the same
+// random bits.
+//
+// What an injection means depends on the victim's state:
+//   * region active  -> the speculative region aborts with the rule's cause,
+//     exactly as if the modeled event (interrupt, page fault, conflicting
+//     probe, ...) had happened at that instruction. The machine emits a
+//     kFaultInjected TxEvent so traces can tell injected aborts from organic
+//     ones.
+//   * region inactive -> interrupts and page faults still charge their
+//     service latency (perturbing STM/serial/locked execution without
+//     aborting anything); region-only causes (capacity, disallowed,
+//     contention, syscall) do not apply and are not counted.
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/abort_cause.h"
+#include "src/common/random.h"
+#include "src/fault/fault_schedule.h"
+#include "src/sim/core.h"
+
+namespace asffault {
+
+struct InjectionOutcome {
+  // kNone: no fault fires at this access. Otherwise the cause of the
+  // injected event (for the trace record even when nothing aborts).
+  asfcommon::AbortCause cause = asfcommon::AbortCause::kNone;
+  // True when the fault struck inside a speculative region: the region must
+  // abort with `cause`. False for latency-only injections.
+  bool abort = false;
+  // Modeled service latency to charge in addition to the access's own cost.
+  uint64_t extra_latency = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultSchedule& schedule, uint32_t num_cores);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Consulted by Machine::OnAccess before it processes the access.
+  // `region_active` is whether `core`'s ASF context is currently inside a
+  // speculative region. At most one rule fires per access (first match in
+  // schedule order).
+  InjectionOutcome OnAccess(uint32_t core, asfsim::AccessKind kind, bool region_active);
+
+  // Injection counts, by cause, of faults that took effect (aborted a region
+  // or charged latency). Reset at the measurement barrier alongside the
+  // workload statistics.
+  uint64_t injected(asfcommon::AbortCause cause) const {
+    return injected_[static_cast<size_t>(cause)];
+  }
+  uint64_t total_injected() const;
+  void ResetCounts();
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  struct RuleState {
+    uint64_t fired = 0;            // Injections performed (vs. rule.max_count).
+    std::vector<uint64_t> seen;    // Per-core trigger-opportunity counters:
+                                   // attempts begun (kAtAttempt) or commit
+                                   // points reached (kBully).
+    std::vector<uint8_t> armed;    // kAtAttempt: fire at the next in-region
+                                   // access of this core.
+  };
+
+  bool RuleApplies(const FaultRule& rule, const RuleState& state, uint32_t core) const {
+    return (rule.core == kAnyCore || rule.core == core) &&
+           (rule.max_count == kUnlimited || state.fired < rule.max_count);
+  }
+
+  const FaultSchedule schedule_;
+  const uint32_t num_cores_;
+  asfcommon::Rng rng_;
+  std::vector<RuleState> states_;  // Parallel to schedule_.rules.
+  std::array<uint64_t, static_cast<size_t>(asfcommon::AbortCause::kNumCauses)> injected_{};
+};
+
+}  // namespace asffault
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

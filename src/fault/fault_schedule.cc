@@ -1,0 +1,311 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/fault/fault_schedule.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/defs.h"
+
+namespace asffault {
+
+using asfcommon::AbortCause;
+
+namespace {
+
+struct CauseName {
+  const char* name;
+  AbortCause cause;
+};
+
+// The injectable subset of AbortCause: the five OS/architectural events the
+// paper lists plus adversarial contention. Software causes (kStmConflict,
+// kMallocRefill, ...) are runtime-internal and cannot be injected from the
+// outside.
+constexpr CauseName kInjectable[] = {
+    {"interrupt", AbortCause::kInterrupt},   {"pagefault", AbortCause::kPageFault},
+    {"capacity", AbortCause::kCapacity},     {"disallowed", AbortCause::kDisallowed},
+    {"syscall", AbortCause::kSyscall},       {"contention", AbortCause::kContention},
+};
+
+const char* InjectableCauseName(AbortCause cause) {
+  for (const CauseName& c : kInjectable) {
+    if (c.cause == cause) {
+      return c.name;
+    }
+  }
+  return "?";
+}
+
+// Splits a line into whitespace-separated tokens.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    toks.push_back(tok);
+  }
+  return toks;
+}
+
+// Parses "key=value" into (key, value); returns false if no '=' present.
+bool SplitOption(const std::string& tok, std::string* key, std::string* value) {
+  size_t eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size()) {
+    return false;
+  }
+  *key = tok.substr(0, eq);
+  *value = tok.substr(eq + 1);
+  return true;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  unsigned long long v = strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  double v = strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Applies one "key=value" option shared by every rule form. Returns false
+// (with *error set) on unknown keys or bad values.
+bool ApplyCommonOption(const std::string& key, const std::string& value, FaultRule* rule,
+                       std::string* error) {
+  uint64_t v = 0;
+  if (key == "core") {
+    if (!ParseU64(value, &v)) {
+      *error = "bad core value '" + value + "'";
+      return false;
+    }
+    rule->core = static_cast<uint32_t>(v);
+    return true;
+  }
+  if (key == "max") {
+    if (!ParseU64(value, &v)) {
+      *error = "bad max value '" + value + "'";
+      return false;
+    }
+    rule->max_count = v;
+    return true;
+  }
+  if (key == "cost") {
+    if (!ParseU64(value, &v)) {
+      *error = "bad cost value '" + value + "'";
+      return false;
+    }
+    rule->cost = v;
+    return true;
+  }
+  if (key == "every") {
+    if (!ParseU64(value, &v)) {
+      *error = "bad every value '" + value + "'";
+      return false;
+    }
+    rule->every = v;
+    return true;
+  }
+  if (key == "attempt") {
+    if (!ParseU64(value, &v) || v == 0) {
+      *error = "bad attempt value '" + value + "' (attempts are 1-based)";
+      return false;
+    }
+    rule->attempt = v;
+    return true;
+  }
+  *error = "unknown option '" + key + "'";
+  return false;
+}
+
+}  // namespace
+
+bool ParseInjectableCause(const std::string& name, AbortCause* out) {
+  for (const CauseName& c : kInjectable) {
+    if (name == c.name) {
+      *out = c.cause;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultRule::ToString() const {
+  std::ostringstream out;
+  switch (trigger) {
+    case Trigger::kRate: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%g", rate);
+      out << "rate " << InjectableCauseName(cause) << " " << buf;
+      break;
+    }
+    case Trigger::kAtAttempt:
+      out << "at " << InjectableCauseName(cause) << " attempt=" << attempt;
+      if (every != 0) {
+        out << " every=" << every;
+      }
+      break;
+    case Trigger::kBully:
+      out << "bully";
+      if (every > 1) {
+        out << " every=" << every;
+      }
+      break;
+  }
+  if (core != kAnyCore) {
+    out << " core=" << core;
+  }
+  if (max_count != kUnlimited) {
+    out << " max=" << max_count;
+  }
+  if (cost != 0) {
+    out << " cost=" << cost;
+  }
+  return out.str();
+}
+
+bool FaultSchedule::Parse(const std::string& text, FaultSchedule* out, std::string* error) {
+  FaultSchedule sched;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = "fault schedule line " + std::to_string(line_no) + ": " + msg;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::vector<std::string> toks = Tokenize(line);
+    if (toks.empty()) {
+      continue;
+    }
+    const std::string& verb = toks[0];
+    if (verb == "seed") {
+      if (toks.size() != 2 || !ParseU64(toks[1], &sched.seed)) {
+        return fail("expected 'seed <n>'");
+      }
+      continue;
+    }
+
+    FaultRule rule;
+    size_t opt_start = 0;
+    if (verb == "rate") {
+      rule.trigger = Trigger::kRate;
+      if (toks.size() < 3 || !ParseInjectableCause(toks[1], &rule.cause)) {
+        return fail("expected 'rate <cause> <p>' (causes: interrupt pagefault capacity "
+                    "disallowed syscall contention)");
+      }
+      if (!ParseDouble(toks[2], &rule.rate) || rule.rate <= 0.0 || rule.rate > 1.0) {
+        return fail("rate probability '" + toks[2] + "' not in (0, 1]");
+      }
+      opt_start = 3;
+    } else if (verb == "at") {
+      rule.trigger = Trigger::kAtAttempt;
+      rule.attempt = 0;  // Required option; 0 marks "unset".
+      if (toks.size() < 2 || !ParseInjectableCause(toks[1], &rule.cause)) {
+        return fail("expected 'at <cause> attempt=<n>'");
+      }
+      opt_start = 2;
+    } else if (verb == "bully") {
+      rule.trigger = Trigger::kBully;
+      rule.cause = AbortCause::kContention;
+      rule.every = 1;
+      opt_start = 1;
+    } else {
+      return fail("unknown directive '" + verb + "'");
+    }
+
+    for (size_t i = opt_start; i < toks.size(); ++i) {
+      std::string key;
+      std::string value;
+      std::string msg;
+      if (!SplitOption(toks[i], &key, &value) || !ApplyCommonOption(key, value, &rule, &msg)) {
+        return fail(msg.empty() ? "malformed option '" + toks[i] + "'" : msg);
+      }
+    }
+    if (rule.trigger == Trigger::kAtAttempt && rule.attempt == 0) {
+      return fail("'at' rule requires attempt=<n>");
+    }
+    if (rule.trigger == Trigger::kBully && rule.every == 0) {
+      return fail("bully every=<k> must be >= 1");
+    }
+    sched.rules.push_back(rule);
+  }
+  *out = sched;
+  return true;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::ostringstream out;
+  out << "seed " << seed << "\n";
+  for (const FaultRule& rule : rules) {
+    out << rule.ToString() << "\n";
+  }
+  return out.str();
+}
+
+bool FaultSchedule::Lookup(const std::string& name, FaultSchedule* out) {
+  // Built-in schedules are expressed in the text format so the docs, the
+  // parser, and the stress targets all exercise the same path.
+  const char* text = nullptr;
+  if (name == "none") {
+    text = "seed 1\n";
+  } else if (name == "interrupt-heavy") {
+    text =
+        "# Frequent asynchronous OS events: timer interrupts and minor page\n"
+        "# faults at rates far above the organic timer period.\n"
+        "seed 1009\n"
+        "rate interrupt 0.02 cost=5000\n"
+        "rate pagefault 0.005 cost=800\n";
+  } else if (name == "capacity-heavy") {
+    text =
+        "# Spurious capacity/disallowed aborts: models LLB pressure and\n"
+        "# unfriendly instruction mixes inside regions.\n"
+        "seed 2003\n"
+        "rate capacity 0.01\n"
+        "rate disallowed 0.002\n"
+        "at capacity attempt=3 every=7\n";
+  } else if (name == "adversarial-contention") {
+    text =
+        "# A requester-wins bully snipes every other COMMIT, plus background\n"
+        "# conflict probes on random accesses.\n"
+        "seed 3001\n"
+        "bully every=2 max=100000\n"
+        "rate contention 0.002\n";
+  } else {
+    return false;
+  }
+  std::string error;
+  ASF_CHECK_MSG(Parse(text, out, &error), "built-in fault schedule failed to parse");
+  return true;
+}
+
+const std::vector<std::string>& FaultSchedule::BuiltinNames() {
+  static const std::vector<std::string> kNames = {"none", "interrupt-heavy", "capacity-heavy",
+                                                  "adversarial-contention"};
+  return kNames;
+}
+
+}  // namespace asffault

@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Scripted fault schedules: a small text format describing which adverse
+// events to inject into a run, so that any observed failure is replayable
+// bit for bit from (schedule text, seed).
+//
+// The paper's ASF regions abort on timer interrupts, page faults, system
+// calls, capacity overflows and disallowed instructions (Sec. 2.2), and rely
+// on requester-wins conflict resolution plus the runtime's contention
+// management for forward progress (Sec. 3.2). In the simulator those events
+// only arise organically; a schedule makes them first-class test inputs.
+//
+// Format (one directive per line, '#' starts a comment):
+//
+//   seed <n>                                   # RNG seed for rate rules
+//   rate  <cause> <p> [core=<c>] [max=<n>] [cost=<cycles>]
+//   at    <cause> attempt=<n> [every=<k>] [core=<c>] [max=<n>]
+//   bully [core=<c>] [every=<k>] [max=<n>]
+//
+// Causes: interrupt, pagefault, capacity, disallowed, syscall, contention.
+//
+//   rate   fires with per-memory-access probability p (0 < p <= 1).
+//   at     fires once during hardware attempt <n> (1-based, counted per
+//          core), then during every <k>-th attempt after that (every=0, the
+//          default, means only attempt <n>).
+//   bully  models an adversarial requester that wins a conflict probe just
+//          as the victim reaches COMMIT: a kContention abort at the commit
+//          point of every <k>-th commit attempt (default every=1).
+//
+// Common options: core=<c> restricts a rule to one core (default: all);
+// max=<n> caps the number of injections (default: unlimited); cost=<cycles>
+// is the modeled service latency charged when an interrupt/page-fault rule
+// fires outside a speculative region (where there is nothing to abort).
+#ifndef SRC_FAULT_FAULT_SCHEDULE_H_
+#define SRC_FAULT_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/abort_cause.h"
+
+namespace asffault {
+
+// Sentinel for "rule applies to every core".
+inline constexpr uint32_t kAnyCore = UINT32_MAX;
+// Sentinel for "no injection cap".
+inline constexpr uint64_t kUnlimited = 0;
+
+enum class Trigger : uint8_t {
+  kRate,       // Bernoulli draw per memory access.
+  kAtAttempt,  // Targeted hardware attempt ordinal (per core).
+  kBully,      // Contention abort at the COMMIT point.
+};
+
+struct FaultRule {
+  Trigger trigger = Trigger::kRate;
+  asfcommon::AbortCause cause = asfcommon::AbortCause::kInterrupt;
+  double rate = 0.0;        // kRate: probability per memory access.
+  uint64_t attempt = 1;     // kAtAttempt: 1-based target attempt.
+  uint64_t every = 0;       // kAtAttempt: stride after `attempt` (0 = once).
+                            // kBully: fire at every k-th commit (default 1).
+  uint32_t core = kAnyCore;
+  uint64_t max_count = kUnlimited;
+  uint64_t cost = 0;        // Service latency when the fault cannot abort.
+
+  std::string ToString() const;
+};
+
+struct FaultSchedule {
+  uint64_t seed = 0x5EEDFA17ull;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  // Parses the text format above. On failure returns false and leaves a
+  // human-readable message (with the offending line) in *error.
+  static bool Parse(const std::string& text, FaultSchedule* out, std::string* error);
+
+  // Serializes back to the text format; Parse(ToString()) round-trips.
+  std::string ToString() const;
+
+  // Built-in named schedules used by the stress harness and ctest targets:
+  // "none", "interrupt-heavy", "capacity-heavy", "adversarial-contention".
+  // Returns false if `name` is not a built-in.
+  static bool Lookup(const std::string& name, FaultSchedule* out);
+
+  // The built-in schedule names, for usage messages.
+  static const std::vector<std::string>& BuiltinNames();
+};
+
+// Parses one of the injectable cause names (interrupt, pagefault, capacity,
+// disallowed, syscall, contention). Returns false on unknown names.
+bool ParseInjectableCause(const std::string& name, asfcommon::AbortCause* out);
+
+}  // namespace asffault
+
+#endif  // SRC_FAULT_FAULT_SCHEDULE_H_

@@ -1,0 +1,107 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/fault/watchdog.h"
+
+#include <sstream>
+
+namespace asffault {
+
+using asfobs::TxEvent;
+using asfobs::TxEventKind;
+
+void Watchdog::EnsureCore(uint32_t core) {
+  if (core >= aborts_since_commit_.size()) {
+    aborts_since_commit_.resize(core + 1, 0);
+  }
+}
+
+void Watchdog::Fire(Verdict verdict, uint64_t cycle, uint32_t core) {
+  if (fired()) {
+    return;  // Keep the first violation; the rest are echoes of it.
+  }
+  verdict_ = verdict;
+  fired_cycle_ = cycle;
+  fired_core_ = core;
+}
+
+void Watchdog::OnTxEvent(const TxEvent& ev) {
+  EnsureCore(ev.core);
+  if (!saw_event_) {
+    saw_event_ = true;
+    last_commit_cycle_ = ev.cycle;  // Gap measurement starts at first activity.
+  }
+
+  switch (ev.kind) {
+    case TxEventKind::kTxBegin:
+      ++begins_since_commit_;
+      break;
+    case TxEventKind::kTxCommit:
+      ++commits_;
+      last_commit_cycle_ = ev.cycle;
+      begins_since_commit_ = 0;
+      aborts_since_commit_[ev.core] = 0;
+      break;
+    case TxEventKind::kTxAbort: {
+      ++aborts_;
+      uint64_t streak = ++aborts_since_commit_[ev.core];
+      // Starvation means *divergence*: this core spins while the rest of the
+      // machine commits, so require at least one global commit since start.
+      if (params_.starvation_attempts != 0 && commits_ > 0 &&
+          streak > params_.starvation_attempts) {
+        Fire(Verdict::kStarvation, ev.cycle, ev.core);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  if (params_.commit_gap_cycles != 0 && begins_since_commit_ > 0 &&
+      ev.cycle > last_commit_cycle_ + params_.commit_gap_cycles) {
+    Fire(Verdict::kLivelock, ev.cycle, ev.core);
+  }
+
+  if (next_ != nullptr) {
+    next_->OnTxEvent(ev);
+  }
+}
+
+void Watchdog::OnMeasurementReset() {
+  commits_ = 0;
+  aborts_ = 0;
+  last_commit_cycle_ = 0;
+  saw_event_ = false;
+  begins_since_commit_ = 0;
+  aborts_since_commit_.assign(aborts_since_commit_.size(), 0);
+  verdict_ = Verdict::kProgress;
+  fired_cycle_ = 0;
+  fired_core_ = 0;
+  if (next_ != nullptr) {
+    next_->OnMeasurementReset();
+  }
+}
+
+void Watchdog::Finalize(uint64_t final_cycle) {
+  if (params_.commit_gap_cycles != 0 && saw_event_ && begins_since_commit_ > 0 &&
+      final_cycle > last_commit_cycle_ + params_.commit_gap_cycles) {
+    Fire(Verdict::kLivelock, final_cycle, 0);
+  }
+}
+
+std::string Watchdog::diagnosis() const {
+  std::ostringstream out;
+  switch (verdict_) {
+    case Verdict::kProgress:
+      return "";
+    case Verdict::kLivelock:
+      out << "livelock: no global commit for > " << params_.commit_gap_cycles
+          << " cycles (detected at cycle " << fired_cycle_ << ")";
+      break;
+    case Verdict::kStarvation:
+      out << "starvation: core " << fired_core_ << " exceeded " << params_.starvation_attempts
+          << " aborted attempts since its last commit (at cycle " << fired_cycle_ << ")";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace asffault

@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Forward-progress watchdog.
+//
+// The paper argues ASF-TM cannot livelock: requester-wins conflicts are
+// eventually resolved by the exponential-backoff + serial-irrevocable
+// contention management (Sec. 3.2), and transactions of at most four lines
+// are guaranteed to succeed architecturally (Sec. 2.2). This watchdog turns
+// that argument into a checkable property: it folds the transaction
+// lifecycle event stream into two progress conditions and records the first
+// violation.
+//
+//   * Livelock (global stall): transactions keep starting but no commit
+//     happens anywhere for more than `commit_gap_cycles`.
+//   * Starvation: one core accumulates more than `starvation_attempts`
+//     aborted attempts since its last commit while other cores keep
+//     committing — per-thread attempt counts diverging.
+//
+// The watchdog is a TxEventSink, so it observes at zero simulated cost; it
+// chains to a downstream sink (the Machine holds a single sink pointer), and
+// it only *records* the violation — tests and the stress harness decide what
+// failing means. Call Finalize() at the end of a run to catch a stall that
+// was still open when the workload was cut off.
+#ifndef SRC_FAULT_WATCHDOG_H_
+#define SRC_FAULT_WATCHDOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/tx_event.h"
+
+namespace asffault {
+
+struct WatchdogParams {
+  // Fire if no commit lands, machine-wide, for this many cycles while
+  // attempts are being made. 0 disables the check.
+  uint64_t commit_gap_cycles = 2'000'000;
+  // Fire if one core's aborted attempts since its own last commit exceed
+  // this while at least one other core committed in the meantime. 0 disables
+  // the check.
+  uint64_t starvation_attempts = 1'000;
+};
+
+class Watchdog final : public asfobs::TxEventSink {
+ public:
+  enum class Verdict : uint8_t {
+    kProgress = 0,  // No violation observed.
+    kLivelock,      // Global commit gap exceeded commit_gap_cycles.
+    kStarvation,    // One core's abort streak exceeded starvation_attempts.
+  };
+
+  explicit Watchdog(const WatchdogParams& params = {}) : params_(params) {}
+
+  // Downstream sink that keeps receiving every event (may be null).
+  void set_next(asfobs::TxEventSink* next) { next_ = next; }
+
+  // --- TxEventSink ---------------------------------------------------------
+  void OnTxEvent(const asfobs::TxEvent& ev) override;
+  void OnMeasurementReset() override;
+
+  // End-of-run check: a stall that never saw another event to trip on is
+  // still a stall if attempts were left hanging past the gap.
+  void Finalize(uint64_t final_cycle);
+
+  bool fired() const { return verdict_ != Verdict::kProgress; }
+  Verdict verdict() const { return verdict_; }
+  // First violation only; later ones are symptoms of the same stall.
+  uint64_t fired_cycle() const { return fired_cycle_; }
+  uint32_t fired_core() const { return fired_core_; }
+  // Human-readable one-liner ("" while kProgress).
+  std::string diagnosis() const;
+
+  uint64_t commits_seen() const { return commits_; }
+  uint64_t aborts_seen() const { return aborts_; }
+
+ private:
+  void Fire(Verdict verdict, uint64_t cycle, uint32_t core);
+  void EnsureCore(uint32_t core);
+
+  const WatchdogParams params_;
+  asfobs::TxEventSink* next_ = nullptr;
+
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+  uint64_t last_commit_cycle_ = 0;
+  bool saw_event_ = false;
+  uint64_t begins_since_commit_ = 0;
+  std::vector<uint64_t> aborts_since_commit_;  // Per core.
+
+  Verdict verdict_ = Verdict::kProgress;
+  uint64_t fired_cycle_ = 0;
+  uint32_t fired_core_ = 0;
+};
+
+}  // namespace asffault
+
+#endif  // SRC_FAULT_WATCHDOG_H_

@@ -11,6 +11,8 @@
 #include "src/intset/skip_list.h"
 #include "src/sim/sync.h"
 #include "src/tm/asf_tm.h"
+#include "src/tm/contention_policy.h"
+#include "src/tm/lock_elision.h"
 #include "src/tm/phased_tm.h"
 #include "src/tm/serial_tm.h"
 #include "src/tm/tiny_stm.h"
@@ -33,9 +35,27 @@ const char* RuntimeKindName(RuntimeKind k) {
       return "GlobalLock";
     case RuntimeKind::kPhasedTm:
       return "PhasedTM";
+    case RuntimeKind::kLockElision:
+      return "LockElision";
   }
   return "invalid";
 }
+
+namespace {
+
+// Builds the configured contention policy, or null for the runtime default.
+std::shared_ptr<asftm::ContentionPolicy> PolicyFromConfig(const IntsetConfig& cfg,
+                                                          uint64_t seed) {
+  if (cfg.contention_policy.empty()) {
+    return nullptr;
+  }
+  std::string error;
+  auto policy = asftm::MakeContentionPolicy(cfg.contention_policy, seed, &error);
+  ASF_CHECK_MSG(policy != nullptr, error.c_str());
+  return policy;
+}
+
+}  // namespace
 
 asf::MachineParams PaperMachineParams(const asf::AsfVariant& variant, uint32_t threads,
                                       bool timer_interrupts) {
@@ -61,6 +81,7 @@ std::unique_ptr<asftm::TmRuntime> MakeRuntime(RuntimeKind kind, asf::Machine& m,
         p.barrier_instructions = static_cast<uint32_t>(cfg.barrier_instructions);
       }
       p.rng_seed = cfg.seed * 0x1234567 + 99;
+      p.policy = PolicyFromConfig(cfg, p.rng_seed);
       return std::make_unique<asftm::AsfTm>(m, p);
     }
     case RuntimeKind::kTinyStm: {
@@ -70,6 +91,7 @@ std::unique_ptr<asftm::TmRuntime> MakeRuntime(RuntimeKind kind, asf::Machine& m,
         p.store_instructions += static_cast<uint32_t>(cfg.barrier_instructions);
       }
       p.rng_seed = cfg.seed * 0x7654321 + 7;
+      p.policy = PolicyFromConfig(cfg, p.rng_seed);
       return std::make_unique<asftm::TinyStm>(m, p);
     }
     case RuntimeKind::kSequential:
@@ -85,16 +107,27 @@ std::unique_ptr<asftm::TmRuntime> MakeRuntime(RuntimeKind kind, asf::Machine& m,
         p.barrier_instructions = static_cast<uint32_t>(cfg.barrier_instructions);
       }
       p.rng_seed = cfg.seed * 0x33331 + 3;
+      p.policy = PolicyFromConfig(cfg, p.rng_seed);
       return std::make_unique<asftm::PhasedTm>(m, p);
+    }
+    case RuntimeKind::kLockElision: {
+      asftm::ElisionTmParams p;
+      if (cfg.max_contention_retries >= 0) {
+        p.lock.max_elision_retries = static_cast<uint32_t>(cfg.max_contention_retries);
+      }
+      if (cfg.barrier_instructions >= 0) {
+        p.barrier_instructions = static_cast<uint32_t>(cfg.barrier_instructions);
+      }
+      p.lock.rng_seed = cfg.seed * 0x51515 + 5;
+      p.lock.policy = PolicyFromConfig(cfg, p.lock.rng_seed);
+      return std::make_unique<asftm::ElisionTm>(m, p);
     }
   }
   ASF_CHECK(false);
   return nullptr;
 }
 
-namespace {
-
-std::unique_ptr<intset::IntSet> MakeSet(const std::string& kind, asfcommon::SimArena* arena) {
+std::unique_ptr<intset::IntSet> MakeIntset(const std::string& kind, asfcommon::SimArena* arena) {
   if (kind == "list") {
     return std::make_unique<intset::LinkedList>(false, arena);
   }
@@ -114,7 +147,7 @@ std::unique_ptr<intset::IntSet> MakeSet(const std::string& kind, asfcommon::SimA
   return nullptr;
 }
 
-void PretouchStructure(asf::Machine& m, const std::string& kind, intset::IntSet* set) {
+void PretouchIntset(asf::Machine& m, const std::string& kind, intset::IntSet* set) {
   // The paper fast-forwards benchmark initialization; resident images
   // (sentinels, bucket tables) are pretouched. Node pages fault naturally.
   if (kind == "hash") {
@@ -122,8 +155,6 @@ void PretouchStructure(asf::Machine& m, const std::string& kind, intset::IntSet*
     m.mem().PretouchPages(reinterpret_cast<uint64_t>(hs->table_data()), hs->table_bytes());
   }
 }
-
-}  // namespace
 
 IntsetResult RunIntset(const IntsetConfig& cfg) {
   return RunIntsetOnParams(cfg, PaperMachineParams(cfg.variant, cfg.threads,
@@ -140,9 +171,9 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
   if (cfg.obs.tx_sink != nullptr) {
     m.SetTxSink(cfg.obs.tx_sink);
   }
-  auto set = MakeSet(cfg.structure, &m.arena());
+  auto set = MakeIntset(cfg.structure, &m.arena());
   auto rt = MakeRuntime(cfg.runtime, m, cfg);
-  PretouchStructure(m, cfg.structure, set.get());
+  PretouchIntset(m, cfg.structure, set.get());
 
   const uint64_t initial = cfg.initial_size != 0 ? cfg.initial_size : cfg.key_range / 2;
   ASF_CHECK(initial <= cfg.key_range);

@@ -32,11 +32,12 @@ struct ObsHooks {
 };
 
 enum class RuntimeKind {
-  kAsfTm,       // ASF-TM on the configured ASF variant.
-  kTinyStm,     // TinySTM write-through (baseline).
-  kSequential,  // Uninstrumented, single thread only.
-  kGlobalLock,  // Single global lock (reference, ablations).
-  kPhasedTm,    // PhasedTM-style hardware/software phase hybrid.
+  kAsfTm,        // ASF-TM on the configured ASF variant.
+  kTinyStm,      // TinySTM write-through (baseline).
+  kSequential,   // Uninstrumented, single thread only.
+  kGlobalLock,   // Single global lock (reference, ablations).
+  kPhasedTm,     // PhasedTM-style hardware/software phase hybrid.
+  kLockElision,  // One elidable global lock (ElisionTm).
 };
 
 const char* RuntimeKindName(RuntimeKind k);
@@ -59,6 +60,10 @@ struct IntsetConfig {
   // Extra per-barrier ABI dispatch instructions (models dynamic linking /
   // no-LTO; -1 = default inlined cost).
   int barrier_instructions = -1;
+  // Contention-policy spec for asftm::MakeContentionPolicy (e.g.
+  // "exp-backoff:retries=4", "serialize", "adaptive"); empty = the runtime's
+  // built-in default. Ignored by kSequential / kGlobalLock.
+  std::string contention_policy;
   ObsHooks obs;
 };
 
@@ -90,6 +95,15 @@ struct IntsetResult {
 // policy overrides where the kind supports them).
 std::unique_ptr<asftm::TmRuntime> MakeRuntime(RuntimeKind kind, asf::Machine& m,
                                               const IntsetConfig& cfg);
+
+// Builds an IntegerSet of the requested structure ("list", "list-er",
+// "skip", "rb", "hash") on `arena`; CHECK-fails on unknown names.
+std::unique_ptr<intset::IntSet> MakeIntset(const std::string& structure,
+                                           asfcommon::SimArena* arena);
+
+// Pretouches the structure's resident image (sentinels, bucket tables) the
+// way the paper's fast-forwarded initialization would leave it.
+void PretouchIntset(asf::Machine& m, const std::string& structure, intset::IntSet* set);
 
 // Builds the machine parameters used by all experiments (paper Sec. 5
 // configuration; 8 cores, Barcelona-like hierarchy).

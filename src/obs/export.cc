@@ -93,6 +93,10 @@ TraceAnalysis AnalyzeTrace(const std::vector<asfsim::CycleSpan>& spans,
         ++a.backoff_windows;
         a.backoff_cycles += ev.arg0;
         break;
+      case TxEventKind::kFaultInjected:
+        ++a.total_injected;
+        a.injected_by_cause[static_cast<size_t>(ev.cause)] += 1;
+        break;
       default:
         break;
     }
@@ -181,6 +185,11 @@ std::string WritePerfettoTrace(const PerfettoInput& in) {
         break;
       case TxEventKind::kBackoffEnd:
         EventCommon(w, "E", "backoff", TxTid(ev.core), ev.cycle);
+        break;
+      case TxEventKind::kFaultInjected:
+        EventCommon(w, "i", std::string("fault:") + asfcommon::AbortCauseName(ev.cause),
+                    TxTid(ev.core), ev.cycle);
+        w.KV("s", "t");
         break;
       case TxEventKind::kNumKinds:
         break;

@@ -47,6 +47,11 @@ struct TraceAnalysis {
   uint64_t fallback_transitions = 0;
   uint64_t backoff_windows = 0;
   uint64_t backoff_cycles = 0;
+  // Faults delivered by the asffault injector (kFaultInjected events),
+  // keyed by the cause each injection masquerades as.
+  std::array<uint64_t, static_cast<size_t>(asfcommon::AbortCause::kNumCauses)>
+      injected_by_cause{};
+  uint64_t total_injected = 0;
   uint64_t first_cycle = 0;
   uint64_t last_cycle = 0;
 
@@ -55,6 +60,9 @@ struct TraceAnalysis {
   }
   uint64_t AbortsOf(asfcommon::AbortCause c) const {
     return aborts_by_cause[static_cast<size_t>(c)];
+  }
+  uint64_t InjectedOf(asfcommon::AbortCause c) const {
+    return injected_by_cause[static_cast<size_t>(c)];
   }
   // Fig. 6 definition: aborted attempts / all attempts.
   double AbortRatePercent() const {

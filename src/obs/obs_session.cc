@@ -16,7 +16,8 @@ LifecycleMetrics::LifecycleMetrics(MetricsRegistry* registry)
       retries_(registry->AddHistogram("retries_per_commit", LinearBuckets(0, 1, 17))),
       backoff_(registry->AddHistogram("backoff_cycles", ExponentialBuckets(32, 2.0, 16))),
       begins_(registry->AddCounter("tx_begins")),
-      fallbacks_(registry->AddCounter("fallback_transitions")) {
+      fallbacks_(registry->AddCounter("fallback_transitions")),
+      faults_injected_(registry->AddCounter("faults_injected")) {
   // Pre-register the per-mode and per-cause counters so export order is
   // stable regardless of which events a run happens to produce.
   for (int m = 1; m < static_cast<int>(TxMode::kNumModes); ++m) {
@@ -24,6 +25,8 @@ LifecycleMetrics::LifecycleMetrics(MetricsRegistry* registry)
   }
   for (uint32_t c = 1; c < static_cast<uint32_t>(asfcommon::AbortCause::kNumCauses); ++c) {
     registry->AddCounter(std::string("aborts.") +
+                         asfcommon::AbortCauseName(static_cast<asfcommon::AbortCause>(c)));
+    registry->AddCounter(std::string("injected.") +
                          asfcommon::AbortCauseName(static_cast<asfcommon::AbortCause>(c)));
   }
 }
@@ -65,6 +68,15 @@ void LifecycleMetrics::OnTxEvent(const TxEvent& ev) {
     case TxEventKind::kBackoffEnd:
       backoff_.Observe(ev.arg0);
       break;
+    case TxEventKind::kFaultInjected: {
+      faults_injected_.Increment();
+      Counter* c =
+          registry_->FindCounter(std::string("injected.") + asfcommon::AbortCauseName(ev.cause));
+      if (c != nullptr) {
+        c->Increment();
+      }
+      break;
+    }
     case TxEventKind::kNumKinds:
       break;
   }

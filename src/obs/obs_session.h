@@ -48,6 +48,7 @@ class LifecycleMetrics final : public TxEventSink {
   Histogram& backoff_;
   Counter& begins_;
   Counter& fallbacks_;
+  Counter& faults_injected_;
   // Begin cycle of the attempt currently open on each core (0 = none).
   std::vector<uint64_t> open_begin_;
 };

@@ -17,6 +17,8 @@ const char* TxEventKindName(TxEventKind k) {
       return "backoff-start";
     case TxEventKind::kBackoffEnd:
       return "backoff-end";
+    case TxEventKind::kFaultInjected:
+      return "fault-injected";
     case TxEventKind::kNumKinds:
       break;
   }

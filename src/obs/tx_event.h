@@ -24,6 +24,9 @@ enum class TxEventKind : uint8_t {
   kFallbackTransition,   // Execution strategy changed (e.g. hw -> serial).
   kBackoffStart,         // Contention-management backoff begins.
   kBackoffEnd,           // Backoff ended; arg0 = cycles waited.
+  kFaultInjected,        // src/fault injected a fault here (cause says what;
+                         // arg0 = 1 if it aborted a region, 0 if it only
+                         // charged service latency; arg1 = extra cycles).
   kNumKinds,
 };
 

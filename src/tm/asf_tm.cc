@@ -149,13 +149,21 @@ class AsfSerialTx : public Tx {
 };
 
 AsfTm::AsfTm(asf::Machine& machine, const AsfTmParams& params)
-    : machine_(machine), params_(params) {
+    : machine_(machine), params_(params), policy_(params.policy) {
+  if (policy_ == nullptr) {
+    ExpBackoffParams pp;
+    pp.base_cycles = params.backoff_base_cycles;
+    pp.shift_cap = params.backoff_shift_cap;
+    pp.max_retries = params.max_contention_retries;
+    pp.capacity_serializes = params.capacity_goes_serial;
+    pp.seed = params.rng_seed;
+    policy_ = MakeExpBackoffPolicy(pp);
+  }
   serial_lock_ = machine.arena().New<SerialLock>();
   const uint32_t n = machine.scheduler().num_cores();
   threads_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     auto pt = std::make_unique<PerThread>(&machine.arena());
-    pt->rng.Seed(params.rng_seed + i * 0x9E37u);
     pt->alloc.Refill(1);  // Warm one chunk per thread.
     threads_.push_back(std::move(pt));
   }
@@ -244,10 +252,7 @@ Task<void> AsfTm::RunSerial(SimThread& t, PerThread& pt, const BodyFn& body, uin
   }
 }
 
-Task<void> AsfTm::Backoff(SimThread& t, PerThread& pt, uint32_t retry) {
-  uint32_t shift = retry < params_.backoff_shift_cap ? retry : params_.backoff_shift_cap;
-  uint64_t max_wait = params_.backoff_base_cycles << shift;
-  uint64_t wait = pt.rng.NextInRange(max_wait / 2, max_wait);
+Task<void> AsfTm::Backoff(SimThread& t, PerThread& pt, uint64_t wait, uint32_t retry) {
   pt.stats.backoff_cycles += wait;
   EmitTxEvent(machine_, t, TxEventKind::kBackoffStart, TxMode::kHardware, AbortCause::kNone, 0,
               retry);
@@ -260,7 +265,7 @@ Task<void> AsfTm::Atomic(SimThread& t, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   Core& core = t.core();
   ++pt.stats.tx_started;
-  uint32_t contention_retries = 0;
+  policy_->OnBlockStart(t.id());
   uint32_t aborted_attempts = 0;  // Lifecycle retry ordinal for this block.
   bool go_serial = false;
   for (;;) {
@@ -312,30 +317,17 @@ Task<void> AsfTm::Atomic(SimThread& t, BodyFn body) {
         pt.alloc.Refill(pt.refill_bytes);
         break;
       }
-      case AbortCause::kCapacity:
-        if (params_.capacity_goes_serial) {
+      default: {
+        // Everything else — contention, capacity, transient OS events,
+        // disallowed instructions — is contention management's call.
+        PolicyDecision d = policy_->OnAbort(t.id(), cause);
+        if (d.action == PolicyAction::kSerialize) {
           go_serial = true;
-        } else if (++contention_retries > params_.max_contention_retries) {
-          // "Retry and hope" still needs a cap: a genuinely over-capacity
-          // transaction would otherwise livelock. After the budget is spent
-          // it serializes like any other hopeless transaction.
-          go_serial = true;
-        } else {
-          co_await Backoff(t, pt, contention_retries);
+        } else if (d.action == PolicyAction::kBackoffRetry) {
+          co_await Backoff(t, pt, d.backoff_cycles, aborted_attempts);
         }
         break;
-      case AbortCause::kPageFault:
-      case AbortCause::kInterrupt:
-        break;  // Transient: the fault is serviced / the tick has passed.
-      case AbortCause::kContention:
-      case AbortCause::kDisallowed:
-      default:
-        if (++contention_retries > params_.max_contention_retries) {
-          go_serial = true;
-        } else {
-          co_await Backoff(t, pt, contention_retries);
-        }
-        break;
+      }
     }
   }
 }

@@ -24,13 +24,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 #include <string>
 #include <vector>
 
 #include "src/asf/machine.h"
-#include "src/common/random.h"
 #include "src/sim/sync.h"
+#include "src/tm/contention_policy.h"
 #include "src/tm/tm_api.h"
 #include "src/tm/tx_allocator.h"
 
@@ -55,6 +54,10 @@ struct AsfTmParams {
   // discusses; exposed for the ablation bench).
   bool capacity_goes_serial = true;
   uint64_t rng_seed = 0x5EED;
+  // Contention management. Null constructs the default exponential-backoff
+  // policy from the knobs above; kSerialize decisions enter
+  // serial-irrevocable mode.
+  std::shared_ptr<ContentionPolicy> policy;
 };
 
 class AsfTm : public TmRuntime {
@@ -85,7 +88,6 @@ class AsfTm : public TmRuntime {
     explicit PerThread(asfcommon::SimArena* arena) : alloc(arena) {}
     TxStats stats;
     TxAllocator alloc;
-    asfcommon::Rng rng;
     uint64_t refill_bytes = 0;  // Allocation size that triggered kMallocRefill.
     // Protected-set sizes captured just before COMMIT (the commit clears the
     // ASF context), reported in the TxCommit lifecycle event.
@@ -106,10 +108,12 @@ class AsfTm : public TmRuntime {
   asfsim::Task<void> RunSerial(asfsim::SimThread& t, PerThread& pt, const BodyFn& body,
                                uint32_t retry);
   asfsim::Task<void> SerialBody(asfsim::SimThread& t, PerThread& pt, const BodyFn& body);
-  asfsim::Task<void> Backoff(asfsim::SimThread& t, PerThread& pt, uint32_t retry);
+  // Sleeps the policy-computed wait, with stats + lifecycle events.
+  asfsim::Task<void> Backoff(asfsim::SimThread& t, PerThread& pt, uint64_t wait, uint32_t retry);
 
   asf::Machine& machine_;
   const AsfTmParams params_;
+  std::shared_ptr<ContentionPolicy> policy_;
   SerialLock* serial_lock_;  // Arena-allocated (deterministic address).
   asfsim::SimMutex serial_mutex_;
   std::vector<std::unique_ptr<PerThread>> threads_;

@@ -73,7 +73,18 @@ class PhasedHwTx : public Tx {
 };
 
 PhasedTm::PhasedTm(asf::Machine& machine, const PhasedTmParams& params)
-    : machine_(machine), params_(params) {
+    : machine_(machine), params_(params), policy_(params.policy) {
+  if (policy_ == nullptr) {
+    ExpBackoffParams pp;
+    pp.base_cycles = params.backoff_base_cycles;
+    pp.shift_cap = params.backoff_shift_cap;
+    pp.max_retries = params.max_contention_retries;
+    // Capacity is what the software phase is *for*: switch at once.
+    pp.capacity_serializes = true;
+    pp.seed = params.rng_seed;
+    pp.seed_stride = 0xABCD;
+    policy_ = MakeExpBackoffPolicy(pp);
+  }
   phase_ = machine.arena().New<PhaseState>();
   TinyStmParams stm_params;
   stm_params.rng_seed = params.rng_seed ^ 0xF00D;
@@ -81,7 +92,6 @@ PhasedTm::PhasedTm(asf::Machine& machine, const PhasedTmParams& params)
   const uint32_t n = machine.scheduler().num_cores();
   for (uint32_t i = 0; i < n; ++i) {
     auto pt = std::make_unique<PerThread>(&machine.arena());
-    pt->rng.Seed(params.rng_seed + i * 0xABCDu);
     pt->alloc.Refill(1);
     threads_.push_back(std::move(pt));
   }
@@ -122,10 +132,7 @@ Task<void> PhasedTm::HwAttempt(SimThread& t, PerThread& pt, const BodyFn& body) 
   }
 }
 
-Task<void> PhasedTm::Backoff(SimThread& t, PerThread& pt, uint32_t retry) {
-  uint32_t shift = retry < params_.backoff_shift_cap ? retry : params_.backoff_shift_cap;
-  uint64_t max_wait = params_.backoff_base_cycles << shift;
-  uint64_t wait = pt.rng.NextInRange(max_wait / 2, max_wait);
+Task<void> PhasedTm::Backoff(SimThread& t, PerThread& pt, uint64_t wait, uint32_t retry) {
   pt.stats.backoff_cycles += wait;
   EmitTxEvent(machine_, t, TxEventKind::kBackoffStart, TxMode::kHardware, AbortCause::kNone, 0,
               retry);
@@ -134,11 +141,21 @@ Task<void> PhasedTm::Backoff(SimThread& t, PerThread& pt, uint32_t retry) {
               retry, wait);
 }
 
+// Flips the whole system into the software phase. The store aborts every
+// in-flight hardware transaction monitoring the phase word.
+Task<void> PhasedTm::SwitchToSoftware(SimThread& t, uint32_t aborted_attempts) {
+  co_await t.Store(AccessKind::kStore, &phase_->software_budget, 8, params_.software_quota);
+  co_await t.Store(AccessKind::kStore, &phase_->phase, 8, kSoftware);
+  ++to_software_;
+  EmitTxEvent(machine_, t, TxEventKind::kFallbackTransition, TxMode::kStm, AbortCause::kNone, 0,
+              aborted_attempts, static_cast<uint64_t>(TxMode::kHardware));
+}
+
 Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   Core& core = t.core();
   ++pt.stats.tx_started;
-  uint32_t contention_retries = 0;
+  policy_->OnBlockStart(t.id());
   uint32_t aborted_attempts = 0;  // Lifecycle retry ordinal for this block.
   for (;;) {
     co_await t.Access(AccessKind::kLoad, &phase_->phase, 8);
@@ -174,36 +191,19 @@ Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
           pt.alloc.Refill(pt.refill_bytes);
           continue;
         }
-        case AbortCause::kCapacity:
-          // The PhTM move: flip the whole system into the software phase
-          // instead of serializing. The store aborts every in-flight
-          // hardware transaction monitoring the word.
-          co_await t.Store(AccessKind::kStore, &phase_->software_budget, 8,
-                           params_.software_quota);
-          co_await t.Store(AccessKind::kStore, &phase_->phase, 8, kSoftware);
-          ++to_software_;
-          EmitTxEvent(machine_, t, TxEventKind::kFallbackTransition, TxMode::kStm,
-                      AbortCause::kNone, 0, aborted_attempts,
-                      static_cast<uint64_t>(TxMode::kHardware));
-          continue;
-        case AbortCause::kPageFault:
-        case AbortCause::kInterrupt:
-          continue;
-        default:
-          if (++contention_retries > params_.max_contention_retries) {
-            // Heavy contention: the software phase (with its word-granular
-            // conflict detection) gets a chance.
-            co_await t.Store(AccessKind::kStore, &phase_->software_budget, 8,
-                             params_.software_quota);
-            co_await t.Store(AccessKind::kStore, &phase_->phase, 8, kSoftware);
-            ++to_software_;
-            EmitTxEvent(machine_, t, TxEventKind::kFallbackTransition, TxMode::kStm,
-                        AbortCause::kNone, 0, aborted_attempts,
-                        static_cast<uint64_t>(TxMode::kHardware));
-            continue;
+        default: {
+          // The PhTM move: a kSerialize decision (capacity, or a spent
+          // contention budget) flips the whole system into the software
+          // phase instead of serializing, so capacity-challenged
+          // transactions retain concurrency among themselves.
+          PolicyDecision d = policy_->OnAbort(t.id(), cause);
+          if (d.action == PolicyAction::kSerialize) {
+            co_await SwitchToSoftware(t, aborted_attempts);
+          } else if (d.action == PolicyAction::kBackoffRetry) {
+            co_await Backoff(t, pt, d.backoff_cycles, aborted_attempts);
           }
-          co_await Backoff(t, pt, contention_retries);
           continue;
+        }
       }
     }
 

@@ -17,6 +17,7 @@
 
 #include <memory>
 
+#include "src/tm/contention_policy.h"
 #include "src/tm/tiny_stm.h"
 
 namespace asftm {
@@ -32,6 +33,10 @@ struct PhasedTmParams {
   // Software-phase commits before attempting to switch back to hardware.
   uint32_t software_quota = 16;
   uint64_t rng_seed = 0x9A5ED;
+  // Contention management for the hardware phase. Null constructs the
+  // default exponential-backoff policy from the knobs above; kSerialize
+  // decisions flip the system into the software phase.
+  std::shared_ptr<ContentionPolicy> policy;
 };
 
 class PhasedTm : public TmRuntime {
@@ -68,7 +73,6 @@ class PhasedTm : public TmRuntime {
     explicit PerThread(asfcommon::SimArena* arena) : alloc(arena) {}
     TxStats stats;
     TxAllocator alloc;
-    asfcommon::Rng rng;
     uint64_t refill_bytes = 0;
     // Protected-set sizes captured just before COMMIT (see AsfTm::PerThread).
     uint64_t last_read_lines = 0;
@@ -76,10 +80,13 @@ class PhasedTm : public TmRuntime {
   };
 
   asfsim::Task<void> HwAttempt(asfsim::SimThread& t, PerThread& pt, const BodyFn& body);
-  asfsim::Task<void> Backoff(asfsim::SimThread& t, PerThread& pt, uint32_t retry);
+  // Sleeps the policy-computed wait, with stats + lifecycle events.
+  asfsim::Task<void> Backoff(asfsim::SimThread& t, PerThread& pt, uint64_t wait, uint32_t retry);
+  asfsim::Task<void> SwitchToSoftware(asfsim::SimThread& t, uint32_t aborted_attempts);
 
   asf::Machine& machine_;
   const PhasedTmParams params_;
+  std::shared_ptr<ContentionPolicy> policy_;
   PhaseState* phase_;
   std::unique_ptr<TinyStm> stm_;  // Executes software-phase transactions.
   std::vector<std::unique_ptr<PerThread>> threads_;

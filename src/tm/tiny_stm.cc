@@ -125,8 +125,18 @@ class StmTx : public Tx {
 };
 
 TinyStm::TinyStm(asf::Machine& machine, const TinyStmParams& params)
-    : machine_(machine), params_(params) {
+    : machine_(machine), params_(params), policy_(params.policy) {
+  if (policy_ == nullptr) {
+    ExpBackoffParams pp;
+    pp.base_cycles = params.backoff_base_cycles;
+    pp.shift_cap = params.backoff_shift_cap;
+    pp.max_retries = UINT32_MAX;  // Obstruction handled by backoff alone.
+    pp.seed = params.rng_seed;
+    pp.seed_stride = 0x517B;
+    policy_ = MakeExpBackoffPolicy(pp);
+  }
   asfcommon::SimArena& arena = machine.arena();
+  arena_base_ = arena.base();
   orec_count_ = uint64_t{1} << params.orec_count_log2;
   orecs_ = arena.NewArray<Orec>(orec_count_);
   clock_ = arena.New<GlobalClock>();
@@ -134,7 +144,6 @@ TinyStm::TinyStm(asf::Machine& machine, const TinyStmParams& params)
   threads_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     auto pt = std::make_unique<PerThread>(&arena);
-    pt->rng.Seed(params.rng_seed + i * 0x517Bu);
     pt->alloc.Refill(1);
     pt->read_set = arena.NewArray<ReadEntry>(kMaxReadSet);
     pt->write_set = arena.NewArray<WriteEntry>(kMaxWriteSet);
@@ -263,6 +272,7 @@ Task<void> TinyStm::Atomic(SimThread& t, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   Core& core = t.core();
   ++pt.stats.tx_started;
+  policy_->OnBlockStart(t.id());
   for (uint32_t retry = 0;; ++retry) {
     ++pt.stats.stm_attempts;
     core.BeginAttemptAccounting();
@@ -287,9 +297,14 @@ Task<void> TinyStm::Atomic(SimThread& t, BodyFn body) {
     if (cause == AbortCause::kUserAbort) {
       co_return;
     }
-    uint32_t shift = retry < params_.backoff_shift_cap ? retry : params_.backoff_shift_cap;
-    uint64_t max_wait = params_.backoff_base_cycles << shift;
-    uint64_t wait = pt.rng.NextInRange(max_wait / 2, max_wait);
+    // No fallback mode exists here, so a kSerialize decision degenerates to
+    // an immediate retry; the STM's word-granular conflict detection plus
+    // backoff is its whole forward-progress story.
+    PolicyDecision d = policy_->OnAbort(t.id(), cause);
+    if (d.action != PolicyAction::kBackoffRetry) {
+      continue;
+    }
+    uint64_t wait = d.backoff_cycles;
     pt.stats.backoff_cycles += wait;
     EmitTxEvent(machine_, t, asfobs::TxEventKind::kBackoffStart, asfobs::TxMode::kStm,
                 AbortCause::kNone, 0, retry);

@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "src/asf/machine.h"
-#include "src/common/random.h"
+#include "src/tm/contention_policy.h"
 #include "src/tm/tm_api.h"
 #include "src/tm/tx_allocator.h"
 
@@ -48,6 +48,10 @@ struct TinyStmParams {
   uint64_t backoff_base_cycles = 128;
   uint32_t backoff_shift_cap = 10;
   uint64_t rng_seed = 0x7A57;
+  // Contention management. Null constructs the default exponential-backoff
+  // policy (unlimited retries) from the knobs above. The STM has no fallback
+  // mode, so kSerialize decisions retry immediately instead.
+  std::shared_ptr<ContentionPolicy> policy;
 };
 
 class TinyStm : public TmRuntime {
@@ -101,7 +105,6 @@ class TinyStm : public TmRuntime {
   struct PerThread {
     TxStats stats;
     TxAllocator alloc;
-    asfcommon::Rng rng;
     uint64_t rv = 0;  // Read timestamp.
     ReadEntry* read_set = nullptr;
     uint64_t read_count = 0;
@@ -111,8 +114,13 @@ class TinyStm : public TmRuntime {
     explicit PerThread(asfcommon::SimArena* arena) : alloc(arena) {}
   };
 
+  // Hashed on the arena-relative offset, not the raw host address: the
+  // arena base is only 4 MiB-aligned, so address bits at and above bit 22
+  // vary with where the mapping lands, and a table of 2^20 orecs consumes
+  // bits 3..22 — hashing raw addresses would make the collision pattern
+  // (and therefore conflict behavior) depend on mmap placement.
   Orec* OrecFor(uint64_t addr) {
-    return &orecs_[(addr >> 3) & (orec_count_ - 1)];
+    return &orecs_[((addr - arena_base_) >> 3) & (orec_count_ - 1)];
   }
   bool OwnsOrec(const PerThread& pt, const Orec* o) const;
 
@@ -130,9 +138,11 @@ class TinyStm : public TmRuntime {
 
   asf::Machine& machine_;
   const TinyStmParams params_;
+  std::shared_ptr<ContentionPolicy> policy_;
   GlobalClock* clock_;    // Arena-allocated.
   Orec* orecs_;           // Arena-allocated table of orec_count_ entries.
   uint64_t orec_count_;
+  uint64_t arena_base_;   // Orec hashing is arena-relative (see OrecFor).
   std::vector<std::unique_ptr<PerThread>> threads_;
 };
 

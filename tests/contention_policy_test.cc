@@ -1,0 +1,274 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Tests of the pluggable contention-management policies (src/tm/
+// contention_policy.h): the retry/backoff/serialize decisions each built-in
+// makes per abort cause, the jittered-backoff bounds, per-thread retry
+// budgets, determinism under a fixed seed, and the factory spec parser.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/tm/contention_policy.h"
+
+namespace asftm {
+namespace {
+
+using asfcommon::AbortCause;
+
+// Drives one block on `tid`: OnBlockStart, then aborts with `cause` until
+// the policy says kSerialize; returns the number of retry decisions
+// (kRetryNow or kBackoffRetry) granted before serialization.
+uint32_t RetriesUntilSerialize(ContentionPolicy& p, uint32_t tid, AbortCause cause,
+                               uint32_t give_up = 1000) {
+  p.OnBlockStart(tid);
+  for (uint32_t n = 0; n < give_up; ++n) {
+    if (p.OnAbort(tid, cause).action == PolicyAction::kSerialize) {
+      return n;
+    }
+  }
+  return give_up;
+}
+
+// --- ExpBackoffPolicy --------------------------------------------------------
+
+TEST(ExpBackoffPolicy, TransientCausesRetryFreeAndUncounted) {
+  ExpBackoffParams params;
+  params.max_retries = 2;
+  auto p = MakeExpBackoffPolicy(params);
+  p->OnBlockStart(0);
+  // Any number of page faults / interrupts retries immediately without
+  // consuming the budget...
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(p->OnAbort(0, AbortCause::kPageFault).action, PolicyAction::kRetryNow);
+    EXPECT_EQ(p->OnAbort(0, AbortCause::kInterrupt).action, PolicyAction::kRetryNow);
+  }
+  // ...so the full contention budget is still available afterwards.
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kBackoffRetry);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kBackoffRetry);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kSerialize);
+}
+
+TEST(ExpBackoffPolicy, CapacitySerializesImmediatelyByDefault) {
+  auto p = MakeExpBackoffPolicy(ExpBackoffParams{});
+  p->OnBlockStart(0);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kCapacity).action, PolicyAction::kSerialize);
+}
+
+TEST(ExpBackoffPolicy, CapacityCountsAgainstBudgetWhenSerializationOff) {
+  ExpBackoffParams params;
+  params.capacity_serializes = false;
+  params.max_retries = 3;
+  auto p = MakeExpBackoffPolicy(params);
+  EXPECT_EQ(RetriesUntilSerialize(*p, 0, AbortCause::kCapacity), 3u);
+}
+
+TEST(ExpBackoffPolicy, BudgetExhaustionSerializesForEveryCountedCause) {
+  for (AbortCause cause : {AbortCause::kContention, AbortCause::kDisallowed,
+                           AbortCause::kSyscall}) {
+    ExpBackoffParams params;
+    params.max_retries = 4;
+    auto p = MakeExpBackoffPolicy(params);
+    EXPECT_EQ(RetriesUntilSerialize(*p, 0, cause), 4u)
+        << asfcommon::AbortCauseName(cause);
+  }
+}
+
+TEST(ExpBackoffPolicy, OnBlockStartResetsTheBudget) {
+  ExpBackoffParams params;
+  params.max_retries = 2;
+  auto p = MakeExpBackoffPolicy(params);
+  EXPECT_EQ(RetriesUntilSerialize(*p, 0, AbortCause::kContention), 2u);
+  // A fresh block gets the full budget again.
+  EXPECT_EQ(RetriesUntilSerialize(*p, 0, AbortCause::kContention), 2u);
+}
+
+TEST(ExpBackoffPolicy, BudgetsAreIndependentPerThread) {
+  ExpBackoffParams params;
+  params.max_retries = 1;
+  auto p = MakeExpBackoffPolicy(params);
+  p->OnBlockStart(0);
+  p->OnBlockStart(1);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kBackoffRetry);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kSerialize);
+  // Thread 1's budget is untouched by thread 0's exhaustion.
+  EXPECT_EQ(p->OnAbort(1, AbortCause::kContention).action, PolicyAction::kBackoffRetry);
+}
+
+TEST(ExpBackoffPolicy, JitteredWaitStaysWithinExponentialBounds) {
+  ExpBackoffParams params;
+  params.base_cycles = 64;
+  params.shift_cap = 3;
+  params.max_retries = 1000;  // Never serialize in this test.
+  auto p = MakeExpBackoffPolicy(params);
+  p->OnBlockStart(0);
+  for (uint32_t retry = 1; retry <= 10; ++retry) {
+    PolicyDecision d = p->OnAbort(0, AbortCause::kContention);
+    ASSERT_EQ(d.action, PolicyAction::kBackoffRetry);
+    uint32_t shift = std::min(retry, params.shift_cap);
+    uint64_t max_wait = params.base_cycles << shift;
+    EXPECT_GE(d.backoff_cycles, max_wait / 2) << "retry " << retry;
+    EXPECT_LE(d.backoff_cycles, max_wait) << "retry " << retry;
+  }
+}
+
+TEST(ExpBackoffPolicy, SameSeedReplaysTheSameWaitSequence) {
+  ExpBackoffParams params;
+  params.seed = 0xABCDEF;
+  params.max_retries = 1000;
+  auto a = MakeExpBackoffPolicy(params);
+  auto b = MakeExpBackoffPolicy(params);
+  a->OnBlockStart(0);
+  b->OnBlockStart(0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a->OnAbort(0, AbortCause::kContention).backoff_cycles,
+              b->OnAbort(0, AbortCause::kContention).backoff_cycles);
+  }
+}
+
+// --- CappedRetryPolicy -------------------------------------------------------
+
+TEST(CappedRetryPolicy, RetriesImmediatelyThenSerializes) {
+  auto p = MakeCappedRetryPolicy(3);
+  p->OnBlockStart(0);
+  for (int i = 0; i < 3; ++i) {
+    PolicyDecision d = p->OnAbort(0, AbortCause::kContention);
+    EXPECT_EQ(d.action, PolicyAction::kRetryNow);
+    EXPECT_EQ(d.backoff_cycles, 0u);
+  }
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kSerialize);
+}
+
+TEST(CappedRetryPolicy, TransientsDoNotConsumeTheCap) {
+  auto p = MakeCappedRetryPolicy(1);
+  p->OnBlockStart(0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(p->OnAbort(0, AbortCause::kInterrupt).action, PolicyAction::kRetryNow);
+  }
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kRetryNow);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kSerialize);
+}
+
+// --- ImmediateSerializePolicy ------------------------------------------------
+
+TEST(ImmediateSerializePolicy, SerializesOnFirstNonTransientAbort) {
+  auto p = MakeImmediateSerializePolicy();
+  p->OnBlockStart(0);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kPageFault).action, PolicyAction::kRetryNow);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kInterrupt).action, PolicyAction::kRetryNow);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kSerialize);
+}
+
+// --- NoBackoffPolicy ---------------------------------------------------------
+
+TEST(NoBackoffPolicy, NeverBacksOffAndNeverSerializes) {
+  auto p = MakeNoBackoffPolicy();
+  p->OnBlockStart(0);
+  for (AbortCause cause : {AbortCause::kContention, AbortCause::kCapacity,
+                           AbortCause::kDisallowed, AbortCause::kSyscall,
+                           AbortCause::kInterrupt}) {
+    for (int i = 0; i < 100; ++i) {
+      PolicyDecision d = p->OnAbort(0, cause);
+      ASSERT_EQ(d.action, PolicyAction::kRetryNow);
+      ASSERT_EQ(d.backoff_cycles, 0u);
+    }
+  }
+}
+
+// --- AdaptivePolicy ----------------------------------------------------------
+
+TEST(AdaptivePolicy, SecondHopelessCauseInOneBlockSerializes) {
+  auto p = MakeAdaptivePolicy(AdaptivePolicyParams{});
+  p->OnBlockStart(0);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kCapacity).action, PolicyAction::kBackoffRetry);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kSyscall).action, PolicyAction::kSerialize);
+  // A new block resets the per-block hopeless counter.
+  p->OnBlockStart(0);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kDisallowed).action, PolicyAction::kBackoffRetry);
+}
+
+TEST(AdaptivePolicy, BudgetShrinksWithHopelessShareOfWindow) {
+  AdaptivePolicyParams params;
+  params.window = 1;
+  params.max_retries = 3;
+  params.min_retries = 0;
+  auto p = MakeAdaptivePolicy(params);
+  // Fresh policy, contention-only mix: full budget of 3 counted retries.
+  EXPECT_EQ(RetriesUntilSerialize(*p, 0, AbortCause::kContention), 3u);
+  // Saturate the (size-1) window with a hopeless cause: the budget bottoms
+  // out at min_retries = 0, so the next counted abort serializes at once.
+  p->OnBlockStart(0);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kCapacity).action, PolicyAction::kSerialize);
+}
+
+TEST(AdaptivePolicy, ContentionOnlyMixKeepsTheFullBudget) {
+  AdaptivePolicyParams params;
+  params.window = 8;
+  params.max_retries = 5;
+  params.min_retries = 1;
+  auto p = MakeAdaptivePolicy(params);
+  // Several contention-only blocks in a row all get max_retries.
+  for (int block = 0; block < 3; ++block) {
+    EXPECT_EQ(RetriesUntilSerialize(*p, 0, AbortCause::kContention), 5u) << block;
+  }
+}
+
+// --- Factory -----------------------------------------------------------------
+
+TEST(MakeContentionPolicy, BuildsEveryNamedPolicy) {
+  for (const std::string& name : ContentionPolicyNames()) {
+    std::string error;
+    auto p = MakeContentionPolicy(name, 42, &error);
+    ASSERT_NE(p, nullptr) << name << ": " << error;
+    EXPECT_EQ(p->name(), name);
+  }
+}
+
+TEST(MakeContentionPolicy, ExpBackoffOptionsAreHonored) {
+  std::string error;
+  auto p = MakeContentionPolicy("exp-backoff:base=32,cap=2,retries=1,capacity-serial=0", 7,
+                                &error);
+  ASSERT_NE(p, nullptr) << error;
+  p->OnBlockStart(0);
+  // capacity-serial=0: capacity is counted, and retries=1 grants one retry.
+  PolicyDecision d = p->OnAbort(0, AbortCause::kCapacity);
+  EXPECT_EQ(d.action, PolicyAction::kBackoffRetry);
+  // base=32, cap=2, first retry: wait in [16, 64].
+  EXPECT_GE(d.backoff_cycles, 16u);
+  EXPECT_LE(d.backoff_cycles, 64u);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kCapacity).action, PolicyAction::kSerialize);
+}
+
+TEST(MakeContentionPolicy, CappedRetryHonorsRetriesOption) {
+  auto p = MakeContentionPolicy("capped-retry:retries=2", 7);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(RetriesUntilSerialize(*p, 0, AbortCause::kContention), 2u);
+}
+
+TEST(MakeContentionPolicy, RejectsMalformedSpecs) {
+  struct Case {
+    const char* spec;
+    const char* message;
+  };
+  const Case cases[] = {
+      {"bogus", "unknown contention policy 'bogus'"},
+      {"serialize:x=1", "'serialize' takes no options"},
+      {"no-backoff:x=1", "'no-backoff' takes no options"},
+      {"exp-backoff:base", "malformed policy option 'base'"},
+      {"exp-backoff:base=xy", "bad policy option value in 'base=xy'"},
+      {"exp-backoff:bogus=1", "unknown policy option 'bogus'"},
+      {"adaptive:window=0", "adaptive window must be >= 1"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    EXPECT_EQ(MakeContentionPolicy(c.spec, 1, &error), nullptr) << c.spec;
+    EXPECT_EQ(error, c.message) << c.spec;
+  }
+}
+
+TEST(MakeContentionPolicy, ErrorPointerIsOptional) {
+  EXPECT_EQ(MakeContentionPolicy("bogus", 1, nullptr), nullptr);
+}
+
+}  // namespace
+}  // namespace asftm

@@ -1,0 +1,537 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Tests of the fault-injection framework (src/fault) and its interplay with
+// the TM stack: schedule parsing, deterministic injection, per-cause routing
+// through ASF-TM's contention management, the forward-progress watchdog, and
+// bit-identical replay of fault-injected stress runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_schedule.h"
+#include "src/fault/watchdog.h"
+#include "src/harness/stress.h"
+#include "src/tm/asf_tm.h"
+#include "src/tm/contention_policy.h"
+#include "tests/tm_test_util.h"
+
+namespace asffault {
+namespace {
+
+using asfcommon::AbortCause;
+using asfobs::TxEvent;
+using asfobs::TxEventKind;
+using asfsim::AccessKind;
+using asfsim::SimThread;
+using asfsim::Task;
+using asftest::Pretouch;
+using asftest::QuietParams;
+using asftest::RunWorkers;
+using asftm::Tx;
+
+// --- Schedule parsing --------------------------------------------------------
+
+TEST(FaultSchedule, ParsesEveryDirectiveAndRoundTrips) {
+  const std::string text =
+      "# comment line\n"
+      "seed 77\n"
+      "rate interrupt 0.25 core=1 max=10 cost=5000\n"
+      "at capacity attempt=3 every=7 core=0 max=2\n"
+      "bully core=2 every=4 max=100   # trailing comment\n";
+  FaultSchedule sched;
+  std::string error;
+  ASSERT_TRUE(FaultSchedule::Parse(text, &sched, &error)) << error;
+  EXPECT_EQ(sched.seed, 77u);
+  ASSERT_EQ(sched.rules.size(), 3u);
+
+  EXPECT_EQ(sched.rules[0].trigger, Trigger::kRate);
+  EXPECT_EQ(sched.rules[0].cause, AbortCause::kInterrupt);
+  EXPECT_DOUBLE_EQ(sched.rules[0].rate, 0.25);
+  EXPECT_EQ(sched.rules[0].core, 1u);
+  EXPECT_EQ(sched.rules[0].max_count, 10u);
+  EXPECT_EQ(sched.rules[0].cost, 5000u);
+
+  EXPECT_EQ(sched.rules[1].trigger, Trigger::kAtAttempt);
+  EXPECT_EQ(sched.rules[1].cause, AbortCause::kCapacity);
+  EXPECT_EQ(sched.rules[1].attempt, 3u);
+  EXPECT_EQ(sched.rules[1].every, 7u);
+
+  EXPECT_EQ(sched.rules[2].trigger, Trigger::kBully);
+  EXPECT_EQ(sched.rules[2].cause, AbortCause::kContention);
+  EXPECT_EQ(sched.rules[2].every, 4u);
+
+  // ToString() -> Parse() round-trips to the same schedule.
+  FaultSchedule again;
+  ASSERT_TRUE(FaultSchedule::Parse(sched.ToString(), &again, &error)) << error;
+  EXPECT_EQ(again.ToString(), sched.ToString());
+  EXPECT_EQ(again.seed, sched.seed);
+  ASSERT_EQ(again.rules.size(), sched.rules.size());
+}
+
+TEST(FaultSchedule, ParseErrorsNameTheOffendingLine) {
+  struct Case {
+    const char* text;
+    const char* fragment;  // Expected substring of the error message.
+  };
+  const Case cases[] = {
+      {"seed 5\nfrobnicate\n", "line 2: unknown directive 'frobnicate'"},
+      {"rate interrupt 1.5\n", "not in (0, 1]"},
+      {"rate bogus 0.5\n", "line 1"},
+      {"at interrupt every=2\n", "'at' rule requires attempt=<n>"},
+      {"at interrupt attempt=0\n", "attempts are 1-based"},
+      {"bully every=0\n", "bully every=<k> must be >= 1"},
+      {"seed\n", "expected 'seed <n>'"},
+      {"rate interrupt 0.5 core=x\n", "bad core value 'x'"},
+      {"\n\nbully max=nope\n", "line 3"},
+  };
+  for (const Case& c : cases) {
+    FaultSchedule sched;
+    std::string error;
+    EXPECT_FALSE(FaultSchedule::Parse(c.text, &sched, &error)) << c.text;
+    EXPECT_NE(error.find(c.fragment), std::string::npos)
+        << "error '" << error << "' lacks '" << c.fragment << "'";
+  }
+}
+
+TEST(FaultSchedule, BuiltinsAllParse) {
+  for (const std::string& name : FaultSchedule::BuiltinNames()) {
+    FaultSchedule sched;
+    EXPECT_TRUE(FaultSchedule::Lookup(name, &sched)) << name;
+  }
+  FaultSchedule sched;
+  EXPECT_FALSE(FaultSchedule::Lookup("no-such-schedule", &sched));
+  ASSERT_TRUE(FaultSchedule::Lookup("none", &sched));
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(FaultSchedule, InjectableCauseNames) {
+  const char* names[] = {"interrupt", "pagefault", "capacity",
+                         "disallowed", "syscall",   "contention"};
+  for (const char* name : names) {
+    AbortCause cause = AbortCause::kNone;
+    EXPECT_TRUE(ParseInjectableCause(name, &cause)) << name;
+    EXPECT_NE(cause, AbortCause::kNone) << name;
+  }
+  AbortCause cause;
+  EXPECT_FALSE(ParseInjectableCause("explicit", &cause));
+  EXPECT_FALSE(ParseInjectableCause("", &cause));
+}
+
+// --- Injector mechanics ------------------------------------------------------
+
+FaultSchedule MustParse(const std::string& text) {
+  FaultSchedule sched;
+  std::string error;
+  EXPECT_TRUE(FaultSchedule::Parse(text, &sched, &error)) << error;
+  return sched;
+}
+
+TEST(FaultInjector, RateRuleIsDeterministicForAGivenSeed) {
+  const FaultSchedule sched = MustParse("seed 99\nrate interrupt 0.5\n");
+  FaultInjector a(sched, 1);
+  FaultInjector b(sched, 1);
+  bool any_fired = false;
+  for (int i = 0; i < 200; ++i) {
+    InjectionOutcome oa = a.OnAccess(0, AccessKind::kTxLoad, true);
+    InjectionOutcome ob = b.OnAccess(0, AccessKind::kTxLoad, true);
+    EXPECT_EQ(oa.cause, ob.cause);
+    EXPECT_EQ(oa.abort, ob.abort);
+    any_fired |= oa.abort;
+  }
+  EXPECT_TRUE(any_fired);
+  EXPECT_EQ(a.total_injected(), b.total_injected());
+  EXPECT_GT(a.injected(AbortCause::kInterrupt), 0u);
+}
+
+TEST(FaultInjector, MaxCountCapsInjections) {
+  FaultInjector inj(MustParse("rate interrupt 1.0 max=2\n"), 1);
+  int aborts = 0;
+  for (int i = 0; i < 10; ++i) {
+    aborts += inj.OnAccess(0, AccessKind::kTxLoad, true).abort ? 1 : 0;
+  }
+  EXPECT_EQ(aborts, 2);
+  EXPECT_EQ(inj.injected(AbortCause::kInterrupt), 2u);
+  // ResetCounts() replenishes the cap (used at the measurement barrier, so a
+  // schedule applies fully to the measured window).
+  inj.ResetCounts();
+  EXPECT_EQ(inj.total_injected(), 0u);
+  EXPECT_TRUE(inj.OnAccess(0, AccessKind::kTxLoad, true).abort);
+}
+
+TEST(FaultInjector, RegionOnlyCausesHaveNoEffectOutsideRegions) {
+  FaultInjector inj(MustParse("rate capacity 1.0 cost=900\n"), 1);
+  for (int i = 0; i < 5; ++i) {
+    InjectionOutcome out = inj.OnAccess(0, AccessKind::kLoad, false);
+    EXPECT_EQ(out.cause, AbortCause::kNone);
+    EXPECT_FALSE(out.abort);
+    EXPECT_EQ(out.extra_latency, 0u);
+  }
+  EXPECT_EQ(inj.total_injected(), 0u);
+}
+
+TEST(FaultInjector, InterruptOutsideRegionChargesLatencyOnly) {
+  FaultInjector inj(MustParse("rate interrupt 1.0 cost=700\n"), 1);
+  InjectionOutcome out = inj.OnAccess(0, AccessKind::kLoad, false);
+  EXPECT_EQ(out.cause, AbortCause::kInterrupt);
+  EXPECT_FALSE(out.abort);
+  EXPECT_EQ(out.extra_latency, 700u);
+  EXPECT_EQ(inj.injected(AbortCause::kInterrupt), 1u);
+  // With no latency to charge and nothing to abort, the event is a no-op and
+  // is not counted as an injection.
+  FaultInjector free_inj(MustParse("rate interrupt 1.0\n"), 1);
+  EXPECT_EQ(free_inj.OnAccess(0, AccessKind::kLoad, false).cause, AbortCause::kNone);
+  EXPECT_EQ(free_inj.total_injected(), 0u);
+}
+
+TEST(FaultInjector, AtAttemptTargetsTheRequestedAttemptAndStride) {
+  // Fire during attempts 2, 4, 6, ... (attempt=2 every=2).
+  FaultInjector inj(MustParse("at disallowed attempt=2 every=2\n"), 1);
+  std::vector<int> aborted_attempts;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    inj.OnAccess(0, AccessKind::kSpeculate, true);  // Attempt boundary.
+    InjectionOutcome out = inj.OnAccess(0, AccessKind::kTxLoad, true);
+    if (out.abort) {
+      EXPECT_EQ(out.cause, AbortCause::kDisallowed);
+      aborted_attempts.push_back(attempt);
+    }
+    // A second access in the same attempt must not re-fire the rule.
+    EXPECT_FALSE(inj.OnAccess(0, AccessKind::kTxLoad, true).abort);
+  }
+  EXPECT_EQ(aborted_attempts, (std::vector<int>{2, 4, 6}));
+}
+
+// --- AbortCause routing through ASF-TM ---------------------------------------
+
+struct alignas(64) Cell {
+  uint64_t value = 0;
+};
+
+// Runs `txs` single-threaded increment transactions on AsfTm with `schedule`
+// injected, after a warm-up transaction that maps every page the block
+// touches (so organic page faults cannot perturb the counts) and a stats
+// reset. Returns the aggregated stats of the measured transactions.
+asftm::TxStats RunAsfTmUnderFaults(const std::string& schedule, asftm::AsfTmParams params,
+                                   int txs = 1) {
+  asf::Machine m(QuietParams(asf::AsfVariant::Llb8(), 1));
+  FaultSchedule sched = MustParse(schedule);
+  FaultInjector injector(sched, 1);
+  asftm::AsfTm rt(m, params);
+  Cell cell;
+  Pretouch(m, &cell, sizeof(cell));
+  RunWorkers(m, 1, [&](SimThread& t, uint32_t) -> Task<void> {
+    auto body = [&](Tx& tx) -> Task<void> {
+      uint64_t v = co_await tx.Read(&cell.value);
+      co_await tx.Write(&cell.value, v + 1);
+    };
+    co_await rt.Atomic(t, body);  // Warm-up: faults in serial lock word etc.
+    rt.ResetStats();
+    m.SetFaultInjector(&injector);
+    for (int i = 0; i < txs; ++i) {
+      co_await rt.Atomic(t, body);
+    }
+  });
+  EXPECT_EQ(cell.value, static_cast<uint64_t>(txs) + 1);
+  return rt.TotalStats();
+}
+
+TEST(AsfTmRouting, TransientCausesRetryInHardwareWithoutBackoff) {
+  // Paper Sec. 3.2: the page is mapped / the tick has passed by the time the
+  // handler returns, so interrupts and page faults retry in hardware — no
+  // backoff, no retry budget, never serial.
+  for (const char* cause : {"interrupt", "pagefault"}) {
+    asftm::AsfTmParams params;
+    params.max_contention_retries = 2;
+    asftm::TxStats s =
+        RunAsfTmUnderFaults(std::string("at ") + cause + " attempt=1 every=1 max=3\n", params);
+    EXPECT_EQ(s.tx_started, 1u) << cause;
+    EXPECT_EQ(s.hw_attempts, 4u) << cause;  // 3 injected aborts + 1 clean run.
+    EXPECT_EQ(s.hw_commits, 1u) << cause;
+    EXPECT_EQ(s.serial_attempts, 0u) << cause;
+    EXPECT_EQ(s.TotalAborts(), 3u) << cause;
+    EXPECT_EQ(s.backoff_cycles, 0u) << cause;
+  }
+}
+
+TEST(AsfTmRouting, ContentionClassCausesBackoffThenSerialize) {
+  // kContention, kDisallowed and kSyscall all take the counted path: backoff
+  // and retry until max_contention_retries, then enter serial-irrevocable
+  // mode (where no ASF region exists for the injector to abort).
+  for (const char* cause : {"contention", "disallowed", "syscall"}) {
+    asftm::AsfTmParams params;
+    params.max_contention_retries = 2;
+    asftm::TxStats s =
+        RunAsfTmUnderFaults(std::string("at ") + cause + " attempt=1 every=1\n", params);
+    EXPECT_EQ(s.hw_attempts, 3u) << cause;  // Budget of 2 retries + first try.
+    EXPECT_EQ(s.hw_commits, 0u) << cause;
+    EXPECT_EQ(s.serial_attempts, 1u) << cause;
+    EXPECT_EQ(s.serial_commits, 1u) << cause;
+    EXPECT_EQ(s.TotalAborts(), 3u) << cause;
+    EXPECT_GT(s.backoff_cycles, 0u) << cause;  // Two backoff windows.
+  }
+}
+
+TEST(AsfTmRouting, CapacityGoesStraightToSerialByDefault) {
+  asftm::AsfTmParams params;  // capacity_goes_serial = true (paper policy).
+  asftm::TxStats s = RunAsfTmUnderFaults("at capacity attempt=1 every=1\n", params);
+  EXPECT_EQ(s.hw_attempts, 1u);
+  EXPECT_EQ(s.Aborts(AbortCause::kCapacity), 1u);
+  EXPECT_EQ(s.serial_commits, 1u);
+  EXPECT_EQ(s.backoff_cycles, 0u);  // Retrying an over-capacity tx cannot help.
+}
+
+TEST(AsfTmRouting, CapacityRetriesWhenSerializationDisabled) {
+  // The "retry and hope" ablation: capacity counts against the retry budget
+  // like contention.
+  asftm::AsfTmParams params;
+  params.capacity_goes_serial = false;
+  params.max_contention_retries = 2;
+  asftm::TxStats s = RunAsfTmUnderFaults("at capacity attempt=1 every=1\n", params);
+  EXPECT_EQ(s.hw_attempts, 3u);
+  EXPECT_EQ(s.Aborts(AbortCause::kCapacity), 3u);
+  EXPECT_EQ(s.serial_commits, 1u);
+  EXPECT_GT(s.backoff_cycles, 0u);
+}
+
+TEST(AsfTmRouting, PluggedPolicyOverridesTheDefault) {
+  // An immediate-serialize policy turns the counted path into a first-abort
+  // fallback; the runtime obeys the policy, not its own knobs.
+  asftm::AsfTmParams params;
+  params.max_contention_retries = 8;
+  params.policy = asftm::MakeImmediateSerializePolicy();
+  asftm::TxStats s = RunAsfTmUnderFaults("at syscall attempt=1 every=1\n", params);
+  EXPECT_EQ(s.hw_attempts, 1u);
+  EXPECT_EQ(s.Aborts(AbortCause::kSyscall), 1u);
+  EXPECT_EQ(s.serial_commits, 1u);
+
+  // And a no-backoff policy keeps retrying in hardware until the injection
+  // rule runs out — it never serializes.
+  asftm::AsfTmParams stubborn;
+  stubborn.policy = asftm::MakeNoBackoffPolicy();
+  asftm::TxStats s2 = RunAsfTmUnderFaults("at contention attempt=1 every=1 max=5\n", stubborn);
+  EXPECT_EQ(s2.hw_attempts, 6u);
+  EXPECT_EQ(s2.hw_commits, 1u);
+  EXPECT_EQ(s2.serial_attempts, 0u);
+  EXPECT_EQ(s2.backoff_cycles, 0u);
+}
+
+TEST(AsfTmRouting, UserAbortCancelsTheBlockWithoutRetry) {
+  asf::Machine m(QuietParams(asf::AsfVariant::Llb8(), 1));
+  asftm::AsfTm rt(m);
+  Cell cell;
+  Pretouch(m, &cell, sizeof(cell));
+  RunWorkers(m, 1, [&](SimThread& t, uint32_t) -> Task<void> {
+    co_await rt.Atomic(t, [&](Tx& tx) -> Task<void> {
+      co_await tx.Write(&cell.value, uint64_t{42});
+      co_await tx.UserAbort();
+    });
+  });
+  EXPECT_EQ(cell.value, 0u);  // The write was rolled back, not retried.
+  asftm::TxStats s = rt.TotalStats();
+  EXPECT_EQ(s.tx_started, 1u);
+  EXPECT_EQ(s.Commits(), 0u);
+  EXPECT_EQ(s.Aborts(AbortCause::kUserAbort), 1u);
+}
+
+// --- Watchdog ----------------------------------------------------------------
+
+TxEvent Event(TxEventKind kind, uint32_t core, uint64_t cycle,
+              AbortCause cause = AbortCause::kNone) {
+  TxEvent ev;
+  ev.kind = kind;
+  ev.core = core;
+  ev.cycle = cycle;
+  ev.cause = cause;
+  return ev;
+}
+
+TEST(WatchdogTest, StarvationNeedsDivergenceNotJustAborts) {
+  WatchdogParams params;
+  params.starvation_attempts = 3;
+  params.commit_gap_cycles = 0;  // Isolate the starvation check.
+  Watchdog w(params);
+  // Ten straight aborts with no commit anywhere: every core is equally stuck
+  // — that is a (potential) livelock, not starvation.
+  for (int i = 0; i < 10; ++i) {
+    w.OnTxEvent(Event(TxEventKind::kTxAbort, 0, 100 + i, AbortCause::kContention));
+  }
+  EXPECT_FALSE(w.fired());
+  // Once another core commits, core 0's standing streak (already past the
+  // threshold) is divergence: the very next abort fires.
+  w.OnTxEvent(Event(TxEventKind::kTxCommit, 1, 200));
+  w.OnTxEvent(Event(TxEventKind::kTxAbort, 0, 300, AbortCause::kContention));
+  EXPECT_TRUE(w.fired());
+  // Precise threshold arithmetic: `streak > starvation_attempts` fires.
+  Watchdog w2(params);
+  w2.OnTxEvent(Event(TxEventKind::kTxCommit, 1, 10));
+  for (int i = 0; i < 3; ++i) {
+    w2.OnTxEvent(Event(TxEventKind::kTxAbort, 0, 20 + i, AbortCause::kContention));
+    EXPECT_FALSE(w2.fired()) << i;  // Streak 1..3, not yet > 3.
+  }
+  w2.OnTxEvent(Event(TxEventKind::kTxAbort, 0, 30, AbortCause::kContention));
+  EXPECT_TRUE(w2.fired());
+  EXPECT_EQ(w2.verdict(), Watchdog::Verdict::kStarvation);
+  EXPECT_EQ(w2.fired_core(), 0u);
+  EXPECT_NE(w2.diagnosis().find("starvation"), std::string::npos);
+}
+
+TEST(WatchdogTest, CommitResetsTheVictimStreak) {
+  WatchdogParams params;
+  params.starvation_attempts = 3;
+  params.commit_gap_cycles = 0;
+  Watchdog w(params);
+  w.OnTxEvent(Event(TxEventKind::kTxCommit, 1, 10));
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      w.OnTxEvent(Event(TxEventKind::kTxAbort, 0, 100 * round + i, AbortCause::kContention));
+    }
+    w.OnTxEvent(Event(TxEventKind::kTxCommit, 0, 100 * round + 50));
+  }
+  EXPECT_FALSE(w.fired());
+}
+
+TEST(WatchdogTest, LivelockFiresWhenNoCommitLandsWithinTheGap) {
+  WatchdogParams params;
+  params.commit_gap_cycles = 1000;
+  params.starvation_attempts = 0;
+  Watchdog w(params);
+  w.OnTxEvent(Event(TxEventKind::kTxBegin, 0, 10));
+  w.OnTxEvent(Event(TxEventKind::kTxAbort, 0, 900, AbortCause::kContention));
+  EXPECT_FALSE(w.fired());  // Still within the gap (measured from cycle 10).
+  w.OnTxEvent(Event(TxEventKind::kTxAbort, 0, 1500, AbortCause::kContention));
+  EXPECT_TRUE(w.fired());
+  EXPECT_EQ(w.verdict(), Watchdog::Verdict::kLivelock);
+  EXPECT_NE(w.diagnosis().find("livelock"), std::string::npos);
+}
+
+TEST(WatchdogTest, FinalizeCatchesATrailingStall) {
+  WatchdogParams params;
+  params.commit_gap_cycles = 1000;
+  Watchdog w(params);
+  w.OnTxEvent(Event(TxEventKind::kTxBegin, 0, 10));
+  w.Finalize(5000);  // The run ended with the attempt still hanging.
+  EXPECT_TRUE(w.fired());
+  EXPECT_EQ(w.verdict(), Watchdog::Verdict::kLivelock);
+
+  // An idle watchdog (no events at all) stays quiet through Finalize.
+  Watchdog idle(params);
+  idle.Finalize(1'000'000);
+  EXPECT_FALSE(idle.fired());
+}
+
+class RecordingSink final : public asfobs::TxEventSink {
+ public:
+  void OnTxEvent(const TxEvent&) override { ++events; }
+  void OnMeasurementReset() override { ++resets; }
+  int events = 0;
+  int resets = 0;
+};
+
+TEST(WatchdogTest, ChainsToTheDownstreamSinkAndResets) {
+  WatchdogParams params;
+  params.starvation_attempts = 1;
+  params.commit_gap_cycles = 0;
+  Watchdog w(params);
+  RecordingSink sink;
+  w.set_next(&sink);
+  w.OnTxEvent(Event(TxEventKind::kTxCommit, 1, 10));
+  w.OnTxEvent(Event(TxEventKind::kTxAbort, 0, 20, AbortCause::kContention));
+  w.OnTxEvent(Event(TxEventKind::kTxAbort, 0, 30, AbortCause::kContention));
+  EXPECT_TRUE(w.fired());
+  EXPECT_EQ(sink.events, 3);  // Every event reached the chained sink.
+
+  w.OnMeasurementReset();
+  EXPECT_FALSE(w.fired());
+  EXPECT_EQ(w.verdict(), Watchdog::Verdict::kProgress);
+  EXPECT_EQ(w.commits_seen(), 0u);
+  EXPECT_EQ(sink.resets, 1);  // The reset is forwarded down the chain.
+}
+
+// --- Stress harness: replay + the progress guarantee --------------------------
+
+harness::StressConfig QuickStressConfig(const std::string& schedule_name) {
+  harness::StressConfig cfg;
+  cfg.intset.structure = "list";
+  cfg.intset.key_range = 64;
+  cfg.intset.update_pct = 20;
+  cfg.intset.threads = 4;
+  cfg.intset.ops_per_thread = 100;
+  cfg.intset.runtime = harness::RuntimeKind::kAsfTm;
+  cfg.intset.seed = 1;
+  EXPECT_TRUE(FaultSchedule::Lookup(schedule_name, &cfg.schedule));
+  return cfg;
+}
+
+TEST(StressHarness, FaultInjectedRunsReplayBitIdentically) {
+  harness::StressConfig cfg = QuickStressConfig("interrupt-heavy");
+  harness::StressResult a = harness::RunStress(cfg);
+  harness::StressResult b = harness::RunStress(cfg);
+  EXPECT_EQ(a.Digest(), b.Digest());
+  EXPECT_TRUE(a.invariant_violation.empty()) << a.invariant_violation;
+  EXPECT_GT(a.total_injected, 0u);
+  // A different workload seed must not replay the same run.
+  cfg.intset.seed = 2;
+  EXPECT_NE(harness::RunStress(cfg).Digest(), a.Digest());
+}
+
+TEST(StressHarness, DigestIsSensitiveToTheScheduleSeed) {
+  harness::StressConfig cfg = QuickStressConfig("interrupt-heavy");
+  harness::StressResult a = harness::RunStress(cfg);
+  cfg.schedule.seed ^= 0xBEEF;
+  harness::StressResult b = harness::RunStress(cfg);
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+// The acceptance check for the paper's forward-progress argument (Sec. 3.2):
+// under an adversarial requester that aborts core 0's every attempt at its
+// first access (an always-winning conflicting probe, before the victim
+// performs any coherence traffic of its own — so core 1 runs undisturbed),
+// the default exponential-backoff policy escapes to serial-irrevocable mode
+// (no ASF region left for the adversary to hit) and the watchdog stays
+// quiet. With the no-backoff policy — no serialization, no backoff — the
+// same schedule starves core 0 while core 1 commits freely: divergence, and
+// the watchdog fires. (Sniping at COMMIT instead — the `bully` trigger —
+// constructs a mutual livelock, not starvation: by commit time the victim
+// has performed its accesses and requester-wins makes them abort everyone
+// else too.)
+TEST(StressHarness, WatchdogFiresOnConstructedStarvationOnly) {
+  const std::string bully_schedule =
+      "seed 11\n"
+      "at contention attempt=1 every=1 core=0 max=400\n";
+
+  harness::StressConfig cfg;
+  cfg.intset.structure = "list";
+  cfg.intset.key_range = 32;
+  cfg.intset.initial_size = 1;  // Keep the (also bullied) population cheap.
+  cfg.intset.update_pct = 100;
+  cfg.intset.threads = 2;
+  cfg.intset.ops_per_thread = 50;
+  cfg.intset.runtime = harness::RuntimeKind::kAsfTm;
+  cfg.intset.seed = 1;
+  std::string error;
+  ASSERT_TRUE(FaultSchedule::Parse(bully_schedule, &cfg.schedule, &error)) << error;
+  cfg.watchdog.starvation_attempts = 200;
+
+  // No backoff, no serialization: core 0 retries in hardware forever while
+  // core 1 commits freely — starvation, and the watchdog must say so.
+  cfg.intset.contention_policy = "no-backoff";
+  harness::StressResult starved = harness::RunStress(cfg);
+  EXPECT_TRUE(starved.watchdog_fired);
+  EXPECT_EQ(starved.verdict, Watchdog::Verdict::kStarvation);
+  EXPECT_NE(starved.watchdog_diagnosis.find("core 0"), std::string::npos)
+      << starved.watchdog_diagnosis;
+  // The invariants hold even while starving: no committed work is lost.
+  EXPECT_TRUE(starved.invariant_violation.empty()) << starved.invariant_violation;
+
+  // The paper's contention management (default exp-backoff with a serial
+  // fallback) keeps the guarantee: core 0 serializes out of the bully's
+  // reach after its retry budget and the watchdog stays quiet.
+  cfg.intset.contention_policy.clear();
+  harness::StressResult guarded = harness::RunStress(cfg);
+  EXPECT_FALSE(guarded.watchdog_fired) << guarded.watchdog_diagnosis;
+  EXPECT_TRUE(guarded.invariant_violation.empty()) << guarded.invariant_violation;
+  EXPECT_GT(guarded.intset.tm.serial_commits, 0u);
+}
+
+}  // namespace
+}  // namespace asffault

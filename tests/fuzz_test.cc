@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/tm/asf_tm.h"
 #include "src/tm/phased_tm.h"
 #include "src/tm/tiny_stm.h"

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/tm/lock_elision.h"
 #include "src/tm/phased_tm.h"
 #include "tests/tm_test_util.h"

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/random.h"
 #include "src/tm/asf_tm.h"
 #include "src/tm/serial_tm.h"
 #include "src/tm/tiny_stm.h"

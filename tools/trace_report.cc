@@ -166,6 +166,20 @@ int main(int argc, char** argv) {
                       Pct(a.aborts_by_cause[c], attempts)});
       }
     }
+    // Injected faults (src/fault) next to the organic abort shares: how much
+    // of each cause the fault injector manufactured versus the workload.
+    if (a.total_injected != 0) {
+      table.AddRow({"injected faults", Table::Int(static_cast<long long>(a.total_injected)),
+                    Pct(a.total_injected, attempts)});
+      for (size_t c = 1; c < a.injected_by_cause.size(); ++c) {
+        if (a.injected_by_cause[c] != 0) {
+          table.AddRow({std::string("  injected: ") +
+                            asfcommon::AbortCauseName(static_cast<AbortCause>(c)),
+                        Table::Int(static_cast<long long>(a.injected_by_cause[c])),
+                        Pct(a.injected_by_cause[c], attempts)});
+        }
+      }
+    }
     table.AddRow({"fallback transitions", Table::Int(static_cast<long long>(a.fallback_transitions)),
                   ""});
     table.AddRow({"backoff windows", Table::Int(static_cast<long long>(a.backoff_windows)), ""});

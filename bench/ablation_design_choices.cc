@@ -19,12 +19,16 @@
 //      expansion after the first speculative store) forces read-then-write
 //      workloads into the fallback; ASF2's dynamic expansion is what makes
 //      ASF-TM possible without software versioning.
+//
+// All study cells are independent simulations, so they are submitted to one
+// SweepRunner up front and formatted from the joined results (--jobs).
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/harness/experiment.h"
 #include "src/harness/run_threads.h"
+#include "src/harness/sweep.h"
 #include "src/tm/lock_elision.h"
 
 namespace {
@@ -33,11 +37,48 @@ namespace {
 // ablations so the whole study can be re-rolled with one flag.
 uint64_t g_seed = 0;
 
-harness::IntsetResult Run(harness::IntsetConfig cfg) {
+harness::IntsetConfig Seeded(harness::IntsetConfig cfg) {
   if (g_seed != 0) {
     cfg.seed = g_seed;
   }
-  return harness::RunIntset(cfg);
+  return cfg;
+}
+
+// Study 7 runs outside the intset harness: one elidable lock over disjoint
+// per-thread critical sections.
+struct ElisionCell {
+  double ops_per_us = 0.0;
+  uint64_t real_acquisitions = 0;
+};
+
+ElisionCell RunElisionCell(bool elide, uint64_t ops) {
+  asf::MachineParams mp = harness::PaperMachineParams(asf::AsfVariant::Llb8(), 8, true);
+  asf::Machine m(mp);
+  asftm::ElisionParams ep;
+  ep.always_acquire = !elide;
+  asftm::ElidableLock lock(m, ep);
+  struct alignas(64) Slot {
+    uint64_t value = 0;
+  };
+  auto* slots = m.arena().NewArray<Slot>(8);
+  m.mem().PretouchPages(reinterpret_cast<uint64_t>(slots), 8 * sizeof(Slot));
+  harness::RunThreads(m, 8, [&](asfsim::SimThread& t, uint32_t tid) -> asfsim::Task<void> {
+    for (uint64_t i = 0; i < ops; ++i) {
+      co_await lock.CriticalSection(t, [&](bool elided) -> asfsim::Task<void> {
+        auto kind_load = elided ? asfsim::AccessKind::kTxLoad : asfsim::AccessKind::kLoad;
+        auto kind_store = elided ? asfsim::AccessKind::kTxStore : asfsim::AccessKind::kStore;
+        co_await t.Access(kind_load, &slots[tid].value, 8);
+        uint64_t v = slots[tid].value;
+        t.core().WorkInstructions(20);
+        co_await t.Store(kind_store, &slots[tid].value, 8, v + 1);
+      });
+    }
+  });
+  ElisionCell cell;
+  cell.ops_per_us = static_cast<double>(8 * ops) * 2200.0 /
+                    static_cast<double>(m.scheduler().MaxCycle());
+  cell.real_acquisitions = lock.real_acquisitions();
+  return cell;
 }
 
 }  // namespace
@@ -48,21 +89,111 @@ int main(int argc, char** argv) {
   g_seed = opt.seed;
   const uint64_t ops = opt.quick ? 300 : 1200;
 
+  harness::SweepRunner sweep(opt.jobs);
+
+  // ---- Submission phase: every cell of every study, in display order. ----
+  for (int serial : {1, 0}) {
+    harness::IntsetConfig cfg;
+    cfg.structure = "rb";
+    cfg.key_range = 8192;
+    cfg.threads = 8;
+    cfg.ops_per_thread = ops;
+    cfg.variant = asf::AsfVariant::Llb8();
+    cfg.capacity_goes_serial = serial;
+    sweep.SubmitIntset(Seeded(cfg));
+  }
+
+  for (int retries : {1, 4, 8, 32}) {
+    harness::IntsetConfig cfg;
+    cfg.structure = "list";
+    cfg.key_range = 28;
+    cfg.threads = 8;
+    cfg.ops_per_thread = ops;
+    cfg.variant = asf::AsfVariant::Llb256();
+    cfg.max_contention_retries = retries;
+    sweep.SubmitIntset(Seeded(cfg));
+  }
+
+  for (auto rt : {harness::RuntimeKind::kAsfTm, harness::RuntimeKind::kTinyStm}) {
+    for (int extra : {-1, 12}) {
+      harness::IntsetConfig cfg;
+      cfg.structure = "rb";
+      cfg.key_range = 1024;
+      cfg.threads = 1;
+      cfg.ops_per_thread = ops;
+      cfg.runtime = rt;
+      cfg.barrier_instructions = extra;
+      sweep.SubmitIntset(Seeded(cfg));
+    }
+  }
+
+  for (auto rt : {harness::RuntimeKind::kAsfTm, harness::RuntimeKind::kGlobalLock}) {
+    for (uint32_t threads : benchutil::ThreadCounts()) {
+      harness::IntsetConfig cfg;
+      cfg.structure = "hash";
+      cfg.key_range = 8192;
+      cfg.update_pct = 100;
+      cfg.threads = threads;
+      cfg.ops_per_thread = ops;
+      cfg.runtime = rt;
+      sweep.SubmitIntset(Seeded(cfg));
+    }
+  }
+
+  for (auto rt : {harness::RuntimeKind::kAsfTm, harness::RuntimeKind::kPhasedTm}) {
+    harness::IntsetConfig cfg;
+    cfg.structure = "rb";
+    cfg.key_range = 8192;
+    cfg.threads = 8;
+    cfg.ops_per_thread = ops;
+    cfg.variant = asf::AsfVariant::Llb8();
+    cfg.runtime = rt;
+    sweep.SubmitIntset(Seeded(cfg));
+  }
+
+  for (uint32_t ways : {2u, 4u, 8u}) {
+    harness::IntsetConfig cfg;
+    cfg.structure = "list";
+    cfg.key_range = 512;
+    cfg.threads = 8;
+    cfg.ops_per_thread = ops;
+    cfg.variant = asf::AsfVariant::Llb256WithL1();
+    // Custom machine parameters: vary the L1 associativity only.
+    asf::MachineParams mp =
+        harness::PaperMachineParams(cfg.variant, cfg.threads, cfg.timer_interrupts);
+    mp.mem.l1.ways = ways;
+    sweep.SubmitIntsetOnParams(Seeded(cfg), mp);
+  }
+
+  ElisionCell elision[2];
+  {
+    const uint64_t elision_ops = ops;
+    sweep.Submit([&elision, elision_ops]() { elision[0] = RunElisionCell(true, elision_ops); });
+    sweep.Submit([&elision, elision_ops]() { elision[1] = RunElisionCell(false, elision_ops); });
+  }
+
+  for (bool asf1 : {false, true}) {
+    harness::IntsetConfig cfg;
+    cfg.structure = "rb";
+    cfg.key_range = 1024;
+    cfg.threads = 8;
+    cfg.ops_per_thread = ops;
+    cfg.variant = asf1 ? asf::AsfVariant::Asf1Llb256() : asf::AsfVariant::Llb256();
+    sweep.SubmitIntset(Seeded(cfg));
+  }
+
+  sweep.Run();
+
+  // ---- Formatting phase: consume intset results in submission order. ----
   std::printf("Ablation studies of ASF-TM design choices\n\n");
+  size_t job = 0;
 
   {
     asfcommon::Table table(
         "1. Capacity-abort policy (rb-tree range=8192, LLB-8, 8 threads, tx/us)");
     table.SetHeader({"policy", "tx/us", "serial-commits", "hw-commits", "capacity-aborts"});
     for (int serial : {1, 0}) {
-      harness::IntsetConfig cfg;
-      cfg.structure = "rb";
-      cfg.key_range = 8192;
-      cfg.threads = 8;
-      cfg.ops_per_thread = ops;
-      cfg.variant = asf::AsfVariant::Llb8();
-      cfg.capacity_goes_serial = serial;
-      harness::IntsetResult r = Run(cfg);
+      const harness::IntsetResult& r = sweep.intset(job++);
       table.AddRow({serial != 0 ? "serialize on capacity (paper)" : "retry in hardware",
                     asfcommon::Table::Num(r.tx_per_us, 2),
                     asfcommon::Table::Int(static_cast<long long>(r.tm.serial_commits)),
@@ -79,14 +210,7 @@ int main(int argc, char** argv) {
         "2. Contention retry budget (linked list range=28, LLB-256, 8 threads)");
     table.SetHeader({"max retries", "tx/us", "contention-aborts", "serial-commits"});
     for (int retries : {1, 4, 8, 32}) {
-      harness::IntsetConfig cfg;
-      cfg.structure = "list";
-      cfg.key_range = 28;
-      cfg.threads = 8;
-      cfg.ops_per_thread = ops;
-      cfg.variant = asf::AsfVariant::Llb256();
-      cfg.max_contention_retries = retries;
-      harness::IntsetResult r = Run(cfg);
+      const harness::IntsetResult& r = sweep.intset(job++);
       table.AddRow({std::to_string(retries), asfcommon::Table::Num(r.tx_per_us, 2),
                     asfcommon::Table::Int(static_cast<long long>(
                         r.tm.Aborts(asfcommon::AbortCause::kContention))),
@@ -103,14 +227,7 @@ int main(int argc, char** argv) {
     table.SetHeader({"runtime", "barrier-instr", "tx/us"});
     for (auto rt : {harness::RuntimeKind::kAsfTm, harness::RuntimeKind::kTinyStm}) {
       for (int extra : {-1, 12}) {
-        harness::IntsetConfig cfg;
-        cfg.structure = "rb";
-        cfg.key_range = 1024;
-        cfg.threads = 1;
-        cfg.ops_per_thread = ops;
-        cfg.runtime = rt;
-        cfg.barrier_instructions = extra;
-        harness::IntsetResult r = Run(cfg);
+        const harness::IntsetResult& r = sweep.intset(job++);
         table.AddRow({harness::RuntimeKindName(rt), extra < 0 ? "inlined (default)" : "+12",
                       asfcommon::Table::Num(r.tx_per_us, 2)});
       }
@@ -125,15 +242,8 @@ int main(int argc, char** argv) {
     for (auto rt : {harness::RuntimeKind::kAsfTm, harness::RuntimeKind::kGlobalLock}) {
       std::vector<std::string> row = {harness::RuntimeKindName(rt)};
       for (uint32_t threads : benchutil::ThreadCounts()) {
-        harness::IntsetConfig cfg;
-        cfg.structure = "hash";
-        cfg.key_range = 8192;
-        cfg.update_pct = 100;
-        cfg.threads = threads;
-        cfg.ops_per_thread = ops;
-        cfg.runtime = rt;
-        harness::IntsetResult r = Run(cfg);
-        row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
+        (void)threads;
+        row.push_back(asfcommon::Table::Num(sweep.intset(job++).tx_per_us, 2));
       }
       table.AddRow(row);
     }
@@ -147,14 +257,7 @@ int main(int argc, char** argv) {
         "LLB-8, 8 threads)");
     table.SetHeader({"fallback", "tx/us", "hw-commits", "serial-commits", "stm-commits"});
     for (auto rt : {harness::RuntimeKind::kAsfTm, harness::RuntimeKind::kPhasedTm}) {
-      harness::IntsetConfig cfg;
-      cfg.structure = "rb";
-      cfg.key_range = 8192;
-      cfg.threads = 8;
-      cfg.ops_per_thread = ops;
-      cfg.variant = asf::AsfVariant::Llb8();
-      cfg.runtime = rt;
-      harness::IntsetResult r = Run(cfg);
+      const harness::IntsetResult& r = sweep.intset(job++);
       table.AddRow({rt == harness::RuntimeKind::kAsfTm ? "serial-irrevocable (paper)"
                                                        : "PhasedTM software phase",
                     asfcommon::Table::Num(r.tx_per_us, 2),
@@ -172,20 +275,7 @@ int main(int argc, char** argv) {
         "(list range=512, LLB-256 w/ L1, 8 threads)");
     table.SetHeader({"L1 configuration", "tx/us", "capacity-aborts", "serial-commits"});
     for (uint32_t ways : {2u, 4u, 8u}) {
-      harness::IntsetConfig cfg;
-      cfg.structure = "list";
-      cfg.key_range = 512;
-      cfg.threads = 8;
-      cfg.ops_per_thread = ops;
-      cfg.variant = asf::AsfVariant::Llb256WithL1();
-      // Custom machine parameters: vary the L1 associativity only.
-      asf::MachineParams mp =
-          harness::PaperMachineParams(cfg.variant, cfg.threads, cfg.timer_interrupts);
-      mp.mem.l1.ways = ways;
-      if (g_seed != 0) {
-        cfg.seed = g_seed;
-      }
-      harness::IntsetResult r = harness::RunIntsetOnParams(cfg, mp);
+      const harness::IntsetResult& r = sweep.intset(job++);
       table.AddRow({std::to_string(ways) + "-way 64 KiB",
                     asfcommon::Table::Num(r.tx_per_us, 2),
                     asfcommon::Table::Int(static_cast<long long>(
@@ -200,35 +290,10 @@ int main(int argc, char** argv) {
     asfcommon::Table table(
         "7. Lock elision on disjoint critical sections (1 lock, 8 threads, ops/us)");
     table.SetHeader({"mode", "ops/us", "real-acquisitions"});
-    for (bool elide : {true, false}) {
-      asf::MachineParams mp = harness::PaperMachineParams(asf::AsfVariant::Llb8(), 8, true);
-      asf::Machine m(mp);
-      asftm::ElisionParams ep;
-      ep.always_acquire = !elide;
-      asftm::ElidableLock lock(m, ep);
-      struct alignas(64) Slot {
-        uint64_t value = 0;
-      };
-      auto* slots = m.arena().NewArray<Slot>(8);
-      m.mem().PretouchPages(reinterpret_cast<uint64_t>(slots), 8 * sizeof(Slot));
-      const uint64_t per_thread = ops;
-      harness::RunThreads(m, 8, [&](asfsim::SimThread& t, uint32_t tid) -> asfsim::Task<void> {
-        for (uint64_t i = 0; i < per_thread; ++i) {
-          co_await lock.CriticalSection(t, [&](bool elided) -> asfsim::Task<void> {
-            auto kind_load = elided ? asfsim::AccessKind::kTxLoad : asfsim::AccessKind::kLoad;
-            auto kind_store = elided ? asfsim::AccessKind::kTxStore : asfsim::AccessKind::kStore;
-            co_await t.Access(kind_load, &slots[tid].value, 8);
-            uint64_t v = slots[tid].value;
-            t.core().WorkInstructions(20);
-            co_await t.Store(kind_store, &slots[tid].value, 8, v + 1);
-          });
-        }
-      });
-      double ops_per_us = static_cast<double>(8 * per_thread) * 2200.0 /
-                          static_cast<double>(m.scheduler().MaxCycle());
-      table.AddRow({elide ? "elided (ASF)" : "conventional lock",
-                    asfcommon::Table::Num(ops_per_us, 2),
-                    asfcommon::Table::Int(static_cast<long long>(lock.real_acquisitions()))});
+    for (int i = 0; i < 2; ++i) {
+      table.AddRow({i == 0 ? "elided (ASF)" : "conventional lock",
+                    asfcommon::Table::Num(elision[i].ops_per_us, 2),
+                    asfcommon::Table::Int(static_cast<long long>(elision[i].real_acquisitions))});
     }
     table.Print();
     report.Add(table);
@@ -240,13 +305,7 @@ int main(int argc, char** argv) {
         "8 threads");
     table.SetHeader({"revision", "tx/us", "hw-commits", "serial-commits"});
     for (bool asf1 : {false, true}) {
-      harness::IntsetConfig cfg;
-      cfg.structure = "rb";
-      cfg.key_range = 1024;
-      cfg.threads = 8;
-      cfg.ops_per_thread = ops;
-      cfg.variant = asf1 ? asf::AsfVariant::Asf1Llb256() : asf::AsfVariant::Llb256();
-      harness::IntsetResult r = Run(cfg);
+      const harness::IntsetResult& r = sweep.intset(job++);
       table.AddRow({asf1 ? "ASF1 (static set)" : "ASF2 (paper)",
                     asfcommon::Table::Num(r.tx_per_us, 2),
                     asfcommon::Table::Int(static_cast<long long>(r.tm.hw_commits)),

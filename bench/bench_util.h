@@ -22,15 +22,18 @@ struct Options {
   bool csv = false;          // Emit CSV after the human-readable tables.
   std::string json_path;     // Write a JSON run report here (empty = off).
   uint64_t seed = 0;         // Override the benchmark's base seed (0 = keep).
+  uint32_t jobs = 0;         // Host-parallel sweep jobs (0 = hardware_concurrency).
 };
 
 inline void PrintUsage(const char* prog, std::FILE* out) {
   std::fprintf(out,
-               "usage: %s [--quick] [--csv] [--json <path>] [--seed <n>]\n"
+               "usage: %s [--quick] [--csv] [--json <path>] [--seed <n>] [--jobs <n>]\n"
                "  --quick        reduced op counts (smoke runs)\n"
                "  --csv          emit CSV after the human-readable tables\n"
                "  --json <path>  write a machine-readable JSON run report\n"
-               "  --seed <n>     override the benchmark's base RNG seed\n",
+               "  --seed <n>     override the benchmark's base RNG seed\n"
+               "  --jobs <n>     host threads for the sweep (default: all cores;\n"
+               "                 results are identical for every job count)\n",
                prog);
 }
 
@@ -63,6 +66,20 @@ inline Options ParseArgs(int argc, char** argv) {
                      argv[0], argv[i]);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --jobs requires a numeric operand\n", argv[0]);
+        PrintUsage(argv[0], stderr);
+        std::exit(2);
+      }
+      char* end = nullptr;
+      unsigned long long jobs = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || jobs == 0 || jobs > 1024) {
+        std::fprintf(stderr, "%s: --jobs operand must be an integer in [1, 1024], got '%s'\n",
+                     argv[0], argv[i]);
+        std::exit(2);
+      }
+      opt.jobs = static_cast<uint32_t>(jobs);
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       PrintUsage(argv[0], stdout);
       std::exit(0);

@@ -15,6 +15,7 @@
 #include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/harness/stamp_driver.h"
+#include "src/harness/sweep.h"
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
@@ -28,8 +29,8 @@ int main(int argc, char** argv) {
   asfcommon::Table table("Performance deviation (simulated over reference)");
   table.SetHeader({"benchmark", "simulated-cycles", "reference-cycles", "deviation"});
 
+  harness::SweepRunner sweep(opt.jobs);
   for (const std::string& app_name : harness::StampAppNames()) {
-    auto app = harness::MakeStampApp(app_name);
     harness::StampConfig cfg;
     cfg.runtime = harness::RuntimeKind::kSequential;
     cfg.threads = 1;
@@ -37,7 +38,13 @@ int main(int argc, char** argv) {
     if (opt.seed != 0) {
       cfg.seed = opt.seed;
     }
-    harness::StampResult r = harness::RunStamp(*app, cfg);
+    sweep.SubmitStamp(app_name, cfg);
+  }
+  sweep.Run();
+
+  size_t job = 0;
+  for (const std::string& app_name : harness::StampAppNames()) {
+    const harness::StampResult& r = sweep.stamp(job++);
     if (!r.validation.empty()) {
       std::fprintf(stderr, "VALIDATION FAILED: %s\n", r.validation.c_str());
       return 1;

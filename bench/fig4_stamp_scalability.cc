@@ -10,6 +10,7 @@
 #include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/harness/stamp_driver.h"
+#include "src/harness/sweep.h"
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
@@ -33,6 +34,34 @@ int main(int argc, char** argv) {
       "Figure 4 reproduction: STAMP scalability (execution time in ms; lower "
       "is better)\n\n");
 
+  harness::SweepRunner sweep(opt.jobs);
+  for (const std::string& app_name : harness::StampAppNames()) {
+    for (const Series& s : series) {
+      for (uint32_t threads : benchutil::ThreadCounts()) {
+        harness::StampConfig cfg;
+        cfg.runtime = s.runtime;
+        cfg.variant = s.variant;
+        cfg.threads = threads;
+        cfg.scale = scale;
+        if (opt.seed != 0) {
+          cfg.seed = opt.seed;
+        }
+        sweep.SubmitStamp(app_name, cfg);
+      }
+    }
+    // Sequential bar: one thread, uninstrumented.
+    harness::StampConfig cfg;
+    cfg.runtime = harness::RuntimeKind::kSequential;
+    cfg.threads = 1;
+    cfg.scale = scale;
+    if (opt.seed != 0) {
+      cfg.seed = opt.seed;
+    }
+    sweep.SubmitStamp(app_name, cfg);
+  }
+  sweep.Run();
+
+  size_t job = 0;
   for (const std::string& app_name : harness::StampAppNames()) {
     asfcommon::Table table("STAMP: " + app_name);
     std::vector<std::string> header = {"series"};
@@ -43,16 +72,7 @@ int main(int argc, char** argv) {
     for (const Series& s : series) {
       std::vector<std::string> row = {s.label};
       for (uint32_t threads : benchutil::ThreadCounts()) {
-        auto app = harness::MakeStampApp(app_name);
-        harness::StampConfig cfg;
-        cfg.runtime = s.runtime;
-        cfg.variant = s.variant;
-        cfg.threads = threads;
-        cfg.scale = scale;
-        if (opt.seed != 0) {
-          cfg.seed = opt.seed;
-        }
-        harness::StampResult r = harness::RunStamp(*app, cfg);
+        const harness::StampResult& r = sweep.stamp(job++);
         if (!r.validation.empty()) {
           std::fprintf(stderr, "VALIDATION FAILED (%s, %s, %u thr): %s\n", app_name.c_str(),
                        s.label, threads, r.validation.c_str());
@@ -62,19 +82,7 @@ int main(int argc, char** argv) {
       }
       table.AddRow(row);
     }
-    {
-      // Sequential bar: one thread, uninstrumented.
-      auto app = harness::MakeStampApp(app_name);
-      harness::StampConfig cfg;
-      cfg.runtime = harness::RuntimeKind::kSequential;
-      cfg.threads = 1;
-      cfg.scale = scale;
-      if (opt.seed != 0) {
-        cfg.seed = opt.seed;
-      }
-      harness::StampResult r = harness::RunStamp(*app, cfg);
-      table.AddRow({"Sequential (1thr)", asfcommon::Table::Num(r.exec_ms, 3)});
-    }
+    table.AddRow({"Sequential (1thr)", asfcommon::Table::Num(sweep.stamp(job++).exec_ms, 3)});
     table.Print();
     if (opt.csv) {
       table.PrintCsv(stdout);

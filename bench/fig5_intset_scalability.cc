@@ -10,6 +10,7 @@
 #include "src/asf/asf_params.h"
 #include "src/common/table.h"
 #include "src/harness/experiment.h"
+#include "src/harness/sweep.h"
 
 namespace {
 
@@ -46,15 +47,13 @@ int main(int argc, char** argv) {
   };
 
   std::printf("Figure 5 reproduction: IntegerSet scalability (throughput, tx/us)\n\n");
+
+  // Fan the full (panel x variant x threads) grid out across host threads;
+  // formatting below reads results back in submit order, so the output is
+  // identical for every --jobs value.
+  harness::SweepRunner sweep(opt.jobs);
   for (const Panel& panel : panels) {
-    asfcommon::Table table(panel.title);
-    std::vector<std::string> header = {"variant"};
-    for (uint32_t t : benchutil::ThreadCounts()) {
-      header.push_back(std::to_string(t) + "thr");
-    }
-    table.SetHeader(header);
     for (const auto& variant : variants) {
-      std::vector<std::string> row = {variant.Name()};
       for (uint32_t threads : benchutil::ThreadCounts()) {
         harness::IntsetConfig cfg;
         cfg.structure = panel.structure;
@@ -66,8 +65,25 @@ int main(int argc, char** argv) {
         if (opt.seed != 0) {
           cfg.seed = opt.seed;
         }
-        harness::IntsetResult r = harness::RunIntset(cfg);
-        row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
+        sweep.SubmitIntset(cfg);
+      }
+    }
+  }
+  sweep.Run();
+
+  size_t job = 0;
+  for (const Panel& panel : panels) {
+    asfcommon::Table table(panel.title);
+    std::vector<std::string> header = {"variant"};
+    for (uint32_t t : benchutil::ThreadCounts()) {
+      header.push_back(std::to_string(t) + "thr");
+    }
+    table.SetHeader(header);
+    for (const auto& variant : variants) {
+      std::vector<std::string> row = {variant.Name()};
+      for (uint32_t threads : benchutil::ThreadCounts()) {
+        (void)threads;
+        row.push_back(asfcommon::Table::Num(sweep.intset(job++).tx_per_us, 2));
       }
       table.AddRow(row);
     }

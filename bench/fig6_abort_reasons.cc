@@ -10,6 +10,7 @@
 #include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/harness/stamp_driver.h"
+#include "src/harness/sweep.h"
 
 namespace {
 
@@ -39,13 +40,10 @@ int main(int argc, char** argv) {
       "Figure 6 reproduction: ASF abort rates and reasons (percent of all "
       "attempts)\n\n");
 
+  harness::SweepRunner sweep(opt.jobs);
   for (const std::string& app_name : harness::StampAppNames()) {
-    asfcommon::Table table("STAMP: " + app_name);
-    table.SetHeader({"variant", "thr", "abort%", "contention", "capacity", "page-fault",
-                     "sys/intr", "malloc", "serial-restart"});
     for (const auto& variant : variants) {
       for (uint32_t threads : benchutil::ThreadCounts()) {
-        auto app = harness::MakeStampApp(app_name);
         harness::StampConfig cfg;
         cfg.variant = variant;
         cfg.threads = threads;
@@ -53,7 +51,20 @@ int main(int argc, char** argv) {
         if (opt.seed != 0) {
           cfg.seed = opt.seed;
         }
-        harness::StampResult r = harness::RunStamp(*app, cfg);
+        sweep.SubmitStamp(app_name, cfg);
+      }
+    }
+  }
+  sweep.Run();
+
+  size_t job = 0;
+  for (const std::string& app_name : harness::StampAppNames()) {
+    asfcommon::Table table("STAMP: " + app_name);
+    table.SetHeader({"variant", "thr", "abort%", "contention", "capacity", "page-fault",
+                     "sys/intr", "malloc", "serial-restart"});
+    for (const auto& variant : variants) {
+      for (uint32_t threads : benchutil::ThreadCounts()) {
+        const harness::StampResult& r = sweep.stamp(job++);
         if (!r.validation.empty()) {
           std::fprintf(stderr, "VALIDATION FAILED: %s\n", r.validation.c_str());
           return 1;

@@ -10,6 +10,7 @@
 #include "src/asf/asf_params.h"
 #include "src/common/table.h"
 #include "src/harness/experiment.h"
+#include "src/harness/sweep.h"
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
@@ -26,55 +27,24 @@ int main(int argc, char** argv) {
       "Figure 7 reproduction: ASF capacity vs throughput "
       "(8 threads, 20%% update, tx/us)\n\n");
 
-  {
-    // Paper x-axis: initial sizes 6, 14, 30, 62, 126, 254, 510.
-    const uint64_t sizes[] = {6, 14, 30, 62, 126, 254, 510};
-    asfcommon::Table table("Intset:LinkList (8 threads, 20% update)");
-    std::vector<std::string> header = {"variant"};
-    for (uint64_t s : sizes) {
-      header.push_back(std::to_string(s));
-    }
-    table.SetHeader(header);
-    for (const auto& variant : variants) {
-      std::vector<std::string> row = {variant.Name()};
-      for (uint64_t size : sizes) {
-        harness::IntsetConfig cfg;
-        cfg.structure = "list";
-        cfg.key_range = size * 2;
-        cfg.initial_size = size;
-        cfg.update_pct = 20;
-        cfg.threads = 8;
-        cfg.ops_per_thread = ops;
-        cfg.variant = variant;
-        if (opt.seed != 0) {
-          cfg.seed = opt.seed;
-        }
-        harness::IntsetResult r = harness::RunIntset(cfg);
-        row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
-      }
-      table.AddRow(row);
-    }
-    table.Print();
-    if (opt.csv) {
-      table.PrintCsv(stdout);
-    }
-    report.Add(table);
-  }
+  struct Study {
+    const char* title;
+    const char* structure;
+    std::vector<uint64_t> sizes;  // Paper x-axes.
+  };
+  const Study studies[] = {
+      {"Intset:LinkList (8 threads, 20% update)", "list", {6, 14, 30, 62, 126, 254, 510}},
+      {"Intset:RBTree (8 threads, 20% update)",
+       "rb",
+       {8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}},
+  };
 
-  {
-    // Paper x-axis: initial sizes 8 ... 4096 (powers of two).
-    const uint64_t sizes[] = {8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
-    asfcommon::Table table("Intset:RBTree (8 threads, 20% update)");
-    std::vector<std::string> header = {"variant"};
-    for (uint64_t s : sizes) {
-      header.push_back(std::to_string(s));
-    }
-    table.SetHeader(header);
+  harness::SweepRunner sweep(opt.jobs);
+  for (const Study& study : studies) {
     for (const auto& variant : variants) {
-      std::vector<std::string> row = {variant.Name()};
-      for (uint64_t size : sizes) {
+      for (uint64_t size : study.sizes) {
         harness::IntsetConfig cfg;
-        cfg.structure = "rb";
+        cfg.structure = study.structure;
         cfg.key_range = size * 2;
         cfg.initial_size = size;
         cfg.update_pct = 20;
@@ -84,8 +54,24 @@ int main(int argc, char** argv) {
         if (opt.seed != 0) {
           cfg.seed = opt.seed;
         }
-        harness::IntsetResult r = harness::RunIntset(cfg);
-        row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
+        sweep.SubmitIntset(cfg);
+      }
+    }
+  }
+  sweep.Run();
+
+  size_t job = 0;
+  for (const Study& study : studies) {
+    asfcommon::Table table(study.title);
+    std::vector<std::string> header = {"variant"};
+    for (uint64_t s : study.sizes) {
+      header.push_back(std::to_string(s));
+    }
+    table.SetHeader(header);
+    for (const auto& variant : variants) {
+      std::vector<std::string> row = {variant.Name()};
+      for (size_t i = 0; i < study.sizes.size(); ++i) {
+        row.push_back(asfcommon::Table::Num(sweep.intset(job++).tx_per_us, 2));
       }
       table.AddRow(row);
     }

@@ -10,6 +10,7 @@
 #include "src/asf/asf_params.h"
 #include "src/common/table.h"
 #include "src/harness/experiment.h"
+#include "src/harness/sweep.h"
 
 int main(int argc, char** argv) {
   benchutil::Options opt = benchutil::ParseArgs(argc, argv);
@@ -21,16 +22,9 @@ int main(int argc, char** argv) {
       "Figure 8 reproduction: early-release impact on the linked list\n"
       "(8 threads, 20%% update, throughput in tx/us)\n\n");
 
+  harness::SweepRunner sweep(opt.jobs);
   for (const auto& variant : {asf::AsfVariant::Llb8(), asf::AsfVariant::Llb256()}) {
-    asfcommon::Table table("Intset:LinkList (" + variant.Name() + ")");
-    std::vector<std::string> header = {"mode"};
-    for (uint64_t s : sizes) {
-      header.push_back(std::to_string(s));
-    }
-    table.SetHeader(header);
     for (bool early_release : {false, true}) {
-      std::vector<std::string> row = {early_release ? "With early release"
-                                                    : "Without early release"};
       for (uint64_t size : sizes) {
         harness::IntsetConfig cfg;
         cfg.structure = early_release ? "list-er" : "list";
@@ -43,8 +37,26 @@ int main(int argc, char** argv) {
         if (opt.seed != 0) {
           cfg.seed = opt.seed;
         }
-        harness::IntsetResult r = harness::RunIntset(cfg);
-        row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
+        sweep.SubmitIntset(cfg);
+      }
+    }
+  }
+  sweep.Run();
+
+  size_t job = 0;
+  for (const auto& variant : {asf::AsfVariant::Llb8(), asf::AsfVariant::Llb256()}) {
+    asfcommon::Table table("Intset:LinkList (" + variant.Name() + ")");
+    std::vector<std::string> header = {"mode"};
+    for (uint64_t s : sizes) {
+      header.push_back(std::to_string(s));
+    }
+    table.SetHeader(header);
+    for (bool early_release : {false, true}) {
+      std::vector<std::string> row = {early_release ? "With early release"
+                                                    : "Without early release"};
+      for (uint64_t size : sizes) {
+        (void)size;
+        row.push_back(asfcommon::Table::Num(sweep.intset(job++).tx_per_us, 2));
       }
       table.AddRow(row);
     }

@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "src/common/table.h"
 #include "src/harness/experiment.h"
+#include "src/harness/sweep.h"
 #include "src/sim/core.h"
 
 namespace {
@@ -23,8 +24,8 @@ struct Workload {
   uint32_t update_pct;
 };
 
-harness::IntsetResult Run(const Workload& w, harness::RuntimeKind rt, uint64_t ops,
-                          uint64_t seed) {
+harness::IntsetConfig MakeConfig(const Workload& w, harness::RuntimeKind rt, uint64_t ops,
+                                 uint64_t seed) {
   harness::IntsetConfig cfg;
   cfg.structure = w.structure;
   cfg.key_range = 256;
@@ -37,7 +38,7 @@ harness::IntsetResult Run(const Workload& w, harness::RuntimeKind rt, uint64_t o
   if (seed != 0) {
     cfg.seed = seed;
   }
-  return harness::RunIntset(cfg);
+  return cfg;
 }
 
 std::string Ratio(uint64_t asf, uint64_t stm) {
@@ -65,9 +66,17 @@ int main(int argc, char** argv) {
       "Table 1 / Figure 9 reproduction: single-thread breakdown of cycles\n"
       "spent inside transactions, ASF-TM (LLB-256) vs TinySTM.\n\n");
 
+  harness::SweepRunner sweep(opt.jobs);
   for (const Workload& w : workloads) {
-    harness::IntsetResult asf = Run(w, harness::RuntimeKind::kAsfTm, ops, opt.seed);
-    harness::IntsetResult stm = Run(w, harness::RuntimeKind::kTinyStm, ops, opt.seed);
+    sweep.SubmitIntset(MakeConfig(w, harness::RuntimeKind::kAsfTm, ops, opt.seed));
+    sweep.SubmitIntset(MakeConfig(w, harness::RuntimeKind::kTinyStm, ops, opt.seed));
+  }
+  sweep.Run();
+
+  size_t job = 0;
+  for (const Workload& w : workloads) {
+    const harness::IntsetResult& asf = sweep.intset(job++);
+    const harness::IntsetResult& stm = sweep.intset(job++);
 
     asfcommon::Table table(std::string("Table 1: ") + w.title);
     table.SetHeader({"category", "ASF", "STM", "Ratio (STM/ASF)"});

@@ -1,0 +1,169 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Simulator self-benchmark: anchors the performance trajectory of the stack
+// itself (docs/PERFORMANCE.md). Runs a representative slice of the Figure 5
+// IntegerSet sweep twice — once serially (--jobs 1) and once fanned out over
+// the host cores — and reports, for each mode, the wall-clock time, the total
+// simulated cycles, and the headline metric simulated-cycles-per-host-second.
+// The two passes must produce identical per-configuration results (the sweep
+// engine's determinism guarantee); any digest mismatch is a hard failure.
+//
+// The emitted JSON (--json, checked in as BENCH_sim_throughput.json) records
+// the host CPU count so a reported speedup of ~1x on a single-core runner is
+// distinguishable from a regression on a multi-core one.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/harness/experiment.h"
+#include "src/harness/sweep.h"
+
+namespace {
+
+// One measured pass over the configuration grid.
+struct PassResult {
+  double wall_seconds = 0.0;
+  uint64_t sim_cycles = 0;          // Sum of measured-window cycles.
+  uint64_t committed_tx = 0;
+  std::vector<std::string> digests;  // Per-config, submission order.
+};
+
+// Order-sensitive fingerprint of one configuration's result; wall-clock
+// independent, so serial and parallel passes must agree byte for byte.
+std::string DigestOf(const harness::IntsetResult& r) {
+  return std::to_string(r.committed_tx) + ":" + std::to_string(r.measure_cycles) + ":" +
+         std::to_string(r.tm.TotalAttempts()) + ":" + std::to_string(r.tm.TotalAborts());
+}
+
+std::vector<harness::IntsetConfig> BuildGrid(bool quick, uint64_t seed) {
+  struct Panel {
+    const char* structure;
+    uint64_t key_range;
+    uint32_t update_pct;
+  };
+  // Representative fig5 panels: short traversals (hash), long read chains
+  // (list), balanced-tree contention (rb).
+  const Panel panels[] = {
+      {"list", 512, 20},
+      {"rb", 8192, 20},
+      {"hash", 8192, 100},
+  };
+  const asf::AsfVariant variants[] = {
+      asf::AsfVariant::Llb8(),
+      asf::AsfVariant::Llb256WithL1(),
+  };
+  std::vector<harness::IntsetConfig> grid;
+  for (const Panel& p : panels) {
+    for (const auto& variant : variants) {
+      for (uint32_t threads : benchutil::ThreadCounts()) {
+        harness::IntsetConfig cfg;
+        cfg.structure = p.structure;
+        cfg.key_range = p.key_range;
+        cfg.update_pct = p.update_pct;
+        cfg.threads = threads;
+        cfg.ops_per_thread = quick ? 150 : 1500;
+        cfg.variant = variant;
+        if (seed != 0) {
+          cfg.seed = seed;
+        }
+        grid.push_back(cfg);
+      }
+    }
+  }
+  return grid;
+}
+
+PassResult RunPass(const std::vector<harness::IntsetConfig>& grid, uint32_t jobs) {
+  PassResult pass;
+  auto start = std::chrono::steady_clock::now();
+  harness::SweepRunner sweep(jobs);
+  for (const harness::IntsetConfig& cfg : grid) {
+    sweep.SubmitIntset(cfg);
+  }
+  sweep.Run();
+  pass.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const harness::IntsetResult& r = sweep.intset(i);
+    pass.sim_cycles += r.measure_cycles;
+    pass.committed_tx += r.committed_tx;
+    pass.digests.push_back(DigestOf(r));
+  }
+  return pass;
+}
+
+std::string Rate(uint64_t cycles, double seconds) {
+  if (seconds <= 0.0) {
+    return "-";
+  }
+  return asfcommon::Table::Num(static_cast<double>(cycles) / seconds / 1e6, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  benchutil::JsonReport report("perf_selfcheck", opt);
+
+  const std::vector<harness::IntsetConfig> grid = BuildGrid(opt.quick, opt.seed);
+  const uint32_t host_cpus = harness::DefaultJobs();
+  const uint32_t parallel_jobs = opt.jobs != 0 ? opt.jobs : host_cpus;
+
+  std::printf("Simulator self-benchmark: %zu configurations (fig5 slice), host CPUs %u\n\n",
+              grid.size(), host_cpus);
+
+  const PassResult serial = RunPass(grid, 1);
+  const PassResult parallel = RunPass(grid, parallel_jobs);
+
+  // Determinism gate: the fan-out must not change a single result.
+  for (size_t i = 0; i < grid.size(); ++i) {
+    if (serial.digests[i] != parallel.digests[i]) {
+      std::fprintf(stderr,
+                   "FAILED: config %zu diverged between --jobs 1 and --jobs %u\n"
+                   "  serial:   %s\n  parallel: %s\n",
+                   i, parallel_jobs, serial.digests[i].c_str(), parallel.digests[i].c_str());
+      return 1;
+    }
+  }
+
+  const double speedup =
+      parallel.wall_seconds > 0.0 ? serial.wall_seconds / parallel.wall_seconds : 0.0;
+
+  asfcommon::Table table("Simulation throughput (Mcycles = 1e6 simulated cycles)");
+  table.SetHeader({"mode", "wall s", "sim Mcycles", "sim Mcycles/s", "tx committed"});
+  table.AddRow({"serial (--jobs 1)", asfcommon::Table::Num(serial.wall_seconds, 3),
+                asfcommon::Table::Num(static_cast<double>(serial.sim_cycles) / 1e6, 1),
+                Rate(serial.sim_cycles, serial.wall_seconds),
+                asfcommon::Table::Int(static_cast<long long>(serial.committed_tx))});
+  table.AddRow({"parallel (--jobs " + std::to_string(parallel_jobs) + ")",
+                asfcommon::Table::Num(parallel.wall_seconds, 3),
+                asfcommon::Table::Num(static_cast<double>(parallel.sim_cycles) / 1e6, 1),
+                Rate(parallel.sim_cycles, parallel.wall_seconds),
+                asfcommon::Table::Int(static_cast<long long>(parallel.committed_tx))});
+  table.Print();
+  report.Add(table);
+
+  asfcommon::Table summary("Self-check summary");
+  summary.SetHeader({"metric", "value"});
+  summary.AddRow({"host cpus", std::to_string(host_cpus)});
+  summary.AddRow({"parallel jobs", std::to_string(parallel_jobs)});
+  summary.AddRow({"configurations", std::to_string(grid.size())});
+  summary.AddRow({"speedup (serial wall / parallel wall)", asfcommon::Table::Num(speedup, 2)});
+  summary.AddRow({"determinism", "jobs-invariant (all digests equal)"});
+  summary.Print();
+  report.Add(summary);
+
+  if (opt.csv) {
+    table.PrintCsv(stdout);
+    summary.PrintCsv(stdout);
+  }
+
+  std::printf("speedup: %.2fx with %u jobs on %u host CPUs\n", speedup, parallel_jobs, host_cpus);
+  if (host_cpus >= 4 && parallel_jobs >= 4 && speedup < 2.0) {
+    // Informational, not fatal: wall-clock on shared CI hosts is noisy, and
+    // the determinism gate above is the correctness check.
+    std::printf("note: speedup below the 2x target expected of a >=4-core host\n");
+  }
+  return report.Write() ? 0 : 1;
+}

@@ -9,9 +9,10 @@
 // injection).
 //
 //   usage: stress_faults [--quick] [--csv] [--json <path>] [--seed <n>]
-//                        [--schedule <name|@file>] [--runtime <name>]
-//                        [--policy <spec>] [--verify-replay]
+//                        [--jobs <n>] [--schedule <name|@file>]
+//                        [--runtime <name>] [--policy <spec>] [--verify-replay]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "bench/bench_util.h"
 #include "src/fault/fault_schedule.h"
 #include "src/harness/stress.h"
+#include "src/harness/sweep.h"
 
 namespace {
 
@@ -37,13 +39,14 @@ struct StressOptions {
 
 void PrintUsage(const char* prog, std::FILE* out) {
   std::fprintf(out,
-               "usage: %s [--quick] [--csv] [--json <path>] [--seed <n>]\n"
+               "usage: %s [--quick] [--csv] [--json <path>] [--seed <n>] [--jobs <n>]\n"
                "          [--schedule <name|@file>] [--runtime <name>] [--policy <spec>]\n"
                "          [--verify-replay]\n"
                "  --quick              reduced op counts (smoke runs)\n"
                "  --csv                emit CSV after the human-readable tables\n"
                "  --json <path>        write a machine-readable JSON run report\n"
                "  --seed <n>           override the workload base RNG seed\n"
+               "  --jobs <n>           host threads for the sweep (default: all cores)\n"
                "  --schedule <s>       fault schedule: a built-in name or @<file>\n"
                "                       (built-ins: none, interrupt-heavy, capacity-heavy,\n"
                "                       adversarial-contention; default: all built-ins)\n"
@@ -82,6 +85,15 @@ StressOptions ParseArgs(int argc, char** argv) {
                      argv[0], s);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      const char* s = operand("--jobs");
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(s, &end, 10);
+      if (end == s || *end != '\0' || v == 0 || v > 1024) {
+        std::fprintf(stderr, "%s: --jobs operand must be in [1, 1024], got '%s'\n", argv[0], s);
+        std::exit(2);
+      }
+      opt.base.jobs = static_cast<uint32_t>(v);
     } else if (std::strcmp(argv[i], "--schedule") == 0) {
       opt.schedule = operand("--schedule");
     } else if (std::strcmp(argv[i], "--runtime") == 0) {
@@ -188,12 +200,10 @@ int main(int argc, char** argv) {
   std::vector<NamedSchedule> schedules = LoadSchedules(argv[0], opt.schedule);
   std::vector<NamedRuntime> runtimes = LoadRuntimes(argv[0], opt.runtime);
 
-  bool failed = false;
+  // Every (schedule, runtime) cell — and the replay re-run, when asked for —
+  // is an independent simulation; fan them all out, then format in order.
+  harness::SweepRunner sweep(opt.base.jobs);
   for (const NamedSchedule& ns : schedules) {
-    Table table("Fault stress: " + ns.name + " (schedule seed " +
-                Table::Int(static_cast<long long>(ns.schedule.seed)) + ")");
-    table.SetHeader({"runtime", "commits", "attempts", "aborts", "abort rate", "injected",
-                     "top injected cause", "watchdog", "invariants"});
     for (const NamedRuntime& nr : runtimes) {
       harness::StressConfig sc;
       sc.intset.structure = "list";
@@ -205,11 +215,26 @@ int main(int argc, char** argv) {
       sc.intset.seed = seed;
       sc.intset.contention_policy = opt.policy;
       sc.schedule = ns.schedule;
+      sweep.SubmitStress(sc);
+      if (opt.verify_replay) {
+        sweep.SubmitStress(sc);  // Identical config: digests must match.
+      }
+    }
+  }
+  sweep.Run();
 
-      harness::StressResult r = harness::RunStress(sc);
+  bool failed = false;
+  size_t job = 0;
+  for (const NamedSchedule& ns : schedules) {
+    Table table("Fault stress: " + ns.name + " (schedule seed " +
+                Table::Int(static_cast<long long>(ns.schedule.seed)) + ")");
+    table.SetHeader({"runtime", "commits", "attempts", "aborts", "abort rate", "injected",
+                     "top injected cause", "watchdog", "invariants"});
+    for (const NamedRuntime& nr : runtimes) {
+      const harness::StressResult& r = sweep.stress(job++);
       std::string replay = "-";
       if (opt.verify_replay) {
-        harness::StressResult r2 = harness::RunStress(sc);
+        const harness::StressResult& r2 = sweep.stress(job++);
         replay = r.Digest() == r2.Digest() ? "replay ok" : "REPLAY MISMATCH";
         if (r.Digest() != r2.Digest()) {
           failed = true;

@@ -26,6 +26,13 @@ asf_add_bench(fig8_early_release)
 asf_add_bench(fig9_table1_overheads)
 asf_add_bench(ablation_design_choices)
 asf_add_bench(stress_faults)
+asf_add_bench(perf_selfcheck)
+
+# The self-benchmark smoke doubles as the sweep-determinism gate (serial and
+# parallel passes must produce identical digests); `ctest -L perf` runs just
+# the perf anchors.
+set_tests_properties(bench_smoke_perf_selfcheck bench_smoke_perf_selfcheck_json
+                     PROPERTIES LABELS "perf")
 
 # Fault-injection stress targets (docs/ROBUSTNESS.md): one per built-in
 # schedule on all four policy-driven runtimes, plus a determinism check that

@@ -26,7 +26,7 @@ bool AsfContext::CommitTop() {
   }
   ++stats_.commits;
   llb_.Clear();
-  l1_read_lines_.clear();
+  l1_read_lines_.Clear();
   atomic_phase_ = false;
   return true;
 }
@@ -37,7 +37,7 @@ void AsfContext::Abort(AbortCause cause) {
   }
   ++stats_.aborts[static_cast<size_t>(cause)];
   llb_.RestoreAll();
-  l1_read_lines_.clear();
+  l1_read_lines_.Clear();
   depth_ = 0;
   atomic_phase_ = false;
 }
@@ -53,7 +53,7 @@ bool AsfContext::AddRead(uint64_t line) {
     if (llb_.HasWrittenLine(line)) {
       return true;
     }
-    l1_read_lines_.insert(line);
+    l1_read_lines_.Insert(line);
     return true;  // Capacity effects arrive via OnL1Drop displacement.
   }
   return llb_.AddRead(line);
@@ -71,7 +71,7 @@ bool AsfContext::AddWrite(uint64_t line) {
     // L1 displacement into a spurious capacity abort).
     bool ok = llb_.AddWrite(line);
     if (ok) {
-      l1_read_lines_.erase(line);
+      l1_read_lines_.Erase(line);
     }
     return ok;
   }
@@ -83,7 +83,7 @@ void AsfContext::Release(uint64_t line) {
     return;
   }
   if (variant_.l1_read_set) {
-    l1_read_lines_.erase(line);
+    l1_read_lines_.Erase(line);
     return;
   }
   llb_.Release(line);
@@ -94,7 +94,7 @@ bool AsfContext::HasRead(uint64_t line) const {
     return false;
   }
   if (variant_.l1_read_set) {
-    return l1_read_lines_.contains(line) || llb_.HasLine(line);
+    return l1_read_lines_.Contains(line) || llb_.HasLine(line);
   }
   return llb_.HasLine(line);
 }
@@ -103,7 +103,7 @@ bool AsfContext::OnL1Drop(uint64_t line) {
   if (!active() || !variant_.l1_read_set) {
     return false;
   }
-  return l1_read_lines_.contains(line);
+  return l1_read_lines_.Contains(line);
 }
 
 }  // namespace asf

@@ -11,10 +11,10 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_set>
 
 #include "src/common/abort_cause.h"
 #include "src/common/defs.h"
+#include "src/common/flat_table.h"
 #include "src/asf/asf_params.h"
 #include "src/asf/llb.h"
 
@@ -107,7 +107,9 @@ class AsfContext {
   const AsfVariant variant_;
   Llb llb_;
   // Read-set lines tracked via L1 speculative-read bits (w/-L1 variants).
-  std::unordered_set<uint64_t> l1_read_lines_;
+  // Probed on every remote access during the conflict scan, so it uses the
+  // flat open-addressing layout.
+  asfcommon::FlatSet64 l1_read_lines_{128};
   uint32_t depth_ = 0;
   bool atomic_phase_ = false;
   AsfContextStats stats_;

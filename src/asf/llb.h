@@ -8,13 +8,17 @@
 // the host location directly and the LLB keeps the 64-byte pre-image;
 // RestoreAll() undoes every speculative modification. This is exactly the
 // hardware design's data flow (write in place, backup in the LLB).
+//
+// The line->entry index is a fixed-size linear-probing slot array (the spec
+// caps the LLB at 256 entries, so two slots per entry keeps probes short and
+// the whole index in a few cache lines) instead of a node-based hash map:
+// membership probes run on every simulated memory access of every core.
 #ifndef SRC_ASF_LLB_H_
 #define SRC_ASF_LLB_H_
 
 #include <array>
 #include <cstdint>
 #include <cstring>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/defs.h"
@@ -23,29 +27,40 @@ namespace asf {
 
 class Llb {
  public:
-  explicit Llb(uint32_t capacity) : capacity_(capacity) {}
+  // Capacity must be a nonzero power of two (hardware sizes; the probe mask
+  // and slot sizing rely on it). The spec's maximum is 256 entries.
+  explicit Llb(uint32_t capacity)
+      : capacity_(capacity),
+        slot_mask_(capacity * 2 - 1),
+        slot_shift_(SlotShift(capacity * 2)),
+        slots_(capacity * 2, 0) {
+    ASF_CHECK_MSG(capacity != 0 && (capacity & (capacity - 1)) == 0,
+                  "LLB capacity must be a nonzero power of two");
+    ASF_CHECK_MSG(capacity <= 256, "LLB capacity exceeds the ASF spec maximum (256)");
+  }
 
   uint32_t capacity() const { return capacity_; }
   uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
   bool Full() const { return size() >= capacity_; }
 
-  bool HasLine(uint64_t line) const { return index_.contains(line); }
+  bool HasLine(uint64_t line) const { return slots_[SlotOf(line)] != 0; }
   bool HasWrittenLine(uint64_t line) const {
-    auto it = index_.find(line);
-    return it != index_.end() && entries_[it->second].written;
+    uint32_t s = slots_[SlotOf(line)];
+    return s != 0 && entries_[s - 1].written;
   }
 
   // Adds `line` to the protected set (read monitoring). Returns false if the
   // buffer is full (capacity abort).
   bool AddRead(uint64_t line) {
-    if (index_.contains(line)) {
+    size_t slot = SlotOf(line);
+    if (slots_[slot] != 0) {
       return true;
     }
     if (Full()) {
       return false;
     }
-    index_.emplace(line, entries_.size());
     entries_.push_back(Entry{line, false, {}});
+    slots_[slot] = static_cast<uint32_t>(entries_.size());
     return true;
   }
 
@@ -53,9 +68,9 @@ class Llb {
   // (pre-speculative) host content. Must be called before the speculative
   // store modifies host memory. Returns false on capacity overflow.
   bool AddWrite(uint64_t line) {
-    auto it = index_.find(line);
-    if (it != index_.end()) {
-      Entry& e = entries_[it->second];
+    size_t slot = SlotOf(line);
+    if (slots_[slot] != 0) {
+      Entry& e = entries_[slots_[slot] - 1];
       if (!e.written) {
         Backup(e);
       }
@@ -64,8 +79,8 @@ class Llb {
     if (Full()) {
       return false;
     }
-    index_.emplace(line, entries_.size());
     entries_.push_back(Entry{line, false, {}});
+    slots_[slot] = static_cast<uint32_t>(entries_.size());
     Backup(entries_.back());
     return true;
   }
@@ -74,18 +89,19 @@ class Llb {
   // pending speculative store cannot be cancelled (only ABORT can), so a
   // written line is left untouched — RELEASE is strictly a hint.
   void Release(uint64_t line) {
-    auto it = index_.find(line);
-    if (it == index_.end() || entries_[it->second].written) {
+    size_t slot = SlotOf(line);
+    if (slots_[slot] == 0 || entries_[slots_[slot] - 1].written) {
       return;
     }
-    RemoveAt(it->second);
+    RemoveAt(slot);
   }
 
   // Commit: discard all entries; speculative values in memory become
   // authoritative (flash-clear of speculative bits).
   void Clear() {
     entries_.clear();
-    index_.clear();
+    std::memset(slots_.data(), 0, slots_.size() * sizeof(uint32_t));
+    written_count_ = 0;
   }
 
   // Abort: write every backup copy back to memory, then clear.
@@ -99,13 +115,7 @@ class Llb {
     Clear();
   }
 
-  uint32_t written_count() const {
-    uint32_t n = 0;
-    for (const Entry& e : entries_) {
-      n += e.written ? 1 : 0;
-    }
-    return n;
-  }
+  uint32_t written_count() const { return written_count_; }
 
  private:
   struct Entry {
@@ -114,27 +124,76 @@ class Llb {
     std::array<uint8_t, asfcommon::kCacheLineBytes> backup;
   };
 
+  static uint32_t SlotShift(uint32_t num_slots) {
+    uint32_t shift = 64;
+    for (uint32_t c = num_slots; c > 1; c >>= 1) {
+      --shift;
+    }
+    return shift;
+  }
+
+  // Home position via Fibonacci hashing; line numbers share high bits (they
+  // all point into the arena), so plain masking would cluster.
+  size_t HomeOf(uint64_t line) const {
+    return static_cast<size_t>((line * 0x9E3779B97F4A7C15ull) >> slot_shift_);
+  }
+
+  // Index of the slot holding `line`, or of the empty slot ending its chain.
+  size_t SlotOf(uint64_t line) const {
+    size_t s = HomeOf(line);
+    while (slots_[s] != 0 && entries_[slots_[s] - 1].line != line) {
+      s = (s + 1) & slot_mask_;
+    }
+    return s;
+  }
+
   void Backup(Entry& e) {
     std::memcpy(e.backup.data(),
                 reinterpret_cast<const void*>(e.line << asfcommon::kCacheLineShift),
                 asfcommon::kCacheLineBytes);
     e.written = true;
+    ++written_count_;
   }
 
-  void RemoveAt(size_t pos) {
-    const uint64_t removed_line = entries_[pos].line;
+  // Removes the entry referenced by `slot`. First backward-shift the slot
+  // chain (so probing stays correct without tombstones), then swap-with-last
+  // in the entry array and repoint the moved entry's slot.
+  void RemoveAt(size_t slot) {
+    const uint32_t pos = slots_[slot] - 1;
     const size_t last = entries_.size() - 1;
+    if (entries_[pos].written) {
+      --written_count_;
+    }
+
+    size_t i = slot;
+    size_t j = slot;
+    for (;;) {
+      j = (j + 1) & slot_mask_;
+      if (slots_[j] == 0) {
+        break;
+      }
+      size_t home = HomeOf(entries_[slots_[j] - 1].line);
+      if (((j - home) & slot_mask_) >= ((j - i) & slot_mask_)) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i] = 0;
+
     if (pos != last) {
       entries_[pos] = entries_[last];
-      index_[entries_[pos].line] = pos;
+      slots_[SlotOf(entries_[pos].line)] = pos + 1;
     }
-    index_.erase(removed_line);
     entries_.pop_back();
   }
 
   const uint32_t capacity_;
+  const size_t slot_mask_;
+  const uint32_t slot_shift_;
   std::vector<Entry> entries_;
-  std::unordered_map<uint64_t, size_t> index_;
+  // Entry index + 1 per slot; 0 = empty. Sized 2x capacity (<= 50% load).
+  std::vector<uint32_t> slots_;
+  uint32_t written_count_ = 0;
 };
 
 }  // namespace asf

@@ -7,9 +7,17 @@ namespace {
 bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 }  // namespace
 
+void CacheGeometry::Validate() const {
+  ASF_CHECK_MSG(size_bytes != 0 && size_bytes % asfcommon::kCacheLineBytes == 0,
+                "cache size must be a nonzero multiple of the line size");
+  ASF_CHECK_MSG(ways >= 1, "cache must have at least one way");
+  ASF_CHECK_MSG(NumLines() % ways == 0, "cache lines must divide evenly into sets");
+  ASF_CHECK_MSG(IsPowerOfTwo(NumSets()),
+                "cache set count must be a nonzero power of two (SetOf masks with sets - 1)");
+}
+
 Cache::Cache(const CacheGeometry& geo) : sets_(geo.NumSets()), ways_(geo.ways) {
-  ASF_CHECK_MSG(IsPowerOfTwo(sets_), "cache set count must be a power of two");
-  ASF_CHECK(ways_ >= 1);
+  geo.Validate();
   ways_storage_.resize(sets_ * ways_);
 }
 

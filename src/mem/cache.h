@@ -23,6 +23,11 @@ struct CacheGeometry {
 
   uint64_t NumLines() const { return size_bytes / asfcommon::kCacheLineBytes; }
   uint64_t NumSets() const { return NumLines() / ways; }
+
+  // CHECK-fails unless the geometry is realizable: whole lines, whole sets,
+  // and a nonzero power-of-two set count (SetOf masks with sets - 1, so any
+  // other count would silently alias sets). Called by every Cache.
+  void Validate() const;
 };
 
 // One cache level. Addresses are identified by line number (addr >> 6).

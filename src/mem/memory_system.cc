@@ -38,8 +38,7 @@ MemResult MemorySystem::Access(uint32_t core, uint64_t addr, uint32_t size, bool
     if (use_tlb) {
       result.latency += tlbs_[core]->Translate(page << asfcommon::kPageShift);
     }
-    if (params_.model_page_faults && !present_pages_.contains(page)) {
-      present_pages_.insert(page);
+    if (params_.model_page_faults && present_pages_.Insert(page)) {
       result.latency += params_.page_fault_cycles;
       result.page_fault = true;
       ++st.page_faults;
@@ -160,7 +159,7 @@ void MemorySystem::PretouchPages(uint64_t addr, uint64_t bytes) {
   uint64_t first = PageOf(addr);
   uint64_t last = PageOf(addr + (bytes == 0 ? 0 : bytes - 1));
   for (uint64_t p = first; p <= last; ++p) {
-    present_pages_.insert(p);
+    present_pages_.Insert(p);
   }
 }
 
@@ -169,7 +168,7 @@ void MemorySystem::FlushLine(uint64_t line) {
     DropFromCore(c, line);
   }
   l3_.Invalidate(line);
-  directory_.erase(line);
+  directory_.Erase(line);
 }
 
 MemStats MemorySystem::TotalStats() const {

@@ -14,11 +14,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/defs.h"
+#include "src/common/flat_table.h"
 #include "src/mem/cache.h"
 #include "src/mem/tlb.h"
 
@@ -130,8 +129,11 @@ class MemorySystem {
   std::vector<std::unique_ptr<Cache>> l2s_;
   Cache l3_;
   std::vector<std::unique_ptr<Tlb>> tlbs_;
-  std::unordered_map<uint64_t, DirEntry> directory_;
-  std::unordered_set<uint64_t> present_pages_;
+  // Open-addressing tables (src/common/flat_table.h): the directory is hit
+  // once per line on every access, so lookup cost is first-order for
+  // simulation throughput.
+  asfcommon::FlatMap64<DirEntry> directory_{1024};
+  asfcommon::FlatSet64 present_pages_{256};
   std::vector<MemStats> stats_;
   MemEventListener* listener_ = nullptr;
 };

@@ -136,6 +136,13 @@ void Scheduler::ScheduleWake(SimThread& t, uint64_t cycle) {
 
 void Scheduler::Run() {
   ASF_CHECK_MSG(handler_ != nullptr || threads_.empty(), "no access handler installed");
+  // Host-thread ownership guard: a scheduler (and the Machine built on it)
+  // is single-host-threaded by design. The atomic exchange makes concurrent
+  // entry fail deterministically — and visibly under TSan — instead of
+  // corrupting simulation state (see src/harness/sweep.h for the fan-out
+  // model that relies on this).
+  ASF_CHECK_MSG(!host_busy_.exchange(true, std::memory_order_acquire),
+                "Scheduler::Run entered from two host threads");
   running_ = true;
   while (!events_.empty()) {
     Event ev = events_.top();
@@ -147,6 +154,7 @@ void Scheduler::Run() {
     OnWake(t, ev.cycle);
   }
   running_ = false;
+  host_busy_.store(false, std::memory_order_release);
   ASF_CHECK_MSG(finished_count_ == threads_.size(),
                 "simulation stalled: threads blocked with no pending events (deadlock)");
 }

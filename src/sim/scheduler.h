@@ -23,6 +23,7 @@
 #ifndef SRC_SIM_SCHEDULER_H_
 #define SRC_SIM_SCHEDULER_H_
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
 #include <memory>
@@ -288,6 +289,9 @@ class Scheduler {
   uint64_t next_seq_ = 0;
   uint32_t finished_count_ = 0;
   bool running_ = false;
+  // Guards against two host threads driving the same scheduler (the sweep
+  // engine runs one Machine per job; sharing one is a bug). See Run().
+  std::atomic<bool> host_busy_{false};
 };
 
 }  // namespace asfsim

@@ -1,0 +1,151 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Tests for the open-addressing hash containers (src/common/flat_table.h)
+// that back the simulator's hot paths. The randomized cases drive a small
+// key range through a small initial table, forcing probe-chain collisions,
+// backward-shift deletions across wrapped chains, and growth rehashes, and
+// check every observation against std::unordered_map/set reference models.
+#include "src/common/flat_table.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+// Deterministic 64-bit LCG (same constants as MMIX) so failures reproduce.
+uint64_t Next(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  return *state >> 16;
+}
+
+TEST(FlatMapTest, InsertFindErase) {
+  asfcommon::FlatMap64<int> map(8);
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.Contains(42));
+  EXPECT_EQ(map.Find(42), nullptr);
+
+  map[42] = 7;
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.Contains(42));
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), 7);
+
+  map[42] = 8;  // Overwrite, not duplicate.
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.Find(42), 8);
+
+  EXPECT_TRUE(map.Erase(42));
+  EXPECT_FALSE(map.Erase(42));
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.Contains(42));
+}
+
+TEST(FlatMapTest, OperatorIndexDefaultConstructs) {
+  asfcommon::FlatMap64<int> map;
+  EXPECT_EQ(map[5], 0);
+  map[5] += 3;
+  EXPECT_EQ(map[5], 3);
+}
+
+TEST(FlatMapTest, GrowthRehashPreservesMappings) {
+  asfcommon::FlatMap64<uint64_t> map(8);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    map[k * 64] = k;  // Line-number-like keys (low entropy, stride 64).
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(map.Find(k * 64), nullptr) << k;
+    EXPECT_EQ(*map.Find(k * 64), k);
+  }
+}
+
+TEST(FlatMapTest, ClearResetsEverything) {
+  asfcommon::FlatMap64<int> map;
+  for (uint64_t k = 0; k < 100; ++k) {
+    map[k] = 1;
+  }
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_FALSE(map.Contains(k));
+  }
+  EXPECT_EQ(map[3], 0);  // Erased slots were reset to V{}.
+}
+
+TEST(FlatMapTest, RandomizedAgainstReferenceModel) {
+  asfcommon::FlatMap64<uint32_t> map(8);
+  std::unordered_map<uint64_t, uint32_t> ref;
+  uint64_t rng = 1;
+  for (int op = 0; op < 20000; ++op) {
+    uint64_t key = Next(&rng) % 97;  // Small range: heavy collisions/reuse.
+    switch (Next(&rng) % 3) {
+      case 0:
+        map[key] = static_cast<uint32_t>(op);
+        ref[key] = static_cast<uint32_t>(op);
+        break;
+      case 1:
+        EXPECT_EQ(map.Erase(key), ref.erase(key) != 0) << "op " << op;
+        break;
+      default: {
+        auto it = ref.find(key);
+        const uint32_t* found = map.Find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end()) << "op " << op;
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second) << "op " << op;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size()) << "op " << op;
+  }
+}
+
+TEST(FlatSetTest, InsertReportsNewness) {
+  asfcommon::FlatSet64 set(8);
+  EXPECT_TRUE(set.Insert(10));
+  EXPECT_FALSE(set.Insert(10));
+  EXPECT_TRUE(set.Insert(11));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_FALSE(set.Contains(12));
+}
+
+TEST(FlatSetTest, EraseAndClear) {
+  asfcommon::FlatSet64 set;
+  for (uint64_t k = 0; k < 300; ++k) {
+    set.Insert(k);
+  }
+  EXPECT_TRUE(set.Erase(123));
+  EXPECT_FALSE(set.Erase(123));
+  EXPECT_FALSE(set.Contains(123));
+  EXPECT_EQ(set.size(), 299u);
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_TRUE(set.Insert(0));
+}
+
+TEST(FlatSetTest, RandomizedAgainstReferenceModel) {
+  asfcommon::FlatSet64 set(8);
+  std::unordered_set<uint64_t> ref;
+  uint64_t rng = 99;
+  for (int op = 0; op < 20000; ++op) {
+    uint64_t key = (Next(&rng) % 131) * 4096;  // Page-number-like keys.
+    switch (Next(&rng) % 3) {
+      case 0:
+        EXPECT_EQ(set.Insert(key), ref.insert(key).second) << "op " << op;
+        break;
+      case 1:
+        EXPECT_EQ(set.Erase(key), ref.erase(key) != 0) << "op " << op;
+        break;
+      default:
+        EXPECT_EQ(set.Contains(key), ref.count(key) != 0) << "op " << op;
+        break;
+    }
+    ASSERT_EQ(set.size(), ref.size()) << "op " << op;
+  }
+}
+
+}  // namespace

@@ -18,8 +18,11 @@
 #include <string>
 
 #include "src/common/abort_cause.h"
+#include "src/fault/fault_schedule.h"
 #include "src/harness/report.h"
 #include "src/harness/stamp_driver.h"
+#include "src/harness/stress.h"
+#include "src/harness/sweep.h"
 #include "src/obs/export.h"
 #include "src/obs/obs_session.h"
 #include "src/sim/trace.h"
@@ -46,10 +49,18 @@ void Usage() {
       "asf_explore --workload intset|stamp [options]\n"
       "  common:  --runtime asf|stm|seq|lock|phased   --variant llb8|llb256|llb8-l1|llb256-l1\n"
       "           --threads N (1..8)   --seed N   --no-timer\n"
+      "           --reps N       repeat the run N times with seeds seed, seed+1, ...\n"
+      "                          and report per-rep plus mean results\n"
+      "           --jobs N       host threads for --reps fan-out (default: all cores)\n"
       "           --trace PATH   export a Perfetto trace_event JSON of the measured\n"
       "                          window (open in ui.perfetto.dev; tools/trace_report)\n"
       "           --report PATH  write the run's config+result as JSON\n"
       "  intset:  --structure list|list-er|skip|rb|hash  --range N  --update PCT  --ops N\n"
+      "           --policy SPEC  contention policy (e.g. exp-backoff:retries=4,\n"
+      "                          capped-retry, serialize, adaptive, no-backoff)\n"
+      "           --schedule S   run under a fault schedule (built-in name or @file;\n"
+      "                          built-ins: none, interrupt-heavy, capacity-heavy,\n"
+      "                          adversarial-contention) and report the stress summary\n"
       "  stamp:   --app genome|intruder|kmeans-low|kmeans-high|labyrinth|ssca2|\n"
       "                 vacation-low|vacation-high       --scale N\n");
 }
@@ -142,6 +153,27 @@ bool WriteReport(const std::string& path, const std::string& json) {
   return true;
 }
 
+// Resolves --schedule: a built-in name or @<file> (same syntax as
+// bench/stress_faults); exits on parse errors.
+asffault::FaultSchedule LoadSchedule(const std::string& arg) {
+  asffault::FaultSchedule schedule;
+  if (arg[0] == '@') {
+    std::string text;
+    std::string error;
+    if (!asfobs::ReadTextFile(arg.substr(1), &text, &error) ||
+        !asffault::FaultSchedule::Parse(text, &schedule, &error)) {
+      std::fprintf(stderr, "--schedule %s: %s\n", arg.c_str() + 1, error.c_str());
+      std::exit(2);
+    }
+    return schedule;
+  }
+  if (!asffault::FaultSchedule::Lookup(arg, &schedule)) {
+    std::fprintf(stderr, "unknown built-in schedule '%s'\n", arg.c_str());
+    std::exit(2);
+  }
+  return schedule;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -166,6 +198,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Reject misspelled keys instead of silently falling back to defaults.
+  static const char* kKnownKeys[] = {"workload", "runtime", "variant", "threads",  "seed",
+                                     "trace",    "report",  "reps",    "jobs",     "structure",
+                                     "range",    "update",  "ops",     "policy",   "schedule",
+                                     "app",      "scale"};
+  for (const auto& [key, value] : args.kv) {
+    bool known = false;
+    for (const char* k : kKnownKeys) {
+      known = known || key == k;
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown option '--%s'\n", key.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
   std::string workload = args.Get("workload", "intset");
   RuntimeKind runtime = ParseRuntime(args.Get("runtime", "asf"));
   asf::AsfVariant variant = ParseVariant(args.Get("variant", "llb256"));
@@ -173,6 +222,18 @@ int main(int argc, char** argv) {
   uint64_t seed = args.GetInt("seed", 1);
   std::string trace_path = args.Get("trace", "");
   std::string report_path = args.Get("report", "");
+  std::string policy = args.Get("policy", "");
+  std::string schedule_arg = args.Get("schedule", "");
+  uint32_t jobs = static_cast<uint32_t>(args.GetInt("jobs", 0));
+  uint64_t reps = args.GetInt("reps", 1);
+  if (reps == 0 || reps > 1024) {
+    std::fprintf(stderr, "--reps must be in [1, 1024]\n");
+    return 2;
+  }
+  if (reps > 1 && (!trace_path.empty() || !report_path.empty())) {
+    std::fprintf(stderr, "--trace/--report export a single run; use --reps 1\n");
+    return 2;
+  }
 
   // Observers are only attached when an export was requested; without them
   // the run is byte-identical to an unobserved one.
@@ -195,6 +256,70 @@ int main(int argc, char** argv) {
     cfg.variant = variant;
     cfg.seed = seed;
     cfg.timer_interrupts = timer;
+    cfg.contention_policy = policy;
+
+    if (!schedule_arg.empty()) {
+      // Fault-schedule mode: the run goes through the stress harness, which
+      // owns the observer chain (watchdog), so per-run exports are off.
+      if (!trace_path.empty() || !report_path.empty()) {
+        std::fprintf(stderr, "--trace/--report cannot be combined with --schedule\n");
+        return 2;
+      }
+      harness::StressConfig sc;
+      sc.intset = cfg;
+      sc.schedule = LoadSchedule(schedule_arg);
+      harness::SweepRunner sweep(jobs);
+      for (uint64_t rep = 0; rep < reps; ++rep) {
+        sc.intset.seed = seed + rep;
+        sweep.SubmitStress(sc);
+      }
+      sweep.Run();
+      std::printf("intset %s | range %lu | %u%% updates | %u threads | %s | %s | schedule %s\n",
+                  cfg.structure.c_str(), cfg.key_range, cfg.update_pct, threads,
+                  harness::RuntimeKindName(runtime), variant.Name().c_str(),
+                  schedule_arg.c_str());
+      bool ok = true;
+      for (uint64_t rep = 0; rep < reps; ++rep) {
+        const harness::StressResult& r = sweep.stress(rep);
+        bool rep_ok = r.invariant_violation.empty() && !r.watchdog_fired;
+        ok = ok && rep_ok;
+        std::printf("rep %lu (seed %lu): commits %lu | aborts %lu | injected %lu | "
+                    "watchdog %s | invariants %s\n",
+                    rep, seed + rep, r.intset.tm.Commits(), r.intset.tm.TotalAborts(),
+                    r.total_injected, r.watchdog_fired ? r.watchdog_diagnosis.c_str() : "quiet",
+                    r.invariant_violation.empty() ? "ok" : r.invariant_violation.c_str());
+        if (reps == 1) {
+          PrintTmStats(r.intset.tm);
+          PrintBreakdown(r.intset.breakdown);
+        }
+      }
+      return ok ? 0 : 1;
+    }
+
+    if (reps > 1) {
+      harness::SweepRunner sweep(jobs);
+      for (uint64_t rep = 0; rep < reps; ++rep) {
+        harness::IntsetConfig rep_cfg = cfg;
+        rep_cfg.seed = seed + rep;
+        sweep.SubmitIntset(rep_cfg);
+      }
+      sweep.Run();
+      std::printf("intset %s | range %lu | %u%% updates | %u threads | %s | %s | %lu reps\n",
+                  cfg.structure.c_str(), cfg.key_range, cfg.update_pct, threads,
+                  harness::RuntimeKindName(runtime), variant.Name().c_str(), reps);
+      double sum = 0.0;
+      for (uint64_t rep = 0; rep < reps; ++rep) {
+        const harness::IntsetResult& r = sweep.intset(rep);
+        sum += r.tx_per_us;
+        std::printf("rep %lu (seed %lu): %.2f tx/us (%lu tx in %lu cycles, abort rate %.2f%%)\n",
+                    rep, seed + rep, r.tx_per_us, r.committed_tx, r.measure_cycles,
+                    r.tm.AbortRatePercent());
+      }
+      std::printf("mean throughput: %.2f tx/us over %lu reps\n", sum / static_cast<double>(reps),
+                  reps);
+      return 0;
+    }
+
     cfg.obs = obs;
     harness::IntsetResult r = harness::RunIntset(cfg);
     std::printf("intset %s | range %lu | %u%% updates | %u threads | %s | %s\n",
@@ -217,6 +342,14 @@ int main(int argc, char** argv) {
   }
 
   if (workload == "stamp") {
+    if (!policy.empty()) {
+      std::fprintf(stderr, "--policy applies to the intset workload only\n");
+      return 2;
+    }
+    if (!schedule_arg.empty()) {
+      std::fprintf(stderr, "--schedule is not supported for STAMP workloads yet\n");
+      return 2;
+    }
     std::string app_name = args.Get("app", "genome");
     auto app = harness::MakeStampApp(app_name);
     harness::StampConfig cfg;
@@ -226,6 +359,32 @@ int main(int argc, char** argv) {
     cfg.scale = static_cast<uint32_t>(args.GetInt("scale", 1));
     cfg.seed = seed;
     cfg.timer_interrupts = timer;
+
+    if (reps > 1) {
+      harness::SweepRunner sweep(jobs);
+      for (uint64_t rep = 0; rep < reps; ++rep) {
+        harness::StampConfig rep_cfg = cfg;
+        rep_cfg.seed = seed + rep;
+        sweep.SubmitStamp(app_name, rep_cfg);
+      }
+      sweep.Run();
+      std::printf("stamp %s | scale %u | %u threads | %s | %s | %lu reps\n", app_name.c_str(),
+                  cfg.scale, threads, harness::RuntimeKindName(runtime), variant.Name().c_str(),
+                  reps);
+      double sum = 0.0;
+      bool ok = true;
+      for (uint64_t rep = 0; rep < reps; ++rep) {
+        const harness::StampResult& r = sweep.stamp(rep);
+        ok = ok && r.validation.empty();
+        sum += r.exec_ms;
+        std::printf("rep %lu (seed %lu): %.3f ms (%lu cycles); validation: %s\n", rep, seed + rep,
+                    r.exec_ms, r.exec_cycles, r.validation.empty() ? "OK" : r.validation.c_str());
+      }
+      std::printf("mean execution time: %.3f ms over %lu reps\n",
+                  sum / static_cast<double>(reps), reps);
+      return ok ? 0 : 1;
+    }
+
     cfg.obs = obs;
     harness::StampResult r = harness::RunStamp(*app, cfg);
     std::printf("stamp %s | scale %u | %u threads | %s | %s\n", app_name.c_str(), cfg.scale,

@@ -9,24 +9,35 @@
 //
 // The emitted JSON (--json, checked in as BENCH_sim_throughput.json) records
 // the host CPU count so a reported speedup of ~1x on a single-core runner is
-// distinguishable from a regression on a multi-core one.
+// distinguishable from a regression on a multi-core one — and a per-config
+// digest table. `--baseline <path>` re-reads such a report and hard-fails if
+// any digest shifted, so a host-side "optimization" that changes simulated
+// results cannot land silently (the bit-identity gate for the frame pool and
+// the scheduler/memory fast paths).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/frame_pool.h"
 #include "src/common/table.h"
 #include "src/harness/experiment.h"
 #include "src/harness/sweep.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
 
 namespace {
+
+constexpr const char* kDigestTableTitle = "Result digests (per configuration)";
 
 // One measured pass over the configuration grid.
 struct PassResult {
   double wall_seconds = 0.0;
   uint64_t sim_cycles = 0;          // Sum of measured-window cycles.
   uint64_t committed_tx = 0;
+  harness::HostPerf host;            // Summed fast-path telemetry.
   std::vector<std::string> digests;  // Per-config, submission order.
 };
 
@@ -35,6 +46,12 @@ struct PassResult {
 std::string DigestOf(const harness::IntsetResult& r) {
   return std::to_string(r.committed_tx) + ":" + std::to_string(r.measure_cycles) + ":" +
          std::to_string(r.tm.TotalAttempts()) + ":" + std::to_string(r.tm.TotalAborts());
+}
+
+std::string ConfigLabel(const harness::IntsetConfig& cfg) {
+  return cfg.structure + "/r" + std::to_string(cfg.key_range) + "/u" +
+         std::to_string(cfg.update_pct) + " " + cfg.variant.Name() + " t" +
+         std::to_string(cfg.threads);
 }
 
 std::vector<harness::IntsetConfig> BuildGrid(bool quick, uint64_t seed) {
@@ -88,6 +105,12 @@ PassResult RunPass(const std::vector<harness::IntsetConfig>& grid, uint32_t jobs
     const harness::IntsetResult& r = sweep.intset(i);
     pass.sim_cycles += r.measure_cycles;
     pass.committed_tx += r.committed_tx;
+    pass.host.wakes += r.host.wakes;
+    pass.host.fast_wakes += r.host.fast_wakes;
+    pass.host.inline_wakes += r.host.inline_wakes;
+    pass.host.mem_accesses += r.host.mem_accesses;
+    pass.host.mem_line_hits += r.host.mem_line_hits;
+    pass.host.mem_page_hits += r.host.mem_page_hits;
     pass.digests.push_back(DigestOf(r));
   }
   return pass;
@@ -100,10 +123,113 @@ std::string Rate(uint64_t cycles, double seconds) {
   return asfcommon::Table::Num(static_cast<double>(cycles) / seconds / 1e6, 1);
 }
 
+std::string Pct(uint64_t part, uint64_t whole) {
+  if (whole == 0) {
+    return "-";
+  }
+  return asfcommon::Table::Num(100.0 * static_cast<double>(part) / static_cast<double>(whole), 1) +
+         "%";
+}
+
+// Compares this run's digest table against a previously written JSON report.
+// Returns 0 on match, 1 on a digest mismatch (simulated results shifted),
+// 2 when the baseline is unusable (unreadable, wrong mode/seed, or predates
+// the digest table).
+int CheckBaseline(const std::string& path, const benchutil::Options& opt,
+                  const asfcommon::Table& digests) {
+  std::string text;
+  std::string error;
+  if (!asfobs::ReadTextFile(path, &text, &error)) {
+    std::fprintf(stderr, "baseline: %s\n", error.c_str());
+    return 2;
+  }
+  asfobs::JsonValue root;
+  if (!asfobs::JsonValue::Parse(text, &root, &error)) {
+    std::fprintf(stderr, "baseline %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  const asfobs::JsonValue* quick = root.Get("quick");
+  const asfobs::JsonValue* seed = root.Get("seed");
+  if (quick == nullptr || seed == nullptr || quick->AsBool() != opt.quick ||
+      seed->AsUInt() != opt.seed) {
+    std::fprintf(stderr,
+                 "baseline %s: mode mismatch (baseline quick=%s seed=%llu, run quick=%s "
+                 "seed=%llu); digests are only comparable for identical modes\n",
+                 path.c_str(), quick != nullptr && quick->AsBool() ? "true" : "false",
+                 seed != nullptr ? static_cast<unsigned long long>(seed->AsUInt()) : 0ull,
+                 opt.quick ? "true" : "false", static_cast<unsigned long long>(opt.seed));
+    return 2;
+  }
+  const asfobs::JsonValue* tables = root.Get("tables");
+  const asfobs::JsonValue* base_digests = nullptr;
+  if (tables != nullptr && tables->IsArray()) {
+    for (const asfobs::JsonValue& t : tables->items()) {
+      const asfobs::JsonValue* title = t.Get("title");
+      if (title != nullptr && title->AsString() == kDigestTableTitle) {
+        base_digests = t.Get("rows");
+        break;
+      }
+    }
+  }
+  if (base_digests == nullptr || !base_digests->IsArray()) {
+    std::fprintf(stderr,
+                 "baseline %s: no \"%s\" table — regenerate the baseline with a current "
+                 "binary (--json)\n",
+                 path.c_str(), kDigestTableTitle);
+    return 2;
+  }
+  if (base_digests->size() != digests.rows().size()) {
+    std::fprintf(stderr, "baseline %s: %zu configurations, this run has %zu\n", path.c_str(),
+                 base_digests->size(), digests.rows().size());
+    return 1;
+  }
+  int mismatches = 0;
+  for (size_t i = 0; i < digests.rows().size(); ++i) {
+    const asfobs::JsonValue& row = base_digests->at(i);
+    const std::string& label = digests.rows()[i][0];
+    const std::string& digest = digests.rows()[i][1];
+    if (row.size() != 2 || row.at(0).AsString() != label || row.at(1).AsString() != digest) {
+      std::fprintf(stderr, "FAILED: digest shift at config %zu\n  baseline: %s = %s\n  run:      %s = %s\n",
+                   i, row.size() == 2 ? row.at(0).AsString().c_str() : "?",
+                   row.size() == 2 ? row.at(1).AsString().c_str() : "?", label.c_str(),
+                   digest.c_str());
+      ++mismatches;
+    }
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAILED: %d digest(s) shifted against %s — a host-side change altered "
+                 "simulated results\n",
+                 mismatches, path.c_str());
+    return 1;
+  }
+  std::printf("baseline: all %zu digests match %s\n", digests.rows().size(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchutil::Options opt = benchutil::ParseArgs(argc, argv);
+  // Benchmark-specific flag, filtered out before the shared strict parser:
+  // --baseline <path> compares this run's digests against a prior --json
+  // report and fails on any shift.
+  std::string baseline_path;
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<size_t>(argc));
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --baseline requires a path operand\n", argv[0]);
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else {
+      filtered.push_back(argv[i]);
+    }
+  }
+  benchutil::Options opt =
+      benchutil::ParseArgs(static_cast<int>(filtered.size()), filtered.data());
   benchutil::JsonReport report("perf_selfcheck", opt);
 
   const std::vector<harness::IntsetConfig> grid = BuildGrid(opt.quick, opt.seed);
@@ -113,7 +239,11 @@ int main(int argc, char** argv) {
   std::printf("Simulator self-benchmark: %zu configurations (fig5 slice), host CPUs %u\n\n",
               grid.size(), host_cpus);
 
+  // The serial pass runs inline on this thread (SweepRunner contract for
+  // jobs=1), so the thread-local frame pool delta below covers exactly it.
+  const asfcommon::FramePool::Stats frames_before = asfcommon::FramePool::ForThread().stats();
   const PassResult serial = RunPass(grid, 1);
+  const asfcommon::FramePool::Stats frames_after = asfcommon::FramePool::ForThread().stats();
   const PassResult parallel = RunPass(grid, parallel_jobs);
 
   // Determinism gate: the fan-out must not change a single result.
@@ -144,6 +274,41 @@ int main(int argc, char** argv) {
   table.Print();
   report.Add(table);
 
+  // Host fast-path telemetry (serial pass): how often the scheduler's
+  // next-event slot, the memory system's memo and the coroutine frame
+  // recycler removed work from the per-access path.
+  const uint64_t frame_allocs = frames_after.allocs - frames_before.allocs;
+  const uint64_t frame_hits = frames_after.pool_hits - frames_before.pool_hits;
+  asfcommon::Table fast("Host fast paths (serial pass)");
+  fast.SetHeader({"layer", "events", "fast-path hits", "hit rate"});
+  fast.AddRow({"scheduler wakes", asfcommon::Table::Int(static_cast<long long>(serial.host.wakes)),
+               asfcommon::Table::Int(static_cast<long long>(serial.host.fast_wakes)),
+               Pct(serial.host.fast_wakes, serial.host.wakes)});
+  fast.AddRow({"scheduler wakes (inline)",
+               asfcommon::Table::Int(static_cast<long long>(serial.host.wakes)),
+               asfcommon::Table::Int(static_cast<long long>(serial.host.inline_wakes)),
+               Pct(serial.host.inline_wakes, serial.host.wakes)});
+  fast.AddRow({"mem accesses (line memo)",
+               asfcommon::Table::Int(static_cast<long long>(serial.host.mem_accesses)),
+               asfcommon::Table::Int(static_cast<long long>(serial.host.mem_line_hits)),
+               Pct(serial.host.mem_line_hits, serial.host.mem_accesses)});
+  fast.AddRow({"mem accesses (page memo)",
+               asfcommon::Table::Int(static_cast<long long>(serial.host.mem_accesses)),
+               asfcommon::Table::Int(static_cast<long long>(serial.host.mem_page_hits)),
+               Pct(serial.host.mem_page_hits, serial.host.mem_accesses)});
+  fast.AddRow({"coroutine frame allocs", asfcommon::Table::Int(static_cast<long long>(frame_allocs)),
+               asfcommon::Table::Int(static_cast<long long>(frame_hits)),
+               Pct(frame_hits, frame_allocs)});
+  fast.Print();
+  report.Add(fast);
+
+  asfcommon::Table digests(kDigestTableTitle);
+  digests.SetHeader({"configuration", "digest (tx:cycles:attempts:aborts)"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    digests.AddRow({ConfigLabel(grid[i]), serial.digests[i]});
+  }
+  report.Add(digests);
+
   asfcommon::Table summary("Self-check summary");
   summary.SetHeader({"metric", "value"});
   summary.AddRow({"host cpus", std::to_string(host_cpus)});
@@ -156,6 +321,7 @@ int main(int argc, char** argv) {
 
   if (opt.csv) {
     table.PrintCsv(stdout);
+    fast.PrintCsv(stdout);
     summary.PrintCsv(stdout);
   }
 
@@ -164,6 +330,12 @@ int main(int argc, char** argv) {
     // Informational, not fatal: wall-clock on shared CI hosts is noisy, and
     // the determinism gate above is the correctness check.
     std::printf("note: speedup below the 2x target expected of a >=4-core host\n");
+  }
+  if (!baseline_path.empty()) {
+    int rc = CheckBaseline(baseline_path, opt, digests);
+    if (rc != 0) {
+      return rc;
+    }
   }
   return report.Write() ? 0 : 1;
 }

@@ -34,6 +34,21 @@ asf_add_bench(perf_selfcheck)
 set_tests_properties(bench_smoke_perf_selfcheck bench_smoke_perf_selfcheck_json
                      PROPERTIES LABELS "perf")
 
+# Bit-identity gate for host-side fast paths: the full-mode digests must match
+# the checked-in reference report exactly (regenerate BENCH_sim_throughput.json
+# deliberately when simulated behavior is meant to change).
+add_test(NAME perf_selfcheck_baseline
+         COMMAND perf_selfcheck --jobs 1
+                 --baseline ${CMAKE_SOURCE_DIR}/BENCH_sim_throughput.json)
+set_tests_properties(perf_selfcheck_baseline PROPERTIES LABELS "perf")
+
+# bench_diff sanity: a report diffed against itself reports no regressions.
+add_test(NAME bench_diff_selfcheck
+         COMMAND bench_diff ${CMAKE_BINARY_DIR}/bench/perf_selfcheck.smoke.json
+                 ${CMAKE_BINARY_DIR}/bench/perf_selfcheck.smoke.json)
+set_tests_properties(bench_diff_selfcheck PROPERTIES
+                     DEPENDS bench_smoke_perf_selfcheck LABELS "perf")
+
 # Fault-injection stress targets (docs/ROBUSTNESS.md): one per built-in
 # schedule on all four policy-driven runtimes, plus a determinism check that
 # runs every configuration twice and compares the replay digests. All carry

@@ -268,6 +268,13 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
       result.asf.aborts[a] += cs.aborts[a];
     }
   }
+  result.host.wakes = m.scheduler().wakes_scheduled();
+  result.host.fast_wakes = m.scheduler().fast_wakes();
+  result.host.inline_wakes = m.scheduler().inline_wakes();
+  const asfmem::MemFastPathStats& fp = m.mem().fast_path_stats();
+  result.host.mem_accesses = fp.accesses;
+  result.host.mem_line_hits = fp.line_hits;
+  result.host.mem_page_hits = fp.page_hits;
   result.invariant_violation = set->CheckInvariants();
   ASF_CHECK_MSG(result.invariant_violation.empty(), result.invariant_violation.c_str());
   return result;

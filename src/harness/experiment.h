@@ -81,6 +81,19 @@ struct CycleBreakdown {
   uint64_t At(asfsim::CycleCategory c) const { return cycles[static_cast<size_t>(c)]; }
 };
 
+// Host-side simulator-performance counters for a whole run (zero simulated
+// cost; never part of result digests). Reported by bench/perf_selfcheck to
+// show how often the scheduler's next-event slot and the memory system's
+// last-line/last-page memoization fire.
+struct HostPerf {
+  uint64_t wakes = 0;          // Scheduler wakes scheduled.
+  uint64_t fast_wakes = 0;     // Wakes that took the next-event slot.
+  uint64_t inline_wakes = 0;   // Slot wakes consumed at the suspension point.
+  uint64_t mem_accesses = 0;   // MemorySystem::Access calls.
+  uint64_t mem_line_hits = 0;  // Full memo fast path (TLB+directory skipped).
+  uint64_t mem_page_hits = 0;  // Translation memo only.
+};
+
 struct IntsetResult {
   uint64_t committed_tx = 0;
   uint64_t measure_cycles = 0;  // Simulated cycles of the measurement phase.
@@ -88,6 +101,7 @@ struct IntsetResult {
   asftm::TxStats tm;               // Aggregated over threads (measurement only).
   asf::AsfContextStats asf;        // Aggregated ASF-level counters.
   CycleBreakdown breakdown;        // Aggregated per-category cycles.
+  HostPerf host;                   // Host-side fast-path telemetry.
   std::string invariant_violation; // Empty when the structure checked out.
 };
 

@@ -1,6 +1,9 @@
 // Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
 #include "src/mem/memory_system.h"
 
+#include <algorithm>
+#include <atomic>
+
 namespace asfmem {
 
 using asfcommon::kCacheLineBytes;
@@ -8,15 +11,44 @@ using asfcommon::kPageBytes;
 using asfcommon::LineOf;
 using asfcommon::PageOf;
 
+namespace {
+// Test-only global (read once per MemorySystem construction, so the hot path
+// branches on a plain const bool). Default on.
+std::atomic<bool> g_mem_fast_path{true};
+}  // namespace
+
+void MemorySystem::SetFastPathForTesting(bool enabled) {
+  g_mem_fast_path.store(enabled, std::memory_order_relaxed);
+}
+
+void MemParams::Validate() const {
+  ASF_CHECK_MSG(l1_latency >= 1 && l2_latency >= 1 && l3_latency >= 1 && ram_latency >= 1,
+                "cache/RAM latencies must be nonzero (global event ordering assumes "
+                "accesses take time)");
+  ASF_CHECK_MSG(remote_latency >= 1 && store_hit_latency >= 1 && upgrade_latency >= 1,
+                "coherence latencies must be nonzero");
+  ASF_CHECK_MSG(l1_latency <= l2_latency && l2_latency <= l3_latency &&
+                    l3_latency <= ram_latency,
+                "hierarchy latencies must be monotone (L1 <= L2 <= L3 <= RAM)");
+  if (model_page_faults) {
+    ASF_CHECK_MSG(page_fault_cycles >= 1, "page_fault_cycles must be nonzero when faults "
+                                          "are modeled");
+  }
+}
+
 MemorySystem::MemorySystem(uint32_t num_cores, const MemParams& params)
-    : params_(params), l3_(params.l3) {
+    : params_(params),
+      fast_path_enabled_(g_mem_fast_path.load(std::memory_order_relaxed)),
+      l3_(params.l3) {
   ASF_CHECK(num_cores >= 1 && num_cores <= 32);
+  params.Validate();
   for (uint32_t i = 0; i < num_cores; ++i) {
     l1s_.push_back(std::make_unique<Cache>(params.l1));
     l2s_.push_back(std::make_unique<Cache>(params.l2));
     tlbs_.push_back(std::make_unique<Tlb>(params.tlb));
   }
   stats_.resize(num_cores);
+  memos_.resize(num_cores);
 }
 
 MemResult MemorySystem::Access(uint32_t core, uint64_t addr, uint32_t size, bool is_write) {
@@ -29,16 +61,43 @@ MemResult MemorySystem::Access(uint32_t core, uint64_t addr, uint32_t size, bool
   } else {
     ++st.loads;
   }
+  ++fast_stats_.accesses;
+
+  const bool use_tlb = !is_write || !params_.ptlsim_store_tlb_quirk;
+  const uint64_t first_page = PageOf(addr);
+  const uint64_t last_page = PageOf(addr + size - 1);
+  const uint64_t first_line = LineOf(addr);
+  const uint64_t last_line = LineOf(addr + size - 1);
+
+  CoreMemo& memo = memos_[core];
+  // Full fast path: the core re-touches the line it touched last (the intset
+  // traversals issue key+next loads from one node line back-to-back). The
+  // memo guarantees the slow path would be: 0-cycle MRU TLB hit, no fault,
+  // L1 MRU hit (load) or owned store-buffer hit (store) — all of whose state
+  // updates are idempotent — so we charge the identical latency and skip the
+  // TLB scan, directory probe and cache LRU walks.
+  if (fast_path_enabled_ && first_line == last_line && first_page == last_page &&
+      memo.line == first_line && memo.page == first_page && (!is_write || memo.writable)) {
+    ++fast_stats_.line_hits;
+    ++st.l1_hits;
+    result.latency = is_write ? params_.store_hit_latency : params_.l1_latency;
+    return result;
+  }
 
   // Translation and page-fault handling (per page touched).
-  bool use_tlb = !is_write || !params_.ptlsim_store_tlb_quirk;
-  uint64_t first_page = PageOf(addr);
-  uint64_t last_page = PageOf(addr + size - 1);
   for (uint64_t page = first_page; page <= last_page; ++page) {
+    if (fast_path_enabled_ && page == memo.page) {
+      // Present, and — when the memo was set via a translation — MRU in the
+      // L1 TLB: a repeat Translate costs 0 and the first-touch check cannot
+      // fire. (A quirk-mode store skips translation either way.)
+      ++fast_stats_.page_hits;
+      continue;
+    }
     if (use_tlb) {
       result.latency += tlbs_[core]->Translate(page << asfcommon::kPageShift);
+      memo.page = page;
     }
-    if (params_.model_page_faults && present_pages_.Insert(page)) {
+    if (params_.model_page_faults && !InPretouched(page) && present_pages_.Insert(page)) {
       result.latency += params_.page_fault_cycles;
       result.page_fault = true;
       ++st.page_faults;
@@ -46,8 +105,6 @@ MemResult MemorySystem::Access(uint32_t core, uint64_t addr, uint32_t size, bool
   }
 
   // Cache access per line touched.
-  uint64_t first_line = LineOf(addr);
-  uint64_t last_line = LineOf(addr + size - 1);
   for (uint64_t line = first_line; line <= last_line; ++line) {
     result.latency += AccessLine(core, line, is_write);
   }
@@ -58,23 +115,35 @@ uint64_t MemorySystem::AccessLine(uint32_t core, uint64_t line, bool is_write) {
   MemStats& st = stats_[core];
   DirEntry& dir = directory_[line];
   const uint32_t self_bit = 1u << core;
+  CoreMemo& memo = memos_[core];
+  // Every exit below leaves `line` MRU in this core's L1, so the memo is
+  // re-armed unconditionally; `writable` is refreshed per-path to mirror the
+  // directory's owner field.
+  memo.line = line;
 
   if (!is_write) {
     // ---- Load path ----
     if (l1s_[core]->Touch(line)) {
       ++st.l1_hits;
+      memo.writable = dir.owner == static_cast<int32_t>(core);
       return params_.l1_latency;
     }
     if (l2s_[core]->Touch(line)) {
       ++st.l2_hits;
       FillLine(core, line);
       dir.sharers |= self_bit;
+      memo.writable = dir.owner == static_cast<int32_t>(core);
       return params_.l2_latency;
     }
     uint64_t latency;
     if (dir.owner != kNoOwner && dir.owner != static_cast<int32_t>(core)) {
       // Dirty in a remote cache: cache-to-cache forward; owner downgrades to
-      // shared (stays a sharer).
+      // shared (stays a sharer) — and loses its store fast path, since a
+      // store now needs the upgrade round-trip.
+      CoreMemo& owner_memo = memos_[dir.owner];
+      if (owner_memo.line == line) {
+        owner_memo.writable = false;
+      }
       ++st.remote_hits;
       latency = params_.remote_latency;
       dir.owner = kNoOwner;
@@ -88,6 +157,7 @@ uint64_t MemorySystem::AccessLine(uint32_t core, uint64_t line, bool is_write) {
     }
     FillLine(core, line);
     dir.sharers |= self_bit;
+    memo.writable = dir.owner == static_cast<int32_t>(core);
     return latency;
   }
 
@@ -97,6 +167,7 @@ uint64_t MemorySystem::AccessLine(uint32_t core, uint64_t line, bool is_write) {
                    (dir.sharers == self_bit && dir.owner == kNoOwner);
   if (in_l1 && dir.owner == static_cast<int32_t>(core)) {
     ++st.l1_hits;
+    memo.writable = true;
     return params_.store_hit_latency;
   }
 
@@ -133,6 +204,7 @@ uint64_t MemorySystem::AccessLine(uint32_t core, uint64_t line, bool is_write) {
   }
   FillLine(core, line);
   dir.owner = static_cast<int32_t>(core);
+  memo.writable = true;
   return latency;
 }
 
@@ -148,6 +220,13 @@ void MemorySystem::FillLine(uint32_t core, uint64_t line) {
 }
 
 void MemorySystem::DropFromCore(uint32_t core, uint64_t line) {
+  // The memo promised an L1 MRU hit; the line is leaving the L1, so kill it.
+  // (The page memo is translation state and survives coherence traffic.)
+  CoreMemo& memo = memos_[core];
+  if (memo.line == line) {
+    memo.line = kNoAddr;
+    memo.writable = false;
+  }
   bool was_in_l1 = l1s_[core]->Invalidate(line);
   l2s_[core]->Invalidate(line);
   if (was_in_l1 && listener_ != nullptr) {
@@ -155,12 +234,30 @@ void MemorySystem::DropFromCore(uint32_t core, uint64_t line) {
   }
 }
 
+bool MemorySystem::InPretouched(uint64_t page) const {
+  // First range strictly past `page`; the candidate is its predecessor.
+  auto it = std::upper_bound(pretouched_.begin(), pretouched_.end(), page,
+                             [](uint64_t p, const PageRange& r) { return p < r.first; });
+  return it != pretouched_.begin() && page <= std::prev(it)->last;
+}
+
 void MemorySystem::PretouchPages(uint64_t addr, uint64_t bytes) {
   uint64_t first = PageOf(addr);
   uint64_t last = PageOf(addr + (bytes == 0 ? 0 : bytes - 1));
-  for (uint64_t p = first; p <= last; ++p) {
-    present_pages_.Insert(p);
+  pretouched_.push_back(PageRange{first, last});
+  std::sort(pretouched_.begin(), pretouched_.end(),
+            [](const PageRange& a, const PageRange& b) { return a.first < b.first; });
+  // Re-merge overlapping or adjacent ranges (pretouch calls are rare; keeping
+  // the vector canonical makes InPretouched a pure binary search).
+  std::vector<PageRange> merged;
+  for (const PageRange& r : pretouched_) {
+    if (!merged.empty() && r.first <= merged.back().last + 1) {
+      merged.back().last = std::max(merged.back().last, r.last);
+    } else {
+      merged.push_back(r);
+    }
   }
+  pretouched_ = std::move(merged);
 }
 
 void MemorySystem::FlushLine(uint64_t line) {

@@ -52,6 +52,13 @@ struct MemParams {
   // When false, all pages are considered pre-faulted (microbenchmarks that
   // pre-touch their working set).
   bool model_page_faults = true;
+
+  // CHECK-fails unless every latency is physically meaningful (nonzero —
+  // the simulator's global event ordering assumes accesses take time), the
+  // hierarchy latencies are monotone (L1 <= L2 <= L3 <= RAM), and the
+  // page-fault cost is nonzero when faults are modeled. Called by every
+  // MemorySystem, mirroring CacheGeometry::Validate().
+  void Validate() const;
 };
 
 // Receives L1 line-drop events (evictions and invalidations). The ASF
@@ -81,9 +88,24 @@ struct MemStats {
   uint64_t page_faults = 0;
 };
 
+// Host-side fast-path counters (whole-run; not cleared by ResetStats, which
+// tracks the *simulated* measurement window). The hit rates quantify how
+// much per-access bookkeeping the last-line/last-page memoization skipped —
+// bench/perf_selfcheck reports them.
+struct MemFastPathStats {
+  uint64_t accesses = 0;   // Access() calls.
+  uint64_t line_hits = 0;  // Full fast path: TLB+directory+cache all skipped.
+  uint64_t page_hits = 0;  // Translation memo only (line took the slow path).
+};
+
 class MemorySystem {
  public:
   MemorySystem(uint32_t num_cores, const MemParams& params);
+
+  // Disables the last-line/last-page memoization for newly constructed
+  // MemorySystems (read once at construction, like the scheduler's wake fast
+  // path). tests/mem_test.cc uses this to prove fast-path bit-identity.
+  static void SetFastPathForTesting(bool enabled);
 
   void SetListener(MemEventListener* listener) { listener_ = listener; }
 
@@ -101,6 +123,9 @@ class MemorySystem {
   const MemStats& stats(uint32_t core) const { return stats_[core]; }
   MemStats TotalStats() const;
   void ResetStats();
+
+  const MemFastPathStats& fast_path_stats() const { return fast_stats_; }
+  bool fast_path_enabled() const { return fast_path_enabled_; }
 
   uint32_t num_cores() const { return static_cast<uint32_t>(l1s_.size()); }
   const MemParams& params() const { return params_; }
@@ -120,11 +145,42 @@ class MemorySystem {
   };
   static constexpr int32_t kNoOwner = -1;
 
+  // Per-core memo of the most recent access: the line is MRU in the core's
+  // L1 (so a repeat load is a guaranteed 3-cycle hit), `writable` means the
+  // directory still records the core as owner (so a repeat store is a
+  // guaranteed store-buffer hit), and the page — when set — is MRU in the
+  // core's L1 TLB and present. Consecutive same-line accesses (the pointer
+  // chase in intset traversals issues key+next from one line back-to-back)
+  // then skip the TLB scan, directory probe and cache LRU walks entirely.
+  // Every state transition that could falsify a memo clears it:
+  // DropFromCore (invalidation/flush) kills the line memo, a remote load's
+  // dirty-downgrade kills `writable`, and the memo is overwritten on every
+  // slow-path access. Validity argument: re-touching the MRU way of an LRU
+  // set is idempotent, so skipping it is unobservable — digests stay
+  // bit-identical (bench/perf_selfcheck + tests/mem_test.cc verify).
+  struct CoreMemo {
+    uint64_t line = kNoAddr;
+    uint64_t page = kNoAddr;
+    bool writable = false;
+  };
+  static constexpr uint64_t kNoAddr = ~uint64_t{0};
+
+  // Inclusive page range marked present by PretouchPages. Benchmarks pretouch
+  // whole arenas (gigabytes), so ranges replace per-page hash inserts: setup
+  // becomes O(ranges) instead of O(pages), and the hot fault check is a
+  // two-comparison binary search over a handful of ranges.
+  struct PageRange {
+    uint64_t first = 0;
+    uint64_t last = 0;
+  };
+  bool InPretouched(uint64_t page) const;
+
   uint64_t AccessLine(uint32_t core, uint64_t line, bool is_write);
   void DropFromCore(uint32_t core, uint64_t line);
   void FillLine(uint32_t core, uint64_t line);
 
   const MemParams params_;
+  const bool fast_path_enabled_;
   std::vector<std::unique_ptr<Cache>> l1s_;
   std::vector<std::unique_ptr<Cache>> l2s_;
   Cache l3_;
@@ -135,6 +191,9 @@ class MemorySystem {
   asfcommon::FlatMap64<DirEntry> directory_{1024};
   asfcommon::FlatSet64 present_pages_{256};
   std::vector<MemStats> stats_;
+  std::vector<CoreMemo> memos_;
+  std::vector<PageRange> pretouched_;  // Sorted, non-overlapping, non-adjacent.
+  MemFastPathStats fast_stats_;
   MemEventListener* listener_ = nullptr;
 };
 

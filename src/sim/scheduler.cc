@@ -42,7 +42,7 @@ void SimThread::MarkAbort(AbortCause cause) {
   abort_cause_ = cause;
 }
 
-void SimThread::SubmitPendingOp(const PendingOp& op) {
+std::coroutine_handle<> SimThread::SubmitPendingOp(const PendingOp& op) {
   // TakePendingWork advances the clock by the accumulated ALU work (charging
   // each batch to its recording category); the access is then processed at
   // its true issue cycle, in global order.
@@ -51,14 +51,34 @@ void SimThread::SubmitPendingOp(const PendingOp& op) {
     phase_ = Phase::kFlushWork;
     pending_ = op;
     scheduler_->ScheduleWake(*this, core_->clock());
-    return;
+    // If the flush wake parked in the slot it is the global minimum: no
+    // other thread's event lies between the pre-work and post-work clock,
+    // so the deferred processing can happen right now (exactly what
+    // OnWake would do one loop iteration later).
+    if (!scheduler_->TryConsumeSlot(*this)) {
+      return std::noop_coroutine();
+    }
+    phase_ = Phase::kIdle;
+    scheduler_->ProcessAccess(*this, op);
+  } else {
+    // The thread was just woken at the global minimum cycle; processing now
+    // preserves ordering.
+    scheduler_->ProcessAccess(*this, op);
   }
-  // The thread was just woken at the global minimum cycle; processing now
-  // preserves ordering.
-  scheduler_->ProcessAccess(*this, op);
+  // ProcessAccess scheduled this thread's completion wake. If it parked in
+  // the slot (and no abort was marked while processing), it is again the
+  // global minimum: transfer control straight back into the thread instead
+  // of unwinding through the event loop.
+  if (!scheduler_->TryConsumeSlot(*this)) {
+    return std::noop_coroutine();
+  }
+  std::coroutine_handle<> h = resume_point_;
+  resume_point_ = nullptr;
+  return h;
 }
 
-void SimThread::AccessAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+std::coroutine_handle<> SimThread::AccessAwaiter::await_suspend(
+    std::coroutine_handle<> h) noexcept {
   t.resume_point_ = h;
   PendingOp op;
   op.kind = kind;
@@ -66,10 +86,10 @@ void SimThread::AccessAwaiter::await_suspend(std::coroutine_handle<> h) noexcept
   op.size = size;
   op.data = has_value ? PendingOp::Data::kStore : PendingOp::Data::kNone;
   op.value = value;
-  t.SubmitPendingOp(op);
+  return t.SubmitPendingOp(op);
 }
 
-void SimThread::RmwAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+std::coroutine_handle<> SimThread::RmwAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
   t.resume_point_ = h;
   PendingOp op;
   op.kind = AccessKind::kStore;
@@ -78,7 +98,7 @@ void SimThread::RmwAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
   op.data = is_cas ? PendingOp::Data::kCas : PendingOp::Data::kFaa;
   op.value = operand;
   op.expected = expected;
-  t.SubmitPendingOp(op);
+  return t.SubmitPendingOp(op);
 }
 
 void SimThread::SleepAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
@@ -98,7 +118,18 @@ void SimThread::SelfAbortAwaiter::await_suspend(std::coroutine_handle<> h) noexc
 
 // --- Scheduler --------------------------------------------------------------
 
-Scheduler::Scheduler(uint32_t num_cores, const CoreParams& params) {
+namespace {
+// Test-only global (read once per Scheduler construction, so the hot path
+// stays a plain bool). Default on.
+std::atomic<bool> g_wake_fast_path{true};
+}  // namespace
+
+void Scheduler::SetWakeFastPathForTesting(bool enabled) {
+  g_wake_fast_path.store(enabled, std::memory_order_relaxed);
+}
+
+Scheduler::Scheduler(uint32_t num_cores, const CoreParams& params)
+    : wake_fast_path_(g_wake_fast_path.load(std::memory_order_relaxed)) {
   cores_.reserve(num_cores);
   for (uint32_t i = 0; i < num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(i, params));
@@ -131,7 +162,38 @@ SimThread& Scheduler::Spawn(Task<void> root) {
 
 void Scheduler::ScheduleWake(SimThread& t, uint64_t cycle) {
   ++t.wake_seq_;
-  events_.push(Event{cycle, next_seq_++, &t});
+  SchedEvent ev{cycle, next_seq_++, &t};
+  if (!wake_fast_path_) {
+    events_.push(ev);
+    return;
+  }
+  // Next-event slot: in the common case the thread the loop just woke
+  // re-schedules itself ahead of everything queued (it was the global
+  // minimum, and its next wake is current cycle + latency while other
+  // threads' events lie further out). Parking that event in a one-slot
+  // buffer instead of the heap removes a push+pop per access. A new event
+  // that beats every queued one strictly precedes them in (cycle, seq) —
+  // ties lose to queued events because their seq is smaller — so consuming
+  // the slot first in Run() preserves the exact reference order.
+  if (!has_next_) {
+    if (events_.empty() || EventBefore(ev, events_.top())) {
+      next_ = ev;
+      has_next_ = true;
+      ++fast_wakes_;
+    } else {
+      events_.push(ev);
+    }
+    return;
+  }
+  if (EventBefore(ev, next_)) {
+    // The newcomer beats the parked event; demote the old occupant. The slot
+    // invariant (next_ precedes events_.top()) holds: ev < next_ <= old top.
+    events_.push(next_);
+    next_ = ev;
+    ++fast_wakes_;
+  } else {
+    events_.push(ev);
+  }
 }
 
 void Scheduler::Run() {
@@ -144,9 +206,17 @@ void Scheduler::Run() {
   ASF_CHECK_MSG(!host_busy_.exchange(true, std::memory_order_acquire),
                 "Scheduler::Run entered from two host threads");
   running_ = true;
-  while (!events_.empty()) {
-    Event ev = events_.top();
-    events_.pop();
+  while (has_next_ || !events_.empty()) {
+    inline_chain_ = 0;  // Control is back in the loop; the host stack is flat.
+    SchedEvent ev;
+    if (has_next_) {
+      // Slot invariant: the parked event precedes everything in the heap.
+      ev = next_;
+      has_next_ = false;
+    } else {
+      ev = events_.top();
+      events_.pop();
+    }
     SimThread& t = *ev.thread;
     if (t.finished_) {
       continue;

@@ -25,9 +25,10 @@
 
 #include <atomic>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/common/abort_cause.h"
@@ -40,6 +41,78 @@ namespace asfsim {
 
 class Scheduler;
 class SimThread;
+
+// One pending wake-up. `seq` is the global schedule order and breaks cycle
+// ties, so (cycle, seq) is a strict total order over all events ever queued —
+// pop order is therefore independent of the container's internal layout.
+struct SchedEvent {
+  uint64_t cycle = 0;
+  uint64_t seq = 0;
+  SimThread* thread = nullptr;
+};
+
+constexpr bool EventBefore(const SchedEvent& a, const SchedEvent& b) {
+  return a.cycle != b.cycle ? a.cycle < b.cycle : a.seq < b.seq;
+}
+
+// Min-heap of SchedEvents ordered by (cycle, seq), laid out as an inline
+// 4-ary heap: one level of a 4-ary heap spans a single cache line of events,
+// so sift-down touches ~half the cache lines of the equivalent binary heap.
+// Because (cycle, seq) is a strict total order, pop order is identical to
+// std::priority_queue with the same comparator — asserted by
+// tests/sim_scheduler_test.cc against a reference run.
+class EventHeap {
+ public:
+  bool empty() const { return v_.empty(); }
+  size_t size() const { return v_.size(); }
+  const SchedEvent& top() const { return v_.front(); }
+
+  void push(const SchedEvent& e) {
+    size_t i = v_.size();
+    v_.push_back(e);
+    while (i != 0) {
+      size_t parent = (i - 1) / kArity;
+      if (!EventBefore(v_[i], v_[parent])) {
+        break;
+      }
+      std::swap(v_[i], v_[parent]);
+      i = parent;
+    }
+  }
+
+  void pop() {
+    SchedEvent last = v_.back();
+    v_.pop_back();
+    if (v_.empty()) {
+      return;
+    }
+    size_t i = 0;
+    const size_t n = v_.size();
+    for (;;) {
+      size_t first = i * kArity + 1;
+      if (first >= n) {
+        break;
+      }
+      size_t best = first;
+      size_t end = first + kArity < n ? first + kArity : n;
+      for (size_t c = first + 1; c < end; ++c) {
+        if (EventBefore(v_[c], v_[best])) {
+          best = c;
+        }
+      }
+      if (!EventBefore(v_[best], last)) {
+        break;
+      }
+      v_[i] = v_[best];
+      i = best;
+    }
+    v_[i] = last;
+  }
+
+ private:
+  static constexpr size_t kArity = 4;
+  std::vector<SchedEvent> v_;
+};
 
 // Abortable scope: awaitable that runs `body` so that the scheduler can
 // destroy it mid-flight and resume the awaiter with an abort cause. The TM
@@ -105,7 +178,7 @@ class SimThread {
     bool has_value = false;
     uint64_t value = 0;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) noexcept;
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) noexcept;
     void await_resume() const noexcept {}
   };
   AccessAwaiter Access(AccessKind kind, uint64_t addr, uint32_t size) {
@@ -139,7 +212,7 @@ class SimThread {
     uint64_t expected;
     uint64_t operand;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) noexcept;
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) noexcept;
     uint64_t await_resume() const noexcept { return t.rmw_result_; }
   };
   RmwAwaiter Cas(const void* p, uint32_t size, uint64_t expected, uint64_t desired) {
@@ -215,7 +288,11 @@ class SimThread {
   };
 
   // Flushes pending work cycles, then processes `op` at its issue cycle.
-  void SubmitPendingOp(const PendingOp& op);
+  // Returns the coroutine to transfer into from the awaiter's await_suspend:
+  // this thread's own resume point when the access completed synchronously
+  // (see Scheduler::TryConsumeSlot), or std::noop_coroutine() to suspend
+  // into the event loop.
+  std::coroutine_handle<> SubmitPendingOp(const PendingOp& op);
 
   PendingOp pending_;
   uint64_t rmw_result_ = 0;
@@ -261,22 +338,52 @@ class Scheduler {
   // primitives).
   void ScheduleWake(SimThread& t, uint64_t cycle);
 
+  // Host-side wake accounting (perf counters, zero simulated cost): total
+  // wakes ever scheduled, how many took the next-event fast path (no heap
+  // traffic), and how many of those were consumed inline — handled at the
+  // suspension point itself, without an event-loop iteration.
+  // bench/perf_selfcheck reports the hit rates.
+  uint64_t wakes_scheduled() const { return next_seq_; }
+  uint64_t fast_wakes() const { return fast_wakes_; }
+  uint64_t inline_wakes() const { return inline_wakes_; }
+
+  // Test hook: globally disables the next-event wake fast path for
+  // schedulers constructed afterwards, forcing every event through the heap.
+  // The determinism tests run both ways and assert identical event orders.
+  static void SetWakeFastPathForTesting(bool enabled);
+
  private:
   friend class SimThread;
 
-  struct Event {
-    uint64_t cycle;
-    uint64_t seq;
-    SimThread* thread;
-    bool operator>(const Event& o) const {
-      if (cycle != o.cycle) {
-        return cycle > o.cycle;
-      }
-      return seq > o.seq;
-    }
-  };
-
   void OnWake(SimThread& t, uint64_t cycle);
+
+  // Inline-wake fast path: if the next-event slot holds `t`'s own wake and no
+  // abort is pending, that wake is the global minimum (slot invariant) and
+  // Run()'s next iteration would do nothing but advance `t`'s clock and hand
+  // control straight back — so do exactly that here, at the suspension point,
+  // and let the awaiter symmetric-transfer into the thread without ever
+  // unwinding to the event loop. Returns true iff the slot was consumed; the
+  // caller performs the phase-specific half of OnWake itself. Order-neutral
+  // by construction: the consumed event is the one Run() would pop next, and
+  // the same operations are applied to it.
+  //
+  // The chain cap: symmetric transfer is only a guaranteed tail call under
+  // optimization — ASan/-O0 builds grow one host stack frame group per hop.
+  // Every kMaxInlineChain consecutive inline wakes the transfer yields back
+  // to Run() (which resets the counter), bounding host stack depth in any
+  // build while keeping >95% of eligible wakes inline.
+  bool TryConsumeSlot(SimThread& t) {
+    if (!has_next_ || next_.thread != &t || t.abort_requested_ ||
+        inline_chain_ >= kMaxInlineChain) {
+      return false;
+    }
+    has_next_ = false;
+    ++inline_chain_;
+    ++inline_wakes_;
+    t.core_->AdvanceTo(next_.cycle);
+    return true;
+  }
+
   void ProcessAccess(SimThread& t, const SimThread::PendingOp& op);
   void DoControlAbort(SimThread& t);
   void ResumeThread(SimThread& t);
@@ -285,7 +392,18 @@ class Scheduler {
   Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<std::unique_ptr<SimThread>> threads_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  EventHeap events_;
+  // Next-event slot: the common wake (the thread just woken re-scheduling
+  // itself ahead of every queued event) parks here and bypasses the heap
+  // entirely. Invariant: when occupied, `next_` precedes events_.top() in
+  // (cycle, seq) order, so Run() may always consume the slot first.
+  SchedEvent next_;
+  bool has_next_ = false;
+  bool wake_fast_path_;
+  uint64_t fast_wakes_ = 0;
+  uint64_t inline_wakes_ = 0;
+  static constexpr uint32_t kMaxInlineChain = 32;
+  uint32_t inline_chain_ = 0;
   uint64_t next_seq_ = 0;
   uint32_t finished_count_ = 0;
   bool running_ = false;

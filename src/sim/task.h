@@ -16,10 +16,12 @@
 #define SRC_SIM_TASK_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdlib>
 #include <utility>
 
 #include "src/common/defs.h"
+#include "src/common/frame_pool.h"
 
 namespace asfsim {
 
@@ -40,6 +42,16 @@ struct FinalAwaiter {
 
 struct PromiseBase {
   std::coroutine_handle<> continuation;
+
+  // Frames cycle through the per-thread recycler (src/common/frame_pool.h):
+  // an aborted attempt's frame tree is reused verbatim by the retry instead
+  // of round-tripping malloc. Host-only — frame addresses never reach the
+  // simulated memory model, so recycling cannot change simulated outcomes.
+  static void* operator new(std::size_t size) {
+    return asfcommon::FramePool::ForThread().Alloc(size);
+  }
+  static void operator delete(void* p, std::size_t) noexcept { asfcommon::FramePool::Free(p); }
+  static void operator delete(void* p) noexcept { asfcommon::FramePool::Free(p); }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }

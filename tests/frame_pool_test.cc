@@ -1,0 +1,214 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Tests for the coroutine frame recycler (src/common/frame_pool.h): bucket
+// arithmetic, a randomized allocate/free workload cross-checked against a
+// reference model of the free lists, and — the case the pool exists for —
+// verbatim frame reuse across coroutine abort/retry cycles. The whole file
+// also runs under ASan (build-san), where the payload poisoning must keep
+// recycled frames visible to the sanitizer without false positives.
+#include "src/common/frame_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/sim/task.h"
+
+namespace asfcommon {
+namespace {
+
+TEST(FramePoolTest, BucketArithmetic) {
+  EXPECT_EQ(FramePool::RoundUp(0), FramePool::kGranuleBytes);
+  EXPECT_EQ(FramePool::RoundUp(1), FramePool::kGranuleBytes);
+  EXPECT_EQ(FramePool::RoundUp(64), 64u);
+  EXPECT_EQ(FramePool::RoundUp(65), 128u);
+  EXPECT_EQ(FramePool::RoundUp(FramePool::kMaxPooledBytes), FramePool::kMaxPooledBytes);
+  EXPECT_EQ(FramePool::BucketOf(64), 0u);
+  EXPECT_EQ(FramePool::BucketOf(128), 1u);
+  EXPECT_EQ(FramePool::BucketOf(FramePool::kMaxPooledBytes), FramePool::kNumBuckets - 1);
+}
+
+TEST(FramePoolTest, RecyclesSameBucketLifo) {
+  FramePool& tp = FramePool::ForThread();
+  const uint64_t hits_before = tp.stats().pool_hits;
+  void* c = tp.Alloc(100);
+  void* d = tp.Alloc(100);
+  FramePool::Free(c);
+  FramePool::Free(d);
+  void* e = tp.Alloc(100);  // LIFO: reuses d's block.
+  EXPECT_EQ(e, d);
+  EXPECT_EQ(tp.stats().pool_hits, hits_before + 1);
+  void* f = tp.Alloc(100);  // Then c's.
+  EXPECT_EQ(f, c);
+  FramePool::Free(e);
+  FramePool::Free(f);
+}
+
+TEST(FramePoolTest, OversizeBypassesPool) {
+  FramePool& tp = FramePool::ForThread();
+  const uint64_t oversize_before = tp.stats().oversize;
+  void* p = tp.Alloc(FramePool::kMaxPooledBytes + 1);
+  EXPECT_EQ(tp.stats().oversize, oversize_before + 1);
+  std::memset(p, 0xab, FramePool::kMaxPooledBytes + 1);
+  FramePool::Free(p);  // Straight back to ::operator delete.
+}
+
+// Randomized workload against a reference model: the pool must serve exactly
+// the block the model predicts (LIFO per bucket), and writes through every
+// live pointer must never interfere.
+TEST(FramePoolTest, RandomizedAgainstReferenceModel) {
+  FramePool& tp = FramePool::ForThread();
+  struct Live {
+    void* p;
+    std::size_t payload;
+    uint8_t fill;
+  };
+  std::vector<Live> live;
+  std::map<std::size_t, std::deque<void*>> model_free;  // bucket -> LIFO stack.
+  asfcommon::Rng rng(20260807);
+  for (int step = 0; step < 20000; ++step) {
+    if (live.empty() || rng.NextBelow(100) < 55) {
+      std::size_t size = 1 + rng.NextBelow(FramePool::kMaxPooledBytes);
+      const std::size_t payload = FramePool::RoundUp(size);
+      const std::size_t bucket = FramePool::BucketOf(payload);
+      void* expected = nullptr;
+      if (!model_free[bucket].empty()) {
+        expected = model_free[bucket].back();
+        model_free[bucket].pop_back();
+      }
+      void* p = tp.Alloc(size);
+      if (expected != nullptr) {
+        ASSERT_EQ(p, expected) << "pool served a different block than LIFO order predicts";
+      }
+      uint8_t fill = static_cast<uint8_t>(rng.Next());
+      std::memset(p, fill, size);
+      live.push_back(Live{p, payload, fill});
+    } else {
+      std::size_t idx = rng.NextBelow(live.size());
+      Live victim = live[idx];
+      live[idx] = live.back();
+      live.pop_back();
+      // The block's contents must be exactly what we wrote (no cross-block
+      // interference from pool bookkeeping).
+      const uint8_t* bytes = static_cast<const uint8_t*>(victim.p);
+      ASSERT_EQ(bytes[0], victim.fill);
+      const std::size_t bucket = FramePool::BucketOf(victim.payload);
+      const bool listed = tp.free_blocks(bucket) < FramePool::kMaxFreePerBucket;
+      FramePool::Free(victim.p);
+      if (listed) {
+        model_free[bucket].push_back(victim.p);
+      }
+    }
+  }
+  for (const Live& l : live) {
+    FramePool::Free(l.p);
+  }
+}
+
+// Blocks from a pool that is not the calling thread's ForThread() instance
+// are "foreign": Free must return them to the host allocator, never to the
+// caller's free lists (this is the cross-thread path; a second local pool
+// exercises it without spawning a thread).
+TEST(FramePoolTest, ForeignBlocksGoBackToHostAllocator) {
+  FramePool pool;
+  FramePool& tp = FramePool::ForThread();
+  const uint64_t foreign_before = tp.stats().foreign_frees;
+  void* a = pool.Alloc(200);
+  FramePool::Free(a);
+  EXPECT_EQ(tp.stats().foreign_frees, foreign_before + 1);
+  for (std::size_t b = 0; b < FramePool::kNumBuckets; ++b) {
+    EXPECT_EQ(pool.free_blocks(b), 0u);  // Nothing landed in either pool.
+  }
+}
+
+TEST(FramePoolTest, TrimReleasesFreeLists) {
+  FramePool& tp = FramePool::ForThread();
+  void* a = tp.Alloc(200);
+  void* b = tp.Alloc(200);
+  FramePool::Free(a);
+  FramePool::Free(b);
+  const std::size_t bucket = FramePool::BucketOf(FramePool::RoundUp(200));
+  EXPECT_GE(tp.free_blocks(bucket), 2u);
+  tp.Trim();
+  for (std::size_t bkt = 0; bkt < FramePool::kNumBuckets; ++bkt) {
+    EXPECT_EQ(tp.free_blocks(bkt), 0u);
+  }
+}
+
+// --- Coroutine integration: reuse across abort/retry ------------------------
+
+asfsim::Task<void> Leaf(int* counter) {
+  *counter += 1;
+  co_return;
+}
+
+asfsim::Task<void> Attempt(int* counter) {
+  co_await Leaf(counter);
+  co_await Leaf(counter);
+  co_return;
+}
+
+// Runs an "attempt" to completion (resuming from its initial suspend), the
+// shape a committed transaction has; the frames are freed on Task
+// destruction and must be recycled by the next attempt.
+TEST(FramePoolTest, CoroutineFramesRecycleAcrossAttempts) {
+  FramePool& tp = FramePool::ForThread();
+  int counter = 0;
+  // Warm-up attempt populates the free lists.
+  {
+    asfsim::Task<void> t = Attempt(&counter);
+    t.handle().resume();
+    EXPECT_TRUE(t.Done());
+  }
+  const FramePool::Stats before = tp.stats();
+  constexpr int kAttempts = 100;
+  for (int i = 0; i < kAttempts; ++i) {
+    asfsim::Task<void> t = Attempt(&counter);
+    t.handle().resume();
+    EXPECT_TRUE(t.Done());
+  }
+  const FramePool::Stats after = tp.stats();
+  // Every frame after the warm-up must come from the pool: 3 frames per
+  // attempt (Attempt + 2 sequential Leafs, the second reusing the first's
+  // just-freed frame), zero new mallocs.
+  EXPECT_EQ(after.allocs - before.allocs, static_cast<uint64_t>(3 * kAttempts));
+  EXPECT_EQ(after.pool_hits - before.pool_hits, after.allocs - before.allocs);
+  EXPECT_EQ(counter, 2 * (kAttempts + 1));
+}
+
+// Destroying a suspended attempt mid-flight (the abort path: AbortScope
+// destroys the body tree) frees the whole frame tree; the retry re-allocates
+// it from the pool.
+asfsim::Task<void> SuspendingLeaf() {
+  co_await std::suspend_always{};
+  co_return;
+}
+
+asfsim::Task<void> SuspendingAttempt() {
+  co_await SuspendingLeaf();
+  co_return;
+}
+
+TEST(FramePoolTest, AbortedAttemptFramesAreReused) {
+  FramePool& tp = FramePool::ForThread();
+  {
+    asfsim::Task<void> warm = SuspendingAttempt();
+    warm.handle().resume();  // Parks inside SuspendingLeaf.
+  }                          // Destroyed while suspended — the abort shape.
+  const FramePool::Stats before = tp.stats();
+  for (int i = 0; i < 50; ++i) {
+    asfsim::Task<void> t = SuspendingAttempt();
+    t.handle().resume();
+    EXPECT_FALSE(t.Done());
+    // Task destructor destroys the suspended tree (rollback).
+  }
+  const FramePool::Stats after = tp.stats();
+  EXPECT_EQ(after.pool_hits - before.pool_hits, after.allocs - before.allocs);
+}
+
+}  // namespace
+}  // namespace asfcommon

@@ -186,5 +186,182 @@ TEST_F(MemorySystemTest, ListenerSeesRemoteInvalidation) {
   EXPECT_TRUE(saw);
 }
 
+// --- Last-line/last-page memo fast path -------------------------------------
+
+// Bit-identity gate at the unit level: a long randomized access mix replayed
+// with the memo disabled must produce exactly the same latencies, fault
+// reports and statistics, access by access. The mix deliberately includes
+// repeat same-line accesses (memo hits), line/page crossings, remote
+// invalidations and dirty-forward downgrades (memo kills), and quirk-mode
+// stores (translation-free page handling).
+TEST(MemFastPathTest, RandomizedMixIsBitIdenticalWithMemoDisabled) {
+  for (bool quirk : {false, true}) {
+    MemParams p;
+    p.ptlsim_store_tlb_quirk = quirk;
+    MemorySystem fast(4, p);
+    MemorySystem::SetFastPathForTesting(false);
+    MemorySystem slow(4, p);
+    MemorySystem::SetFastPathForTesting(true);
+    ASSERT_TRUE(fast.fast_path_enabled());
+    ASSERT_FALSE(slow.fast_path_enabled());
+    fast.PretouchPages(0x100000, 1 << 20);
+    slow.PretouchPages(0x100000, 1 << 20);
+
+    uint64_t state = 0xdeadbeefcafef00dull + (quirk ? 1 : 0);
+    auto next = [&state]() {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state;
+    };
+    uint64_t prev_addr = 0x100000;
+    for (int i = 0; i < 30000; ++i) {
+      uint32_t core = next() % 4;
+      bool is_write = next() % 4 == 0;
+      uint64_t addr;
+      uint32_t kind = next() % 100;
+      if (kind < 55) {
+        addr = prev_addr;  // Repeat access: the memo's bread and butter.
+      } else if (kind < 75) {
+        addr = 0x100000 + (next() % (1 << 14));  // Small hot region (sharing).
+      } else if (kind < 90) {
+        addr = 0x100000 + (next() % (1 << 20));  // Whole pretouched arena.
+      } else {
+        addr = 0x40000000 + (next() % (1 << 16));  // Faulting region.
+      }
+      uint32_t size = 1u << (next() % 4);  // 1..8 bytes; may cross lines.
+      if (next() % 50 == 0) {
+        addr = (addr & ~63ull) + 60;  // Force a line-crossing access.
+      }
+      prev_addr = addr;
+      MemResult rf = fast.Access(core, addr, size, is_write);
+      MemResult rs = slow.Access(core, addr, size, is_write);
+      ASSERT_EQ(rf.latency, rs.latency) << "access " << i << " quirk=" << quirk;
+      ASSERT_EQ(rf.page_fault, rs.page_fault) << "access " << i;
+    }
+    for (uint32_t c = 0; c < 4; ++c) {
+      const MemStats& sf = fast.stats(c);
+      const MemStats& ss = slow.stats(c);
+      EXPECT_EQ(sf.loads, ss.loads);
+      EXPECT_EQ(sf.stores, ss.stores);
+      EXPECT_EQ(sf.l1_hits, ss.l1_hits);
+      EXPECT_EQ(sf.l2_hits, ss.l2_hits);
+      EXPECT_EQ(sf.l3_hits, ss.l3_hits);
+      EXPECT_EQ(sf.remote_hits, ss.remote_hits);
+      EXPECT_EQ(sf.ram_accesses, ss.ram_accesses);
+      EXPECT_EQ(sf.upgrades, ss.upgrades);
+      EXPECT_EQ(sf.page_faults, ss.page_faults);
+    }
+    // The fast path must actually have fired (and only in the fast system).
+    EXPECT_GT(fast.fast_path_stats().line_hits, 0u);
+    EXPECT_EQ(slow.fast_path_stats().line_hits, 0u);
+    EXPECT_EQ(slow.fast_path_stats().page_hits, 0u);
+  }
+}
+
+// A repeat load is memoized; a remote store must kill the memo so the next
+// local access sees the real (remote-forward) latency, not a stale L1 hit.
+TEST(MemFastPathTest, RemoteStoreKillsLineMemo) {
+  MemParams p;
+  MemorySystem mem(2, p);
+  mem.PretouchPages(0, 1 << 20);
+  mem.Access(0, 0x1000, 8, false);
+  EXPECT_EQ(mem.Access(0, 0x1000, 8, false).latency, p.l1_latency);  // Memo hit.
+  mem.Access(1, 0x1000, 8, true);  // Remote store invalidates core 0.
+  EXPECT_EQ(mem.Access(0, 0x1000, 8, false).latency, p.remote_latency);
+}
+
+// An owned line is store-memoized; a remote *load* downgrades ownership, so
+// the next local store must pay the upgrade, not the memoized store hit.
+TEST(MemFastPathTest, RemoteLoadDowngradeKillsWritableMemo) {
+  MemParams p;
+  MemorySystem mem(2, p);
+  mem.PretouchPages(0, 1 << 20);
+  mem.Access(0, 0x2000, 8, true);  // Core 0 owns the line dirty.
+  EXPECT_EQ(mem.Access(0, 0x2000, 8, true).latency, p.store_hit_latency);
+  mem.Access(1, 0x2000, 8, false);  // Dirty forward; core 0 downgrades.
+  EXPECT_EQ(mem.Access(0, 0x2000, 8, true).latency, p.upgrade_latency);
+  EXPECT_EQ(mem.stats(0).upgrades, 1u);
+}
+
+TEST(MemFastPathTest, FlushLineKillsMemo) {
+  MemParams p;
+  MemorySystem mem(1, p);
+  mem.PretouchPages(0, 1 << 20);
+  mem.Access(0, 0x3000, 8, false);
+  mem.FlushLine(0x3000 >> 6);
+  // Without the DropFromCore memo kill this would be a (wrong) 3-cycle hit.
+  EXPECT_GT(mem.Access(0, 0x3000, 8, false).latency, p.l1_latency);
+}
+
+// --- Pretouched page ranges --------------------------------------------------
+
+TEST(MemPretouchTest, RangesMergeAndSuppressFaults) {
+  MemParams p;
+  MemorySystem mem(1, p);
+  // Overlapping and adjacent pretouch calls collapse into one range.
+  mem.PretouchPages(0x10000, 0x4000);
+  mem.PretouchPages(0x12000, 0x4000);  // Overlaps the first.
+  mem.PretouchPages(0x16000, 0x1000);  // Adjacent to the merged range.
+  EXPECT_FALSE(mem.Access(0, 0x10000, 8, false).page_fault);
+  EXPECT_FALSE(mem.Access(0, 0x15ff8, 8, false).page_fault);
+  EXPECT_FALSE(mem.Access(0, 0x16800, 8, false).page_fault);
+  EXPECT_TRUE(mem.Access(0, 0x17000, 8, false).page_fault);   // Past the range.
+  EXPECT_TRUE(mem.Access(0, 0xf000, 8, false).page_fault);    // Before it.
+  EXPECT_FALSE(mem.Access(0, 0xf008, 8, false).page_fault);   // Faulted above.
+}
+
+TEST(MemPretouchTest, HugePretouchIsCheap) {
+  MemParams p;
+  MemorySystem mem(1, p);
+  // 1 TiB of pretouch must be O(ranges), not O(pages) — this would OOM or
+  // time out with per-page inserts.
+  mem.PretouchPages(0, 1ull << 40);
+  EXPECT_FALSE(mem.Access(0, 1ull << 39, 8, false).page_fault);
+}
+
+// --- MemParams validation -----------------------------------------------------
+
+TEST(MemParamsDeathTest, ZeroLatencyAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        MemParams p;
+        p.l1_latency = 0;
+        MemorySystem mem(1, p);
+      },
+      "nonzero");
+}
+
+TEST(MemParamsDeathTest, NonMonotoneHierarchyAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        MemParams p;
+        p.l2_latency = p.l3_latency + 100;
+        MemorySystem mem(1, p);
+      },
+      "monotone");
+}
+
+TEST(MemParamsDeathTest, ZeroPageFaultCostAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        MemParams p;
+        p.page_fault_cycles = 0;
+        MemorySystem mem(1, p);
+      },
+      "page_fault_cycles");
+}
+
+TEST(MemParamsTest, ZeroPageFaultCostAllowedWhenFaultsOff) {
+  MemParams p;
+  p.page_fault_cycles = 0;
+  p.model_page_faults = false;
+  MemorySystem mem(1, p);  // Must not abort.
+  EXPECT_FALSE(mem.Access(0, 0x5000, 8, false).page_fault);
+}
+
 }  // namespace
 }  // namespace asfmem

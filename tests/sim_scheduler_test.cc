@@ -4,6 +4,9 @@
 // remote abort, destructor unwinding), sync primitives, timer interrupts.
 #include <gtest/gtest.h>
 
+#include <queue>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/sim/core.h"
@@ -374,6 +377,92 @@ TEST(Scheduler, DeterministicAcrossRuns) {
     return trace;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// --- EventHeap / wake fast path ---------------------------------------------
+
+// The inline 4-ary heap must pop in exactly the order std::priority_queue
+// does. Because (cycle, seq) is a strict total order this is a full
+// equivalence, not just heap-property correctness.
+TEST(EventHeap, PopOrderMatchesPriorityQueueReference) {
+  struct RefCmp {
+    bool operator()(const SchedEvent& a, const SchedEvent& b) const {
+      return !EventBefore(a, b) && (a.cycle != b.cycle || a.seq != b.seq);
+    }
+  };
+  EventHeap heap;
+  std::priority_queue<SchedEvent, std::vector<SchedEvent>, RefCmp> ref;
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  uint64_t seq = 0;
+  for (int step = 0; step < 20000; ++step) {
+    bool push = heap.empty() || next() % 100 < 60;
+    if (push) {
+      // Clustered cycles force plenty of ties, exercising the seq tiebreak.
+      SchedEvent ev{next() % 64, seq++, nullptr};
+      heap.push(ev);
+      ref.push(ev);
+    } else {
+      ASSERT_EQ(heap.size(), ref.size());
+      ASSERT_EQ(heap.top().cycle, ref.top().cycle) << "step " << step;
+      ASSERT_EQ(heap.top().seq, ref.top().seq) << "step " << step;
+      heap.pop();
+      ref.pop();
+    }
+  }
+  while (!heap.empty()) {
+    ASSERT_EQ(heap.top().seq, ref.top().seq);
+    heap.pop();
+    ref.pop();
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+// With the next-event slot disabled, every wake goes through the heap — the
+// reference behavior. The access event log must be bit-identical either way,
+// and the fast path must actually engage when enabled.
+TEST(Scheduler, WakeFastPathPreservesEventOrder) {
+  auto run_once = [](bool fast_path) {
+    Scheduler::SetWakeFastPathForTesting(fast_path);
+    Scheduler sched(4, NoTimerParams());
+    RecordingHandler handler(4);
+    sched.SetAccessHandler(&handler);
+    struct Box {
+      SimThread* t = nullptr;
+    };
+    std::vector<Box> boxes(4);
+    auto body = [](Box* box) -> Task<void> {
+      SimThread& t = *box->t;
+      for (int i = 0; i < 25; ++i) {
+        // Mixed work amounts create both same-cycle ties (heap-ordered) and
+        // strictly-sooner wakes (slot-eligible).
+        t.core().WorkCycles((t.id() * 5 + static_cast<uint64_t>(i) * 7) % 13);
+        co_await t.Access(AccessKind::kLoad, 0x2000 + t.id() * 0x100 + static_cast<uint64_t>(i),
+                          8);
+      }
+    };
+    for (auto& b : boxes) {
+      b.t = &sched.Spawn(body(&b));
+    }
+    sched.Run();
+    uint64_t fast_wakes = sched.fast_wakes();
+    Scheduler::SetWakeFastPathForTesting(true);  // Restore the default.
+    std::vector<std::tuple<uint32_t, uint64_t, uint64_t>> trace;
+    for (const auto& e : handler.log) {
+      trace.emplace_back(e.core, e.addr, e.cycle);
+    }
+    return std::make_pair(trace, fast_wakes);
+  };
+  auto [slow_trace, slow_fast_wakes] = run_once(false);
+  auto [fast_trace, fast_fast_wakes] = run_once(true);
+  EXPECT_EQ(slow_trace, fast_trace);
+  EXPECT_EQ(slow_fast_wakes, 0u);
+  EXPECT_GT(fast_fast_wakes, 0u);
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 #include "src/fault/fault_schedule.h"
 #include "src/harness/experiment.h"
 #include "src/harness/stress.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/scheduler.h"
 
 namespace {
 
@@ -149,6 +151,51 @@ TEST(SweepRunnerTest, GenericSubmitRunsEveryJob) {
   sweep.Run();
   for (size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+  }
+}
+
+// Cross-layer bit-identity gate for the host-side fast paths: a full
+// experiment run with the scheduler's next-event slot and the memory
+// system's line/page memoization disabled must produce byte-identical
+// results to the default (enabled) run — the fast paths are pure host
+// optimizations with zero simulated effect.
+TEST(SweepRunnerTest, HostFastPathsDoNotChangeResults) {
+  const char* structures[] = {"list", "rb", "hash"};
+  std::vector<harness::IntsetConfig> grid;
+  for (const char* s : structures) {
+    for (uint32_t threads : {1u, 4u, 8u}) {
+      grid.push_back(SmallConfig(s, threads, 11));
+    }
+  }
+
+  std::vector<harness::IntsetResult> fast;
+  std::vector<harness::IntsetResult> slow;
+  for (const auto& cfg : grid) {
+    fast.push_back(harness::RunIntset(cfg));
+  }
+  asfsim::Scheduler::SetWakeFastPathForTesting(false);
+  asfmem::MemorySystem::SetFastPathForTesting(false);
+  for (const auto& cfg : grid) {
+    slow.push_back(harness::RunIntset(cfg));
+  }
+  asfsim::Scheduler::SetWakeFastPathForTesting(true);
+  asfmem::MemorySystem::SetFastPathForTesting(true);
+
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(Digest(fast[i]), Digest(slow[i])) << "config " << i;
+    // The telemetry proves the fast paths actually engaged (and actually
+    // disengaged under the test toggles).
+    EXPECT_GT(fast[i].host.fast_wakes, 0u) << "config " << i;
+    EXPECT_GT(fast[i].host.mem_line_hits, 0u) << "config " << i;
+    if (grid[i].threads == 1) {
+      // A lone thread's wakes are always the global minimum: the inline
+      // consume at the suspension point must fire.
+      EXPECT_GT(fast[i].host.inline_wakes, 0u) << "config " << i;
+    }
+    EXPECT_EQ(slow[i].host.fast_wakes, 0u) << "config " << i;
+    EXPECT_EQ(slow[i].host.inline_wakes, 0u) << "config " << i;
+    EXPECT_EQ(slow[i].host.mem_line_hits, 0u) << "config " << i;
+    EXPECT_EQ(slow[i].host.mem_page_hits, 0u) << "config " << i;
   }
 }
 

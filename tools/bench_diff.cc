@@ -1,0 +1,235 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Compares two benchmark JSON reports (the BENCH_*.json files written via
+// --json) table by table and prints per-cell percentage deltas.
+//
+// Matching: tables by title, rows by their first cell (the mode/config
+// label), cells by column index. Numeric cells (plain numbers, or numbers
+// with a trailing '%') are diffed; non-numeric cells are compared as strings.
+//
+// Exit status:
+//   0  reports agree (all rate deltas within threshold, no string changes)
+//   1  regression: a higher-is-better column (header containing "/s" or
+//      "speedup") dropped by more than --threshold percent, or a non-numeric
+//      cell (e.g. a result digest) changed
+//   2  usage or I/O error
+//
+// Wall-clock columns ("wall s") and absolute counters are reported but never
+// gate: on shared hosts they are noisy, and a counter change always shows up
+// in a digest or rate anyway.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+
+namespace {
+
+struct Table {
+  std::string title;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+bool LoadReport(const char* path, std::vector<Table>* out, std::string* benchmark) {
+  std::string text;
+  std::string error;
+  if (!asfobs::ReadTextFile(path, &text, &error)) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+    return false;
+  }
+  asfobs::JsonValue root;
+  if (!asfobs::JsonValue::Parse(text, &root, &error)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path, error.c_str());
+    return false;
+  }
+  const asfobs::JsonValue* bench = root.Get("benchmark");
+  if (bench != nullptr && bench->IsString()) {
+    *benchmark = bench->AsString();
+  }
+  const asfobs::JsonValue* tables = root.Get("tables");
+  if (tables == nullptr || !tables->IsArray()) {
+    std::fprintf(stderr, "bench_diff: %s: no \"tables\" array\n", path);
+    return false;
+  }
+  for (const asfobs::JsonValue& t : tables->items()) {
+    Table table;
+    const asfobs::JsonValue* title = t.Get("title");
+    if (title != nullptr && title->IsString()) {
+      table.title = title->AsString();
+    }
+    const asfobs::JsonValue* header = t.Get("header");
+    if (header != nullptr && header->IsArray()) {
+      for (const asfobs::JsonValue& h : header->items()) {
+        table.header.push_back(h.AsString());
+      }
+    }
+    const asfobs::JsonValue* rows = t.Get("rows");
+    if (rows != nullptr && rows->IsArray()) {
+      for (const asfobs::JsonValue& r : rows->items()) {
+        std::vector<std::string> row;
+        for (const asfobs::JsonValue& cell : r.items()) {
+          row.push_back(cell.AsString());
+        }
+        table.rows.push_back(std::move(row));
+      }
+    }
+    out->push_back(std::move(table));
+  }
+  return true;
+}
+
+// Parses a table cell as a number; accepts a trailing '%'.
+bool ParseNum(const std::string& s, double* out) {
+  if (s.empty() || s == "-") {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) {
+    return false;
+  }
+  if (*end == '%') {
+    ++end;
+  }
+  return *end == '\0';
+}
+
+// Higher-is-better rate columns gate the exit status; everything else is
+// informational.
+bool IsRateColumn(const std::string& header) {
+  return header.find("/s") != std::string::npos || header.find("speedup") != std::string::npos ||
+         header.find("hit rate") != std::string::npos;
+}
+
+const Table* FindTable(const std::vector<Table>& tables, const std::string& title) {
+  for (const Table& t : tables) {
+    if (t.title == title) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>* FindRow(const Table& t, const std::string& key) {
+  for (const auto& row : t.rows) {
+    if (!row.empty() && row[0] == key) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* old_path = nullptr;
+  const char* new_path = nullptr;
+  double threshold = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_diff: --threshold requires a numeric operand\n");
+        return 2;
+      }
+      char* end = nullptr;
+      threshold = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || threshold < 0.0) {
+        std::fprintf(stderr, "bench_diff: bad --threshold operand '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: bench_diff <old.json> <new.json> [--threshold <pct>]\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown argument '%s'\n", argv[i]);
+      return 2;
+    } else if (old_path == nullptr) {
+      old_path = argv[i];
+    } else if (new_path == nullptr) {
+      new_path = argv[i];
+    } else {
+      std::fprintf(stderr, "bench_diff: too many operands\n");
+      return 2;
+    }
+  }
+  if (old_path == nullptr || new_path == nullptr) {
+    std::fprintf(stderr, "usage: bench_diff <old.json> <new.json> [--threshold <pct>]\n");
+    return 2;
+  }
+
+  std::vector<Table> old_tables;
+  std::vector<Table> new_tables;
+  std::string old_bench;
+  std::string new_bench;
+  if (!LoadReport(old_path, &old_tables, &old_bench) ||
+      !LoadReport(new_path, &new_tables, &new_bench)) {
+    return 2;
+  }
+  if (old_bench != new_bench) {
+    std::fprintf(stderr, "bench_diff: reports are from different benchmarks (%s vs %s)\n",
+                 old_bench.c_str(), new_bench.c_str());
+    return 2;
+  }
+
+  int regressions = 0;
+  int changes = 0;
+  for (const Table& nt : new_tables) {
+    const Table* ot = FindTable(old_tables, nt.title);
+    if (ot == nullptr) {
+      std::printf("== %s ==\n  (new table, nothing to compare)\n", nt.title.c_str());
+      continue;
+    }
+    std::printf("== %s ==\n", nt.title.c_str());
+    for (const auto& nrow : nt.rows) {
+      if (nrow.empty()) {
+        continue;
+      }
+      const std::vector<std::string>* orow = FindRow(*ot, nrow[0]);
+      if (orow == nullptr) {
+        std::printf("  %-40s new row\n", nrow[0].c_str());
+        continue;
+      }
+      for (size_t c = 1; c < nrow.size() && c < orow->size(); ++c) {
+        const std::string& header = c < nt.header.size() ? nt.header[c] : "";
+        const std::string& ov = (*orow)[c];
+        const std::string& nv = nrow[c];
+        double od = 0.0;
+        double nd = 0.0;
+        if (ParseNum(ov, &od) && ParseNum(nv, &nd)) {
+          if (od == nd) {
+            continue;
+          }
+          double pct = od != 0.0 ? 100.0 * (nd - od) / od : 0.0;
+          bool gate = IsRateColumn(header);
+          bool regressed = gate && pct < -threshold;
+          std::printf("  %-40s %-14s %10s -> %-10s %+7.1f%%%s\n", nrow[0].c_str(),
+                      header.c_str(), ov.c_str(), nv.c_str(), pct,
+                      regressed ? "  REGRESSION" : "");
+          if (regressed) {
+            ++regressions;
+          }
+        } else if (ov != nv) {
+          std::printf("  %-40s %-14s %s -> %s  CHANGED\n", nrow[0].c_str(), header.c_str(),
+                      ov.c_str(), nv.c_str());
+          ++changes;
+        }
+      }
+    }
+  }
+  for (const Table& ot : old_tables) {
+    if (FindTable(new_tables, ot.title) == nullptr) {
+      std::printf("== %s ==\n  (table removed in new report)\n", ot.title.c_str());
+    }
+  }
+
+  if (regressions != 0 || changes != 0) {
+    std::printf("\nbench_diff: %d regression(s) beyond %.1f%%, %d non-numeric change(s)\n",
+                regressions, threshold, changes);
+    return 1;
+  }
+  std::printf("\nbench_diff: no regressions beyond %.1f%%\n", threshold);
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/asf/machine.h"
 #include "src/common/frame_pool.h"
 #include "src/common/table.h"
 #include "src/harness/experiment.h"
@@ -111,6 +112,11 @@ PassResult RunPass(const std::vector<harness::IntsetConfig>& grid, uint32_t jobs
     pass.host.mem_accesses += r.host.mem_accesses;
     pass.host.mem_line_hits += r.host.mem_line_hits;
     pass.host.mem_page_hits += r.host.mem_page_hits;
+    pass.host.dir_resolutions += r.host.dir_resolutions;
+    pass.host.dir_gate_skips += r.host.dir_gate_skips;
+    pass.host.dir_solo_fast_paths += r.host.dir_solo_fast_paths;
+    pass.host.dir_probes += r.host.dir_probes;
+    pass.host.dir_probe_hits += r.host.dir_probe_hits;
     pass.digests.push_back(DigestOf(r));
   }
   return pass;
@@ -210,10 +216,14 @@ int CheckBaseline(const std::string& path, const benchutil::Options& opt,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Benchmark-specific flag, filtered out before the shared strict parser:
+  // Benchmark-specific flags, filtered out before the shared strict parser:
   // --baseline <path> compares this run's digests against a prior --json
-  // report and fails on any shift.
+  // report and fails on any shift; --gate-check reruns the grid with the
+  // conflict directory's active-speculator gate force-disabled and fails if
+  // any digest differs from the gated serial pass (the fast path must never
+  // drift from the slow path).
   std::string baseline_path;
+  bool gate_check = false;
   std::vector<char*> filtered;
   filtered.reserve(static_cast<size_t>(argc));
   filtered.push_back(argv[0]);
@@ -224,6 +234,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--gate-check") == 0) {
+      gate_check = true;
     } else {
       filtered.push_back(argv[i]);
     }
@@ -255,6 +267,28 @@ int main(int argc, char** argv) {
                    i, parallel_jobs, serial.digests[i].c_str(), parallel.digests[i].c_str());
       return 1;
     }
+  }
+
+  // Gate equivalence: the active-speculator gate and single-speculator fast
+  // path are host-side short circuits; disabling them must not move a bit.
+  if (gate_check) {
+    const bool prev = asf::SpeculatorGateDisabled();
+    asf::SetSpeculatorGateDisabled(true);
+    const PassResult ungated = RunPass(grid, 1);
+    asf::SetSpeculatorGateDisabled(prev);
+    for (size_t i = 0; i < grid.size(); ++i) {
+      if (serial.digests[i] != ungated.digests[i]) {
+        std::fprintf(stderr,
+                     "FAILED: config %zu diverged with the speculator gate disabled\n"
+                     "  gated:   %s\n  ungated: %s\n",
+                     i, serial.digests[i].c_str(), ungated.digests[i].c_str());
+        return 1;
+      }
+    }
+    std::printf("gate-check: all %zu digests identical with the gate disabled "
+                "(gated probes %llu, ungated probes %llu)\n\n",
+                grid.size(), static_cast<unsigned long long>(serial.host.dir_probes),
+                static_cast<unsigned long long>(ungated.host.dir_probes));
   }
 
   const double speedup =
@@ -301,6 +335,34 @@ int main(int argc, char** argv) {
                Pct(frame_hits, frame_allocs)});
   fast.Print();
   report.Add(fast);
+
+  // Conflict-directory telemetry (serial pass): how often the
+  // active-speculator gate removed conflict resolution entirely, how often
+  // the single-speculator path short-circuited the decode, and the mean
+  // number of directory probes each resolved access paid.
+  const harness::HostPerf& hp = serial.host;
+  asfcommon::Table dir("Conflict directory (serial pass)");
+  dir.SetHeader({"metric", "value", "rate"});
+  dir.AddRow({"conflict resolutions",
+              asfcommon::Table::Int(static_cast<long long>(hp.dir_resolutions)), "-"});
+  dir.AddRow({"active-speculator gate skips",
+              asfcommon::Table::Int(static_cast<long long>(hp.dir_gate_skips)),
+              Pct(hp.dir_gate_skips, hp.dir_resolutions)});
+  dir.AddRow({"single-speculator fast paths",
+              asfcommon::Table::Int(static_cast<long long>(hp.dir_solo_fast_paths)),
+              Pct(hp.dir_solo_fast_paths, hp.dir_resolutions)});
+  dir.AddRow({"directory probes",
+              asfcommon::Table::Int(static_cast<long long>(hp.dir_probes)),
+              hp.dir_resolutions == 0
+                  ? "-"
+                  : asfcommon::Table::Num(static_cast<double>(hp.dir_probes) /
+                                              static_cast<double>(hp.dir_resolutions),
+                                          3) + "/access"});
+  dir.AddRow({"directory probe hits",
+              asfcommon::Table::Int(static_cast<long long>(hp.dir_probe_hits)),
+              Pct(hp.dir_probe_hits, hp.dir_probes)});
+  dir.Print();
+  report.Add(dir);
 
   asfcommon::Table digests(kDigestTableTitle);
   digests.SetHeader({"configuration", "digest (tx:cycles:attempts:aborts)"});

@@ -42,6 +42,14 @@ add_test(NAME perf_selfcheck_baseline
                  --baseline ${CMAKE_SOURCE_DIR}/BENCH_sim_throughput.json)
 set_tests_properties(perf_selfcheck_baseline PROPERTIES LABELS "perf")
 
+# Gate-equivalence smoke: the fig5 slice must produce identical digests with
+# the conflict directory's active-speculator gate force-disabled (same toggle
+# as the ASF_NO_SPECULATOR_GATE env var) — the gated fast path may never
+# change simulated results.
+add_test(NAME perf_smoke
+         COMMAND perf_selfcheck --quick --gate-check)
+set_tests_properties(perf_smoke PROPERTIES LABELS "perf")
+
 # bench_diff sanity: a report diffed against itself reports no regressions.
 add_test(NAME bench_diff_selfcheck
          COMMAND bench_diff ${CMAKE_BINARY_DIR}/bench/perf_selfcheck.smoke.json

@@ -15,6 +15,9 @@ bool AsfContext::Speculate() {
     return false;
   }
   ++depth_;
+  if (depth_ == 1 && dir_ != nullptr) {
+    dir_->OnActivate(core_id_);
+  }
   return true;
 }
 
@@ -25,6 +28,7 @@ bool AsfContext::CommitTop() {
     return false;  // Flat nesting: inner commits are no-ops.
   }
   ++stats_.commits;
+  TeardownDirectory();
   llb_.Clear();
   l1_read_lines_.Clear();
   atomic_phase_ = false;
@@ -36,10 +40,21 @@ void AsfContext::Abort(AbortCause cause) {
     return;
   }
   ++stats_.aborts[static_cast<size_t>(cause)];
+  TeardownDirectory();
   llb_.RestoreAll();
   l1_read_lines_.Clear();
   depth_ = 0;
   atomic_phase_ = false;
+}
+
+void AsfContext::TeardownDirectory() {
+  if (dir_ == nullptr) {
+    return;
+  }
+  // ForEachTrackedLine would double-visit nothing here (LLB and L1 read bits
+  // are disjoint by construction), but RemoveLine is idempotent regardless.
+  ForEachTrackedLine([&](uint64_t line, bool /*written*/) { dir_->RemoveLine(core_id_, line); });
+  dir_->OnDeactivate(core_id_);
 }
 
 bool AsfContext::AddRead(uint64_t line) {
@@ -54,9 +69,20 @@ bool AsfContext::AddRead(uint64_t line) {
       return true;
     }
     l1_read_lines_.Insert(line);
+    if (dir_ != nullptr) {
+      dir_->AddReader(core_id_, line);
+    }
     return true;  // Capacity effects arrive via OnL1Drop displacement.
   }
-  return llb_.AddRead(line);
+  if (!llb_.AddRead(line)) {
+    return false;
+  }
+  // A line we already wrote is monitored through the writer record; adding a
+  // reader bit would break the directory's exclusive-writer invariant.
+  if (dir_ != nullptr && !llb_.HasWrittenLine(line)) {
+    dir_->AddReader(core_id_, line);
+  }
+  return true;
 }
 
 bool AsfContext::AddWrite(uint64_t line) {
@@ -69,24 +95,32 @@ bool AsfContext::AddWrite(uint64_t line) {
     // Write set lives in the LLB; drop any read-bit tracking for the line
     // (the LLB entry subsumes it, and keeping it would turn a later benign
     // L1 displacement into a spurious capacity abort).
-    bool ok = llb_.AddWrite(line);
-    if (ok) {
-      l1_read_lines_.Erase(line);
+    if (!llb_.AddWrite(line)) {
+      return false;
     }
-    return ok;
+    l1_read_lines_.Erase(line);
+  } else if (!llb_.AddWrite(line)) {
+    return false;
   }
-  return llb_.AddWrite(line);
+  if (dir_ != nullptr) {
+    dir_->SetWriter(core_id_, line);
+  }
+  return true;
 }
 
 void AsfContext::Release(uint64_t line) {
   if (!active()) {
     return;
   }
+  bool dropped;
   if (variant_.l1_read_set) {
-    l1_read_lines_.Erase(line);
-    return;
+    dropped = l1_read_lines_.Erase(line);
+  } else {
+    dropped = llb_.Release(line);
   }
-  llb_.Release(line);
+  if (dropped && dir_ != nullptr) {
+    dir_->DropReader(core_id_, line);
+  }
 }
 
 bool AsfContext::HasRead(uint64_t line) const {

@@ -5,7 +5,11 @@
 // sets (in the LLB, or — for the "w/ L1" variants — the read set via
 // speculative-read bits in the modeled L1 cache), and performs architectural
 // rollback on abort. Conflict *policy* (requester wins) is applied by the
-// Machine, which queries HasRead/HasWrite of remote contexts on each access.
+// Machine through the shared ConflictDirectory; every protected-set mutation
+// here is mirrored into that directory at the point it happens, so a single
+// directory probe answers what HasRead/HasWrite of every remote context
+// answered before. The per-context queries remain the reference semantics
+// (tests cross-check the directory against them).
 #ifndef SRC_ASF_ASF_CONTEXT_H_
 #define SRC_ASF_ASF_CONTEXT_H_
 
@@ -16,6 +20,7 @@
 #include "src/common/defs.h"
 #include "src/common/flat_table.h"
 #include "src/asf/asf_params.h"
+#include "src/asf/conflict_directory.h"
 #include "src/asf/llb.h"
 
 namespace asf {
@@ -39,6 +44,14 @@ class AsfContext {
  public:
   AsfContext(uint32_t core_id, const AsfVariant& variant)
       : core_id_(core_id), variant_(variant), llb_(variant.llb_entries) {}
+
+  // Attaches the machine-global conflict directory this context mirrors its
+  // protected sets into. Must be called while inactive; null (the default,
+  // for isolated unit tests) disables mirroring.
+  void BindDirectory(ConflictDirectory* dir) {
+    ASF_CHECK(!active());
+    dir_ = dir;
+  }
 
   uint32_t core_id() const { return core_id_; }
   const AsfVariant& variant() const { return variant_; }
@@ -99,12 +112,28 @@ class AsfContext {
   }
   uint32_t write_set_lines() const { return llb_.written_count(); }
 
+  // Visits every line this context tracks, as (line, written) pairs — the
+  // LLB entries plus (for w/-L1 variants) the L1 speculative-read bits.
+  // Used by the commit/abort directory teardown and the coherence tests.
+  template <typename Fn>
+  void ForEachTrackedLine(Fn&& fn) const {
+    llb_.ForEachLine(fn);
+    if (variant_.l1_read_set) {
+      l1_read_lines_.ForEach([&](uint64_t line) { fn(line, false); });
+    }
+  }
+
   const AsfContextStats& stats() const { return stats_; }
   void ResetStats() { stats_ = AsfContextStats{}; }
 
  private:
+  // Tears this context's lines out of the directory ahead of an outermost
+  // commit or an abort clearing the sets.
+  void TeardownDirectory();
+
   const uint32_t core_id_;
   const AsfVariant variant_;
+  ConflictDirectory* dir_ = nullptr;
   Llb llb_;
   // Read-set lines tracked via L1 speculative-read bits (w/-L1 variants).
   // Probed on every remote access during the conflict scan, so it uses the

@@ -87,13 +87,16 @@ class Llb {
 
   // RELEASE semantics: drops a read-only line from the protected set. A
   // pending speculative store cannot be cancelled (only ABORT can), so a
-  // written line is left untouched — RELEASE is strictly a hint.
-  void Release(uint64_t line) {
+  // written line is left untouched — RELEASE is strictly a hint. Returns
+  // true when an entry was actually dropped (the conflict directory mirrors
+  // exactly those drops).
+  bool Release(uint64_t line) {
     size_t slot = SlotOf(line);
     if (slots_[slot] == 0 || entries_[slots_[slot] - 1].written) {
-      return;
+      return false;
     }
     RemoveAt(slot);
+    return true;
   }
 
   // Commit: discard all entries; speculative values in memory become
@@ -116,6 +119,16 @@ class Llb {
   }
 
   uint32_t written_count() const { return written_count_; }
+
+  // Visits every tracked (line, written) pair in insertion-ish order (entry
+  // array order; Release/RemoveAt may have swapped entries). Used for the
+  // per-line conflict-directory teardown on commit/abort.
+  template <typename Fn>
+  void ForEachLine(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      fn(e.line, e.written);
+    }
+  }
 
  private:
   struct Entry {

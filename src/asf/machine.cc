@@ -1,6 +1,10 @@
 // Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
 #include "src/asf/machine.h"
 
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+
 #include "src/fault/fault_injector.h"
 
 namespace asf {
@@ -11,13 +15,29 @@ using asfsim::AccessKind;
 using asfsim::AccessOutcome;
 using asfsim::SimThread;
 
+namespace {
+
+std::atomic<bool> g_speculator_gate_disabled{std::getenv("ASF_NO_SPECULATOR_GATE") != nullptr};
+
+}  // namespace
+
+bool SpeculatorGateDisabled() {
+  return g_speculator_gate_disabled.load(std::memory_order_relaxed);
+}
+
+void SetSpeculatorGateDisabled(bool disabled) {
+  g_speculator_gate_disabled.store(disabled, std::memory_order_relaxed);
+}
+
 Machine::Machine(const MachineParams& params)
     : params_(params),
       scheduler_(params.num_cores, params.core),
       mem_(params.num_cores, params.mem),
+      directory_(params.num_cores, !SpeculatorGateDisabled()),
       staged_abort_(params.num_cores, AbortCause::kNone) {
   for (uint32_t i = 0; i < params.num_cores; ++i) {
     contexts_.push_back(std::make_unique<AsfContext>(i, params.variant));
+    contexts_.back()->BindDirectory(&directory_);
   }
   scheduler_.SetAccessHandler(this);
   mem_.SetListener(this);
@@ -116,22 +136,20 @@ AccessOutcome Machine::OnAccess(SimThread& thread, AccessKind kind, uint64_t add
   const bool write_like =
       kind == AccessKind::kStore || kind == AccessKind::kTxStore || kind == AccessKind::kWatchW;
 
-  // 1. Requester-wins conflict resolution across all other cores. Victims
-  //    roll back architecturally *now* (before this access proceeds), so the
-  //    requester observes pre-speculative data.
+  // 1. Requester-wins conflict resolution via the speculative-line
+  //    directory: one probe per touched line (skipped entirely when no other
+  //    core is speculating). Victims roll back architecturally *now* (before
+  //    this access proceeds, in ascending core order like the historical
+  //    all-contexts sweep), so the requester observes pre-speculative data.
   const uint64_t first = LineOf(addr);
   const uint64_t last = LineOf(addr + size - 1);
   uint64_t extra = injected_latency;  // Latency-only injections (no region).
-  for (uint32_t o = 0; o < scheduler_.num_threads(); ++o) {
-    if (o == cid || !contexts_[o]->active()) {
-      continue;
-    }
-    for (uint64_t line = first; line <= last; ++line) {
-      if (contexts_[o]->ConflictsWith(line, write_like)) {
-        extra += AbortVictim(o, AbortCause::kContention);
-        break;
-      }
-    }
+  uint64_t victims = directory_.Resolve(first, last, write_like, cid);
+  while (victims != 0) {
+    const uint32_t o = static_cast<uint32_t>(std::countr_zero(victims));
+    victims &= victims - 1;
+    ASF_CHECK(contexts_[o]->active());
+    extra += AbortVictim(o, AbortCause::kContention);
   }
 
   // 2. Unannotated store to a speculatively written line of this core's own

@@ -6,9 +6,11 @@
 // Machine::OnAccess in global cycle order. The Machine applies ASF's
 // requester-wins contention policy exactly at cache-line granularity
 // (equivalent to the hardware piggybacking on coherence probes — see
-// DESIGN.md §2), performs the per-core protected-set bookkeeping, charges
-// memory-hierarchy latencies, and models the OS events (page faults, timer
-// interrupts, system calls) that abort speculative regions.
+// DESIGN.md §2) via the machine-global ConflictDirectory (one probe per
+// touched line instead of a sweep over every other core's context),
+// performs the per-core protected-set bookkeeping, charges memory-hierarchy
+// latencies, and models the OS events (page faults, timer interrupts,
+// system calls) that abort speculative regions.
 #ifndef SRC_ASF_MACHINE_H_
 #define SRC_ASF_MACHINE_H_
 
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "src/asf/asf_context.h"
+#include "src/asf/conflict_directory.h"
 #include "src/common/arena.h"
 #include "src/asf/asf_params.h"
 #include "src/common/abort_cause.h"
@@ -39,6 +42,16 @@ struct MachineParams {
   AsfCosts costs;
 };
 
+// Ablation/equivalence hook (bench/perf_selfcheck --gate-check; env
+// ASF_NO_SPECULATOR_GATE=1): force-disables the conflict directory's
+// active-speculator gate and single-speculator fast path so every access
+// runs the general per-line decode. The gates are pure host-side short
+// circuits — simulated results must be bit-identical either way, which the
+// perf_smoke ctest enforces. Each Machine snapshots the setting at
+// construction.
+bool SpeculatorGateDisabled();
+void SetSpeculatorGateDisabled(bool disabled);
+
 class Machine : public asfsim::AccessHandler, public asfmem::MemEventListener {
  public:
   explicit Machine(const MachineParams& params);
@@ -53,6 +66,9 @@ class Machine : public asfsim::AccessHandler, public asfmem::MemEventListener {
   // makes experiments bit-for-bit reproducible across runs.
   asfcommon::SimArena& arena() { return arena_; }
   AsfContext& context(uint32_t core) { return *contexts_[core]; }
+  // The speculative-line directory shared by all contexts (telemetry and
+  // coherence introspection; contexts keep it up to date themselves).
+  ConflictDirectory& conflict_directory() { return directory_; }
   const MachineParams& params() const { return params_; }
 
   // Optional host-side transaction-lifecycle observer. The TM runtimes emit
@@ -97,6 +113,7 @@ class Machine : public asfsim::AccessHandler, public asfmem::MemEventListener {
   asfcommon::SimArena arena_;
   asfsim::Scheduler scheduler_;
   asfmem::MemorySystem mem_;
+  ConflictDirectory directory_;
   std::vector<std::unique_ptr<AsfContext>> contexts_;
   std::vector<asfcommon::AbortCause> staged_abort_;
   asfobs::TxEventSink* tx_sink_ = nullptr;

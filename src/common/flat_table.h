@@ -116,6 +116,20 @@ class FlatMap64 {
     size_ = 0;
   }
 
+  // Visits every (key, value) pair in slot order (unspecified w.r.t.
+  // insertion). Enables aggregate maintenance of packed bitmap/record values
+  // — e.g. the conflict directory's per-core teardown and its coherence
+  // cross-checks — without exposing the slot layout. `fn` must not mutate
+  // the table (no insert/erase) while iterating.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != flat_internal::kEmptyKey) {
+        fn(s.key, s.value);
+      }
+    }
+  }
+
  private:
   struct Slot {
     uint64_t key = flat_internal::kEmptyKey;
@@ -222,6 +236,17 @@ class FlatSet64 {
   void Clear() {
     keys_.assign(keys_.size(), flat_internal::kEmptyKey);
     size_ = 0;
+  }
+
+  // Visits every key in slot order (unspecified w.r.t. insertion). `fn`
+  // must not mutate the set while iterating.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint64_t k : keys_) {
+      if (k != flat_internal::kEmptyKey) {
+        fn(k);
+      }
+    }
   }
 
  private:

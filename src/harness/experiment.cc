@@ -212,6 +212,7 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
         m.context(c).ResetStats();
       }
       m.mem().ResetStats();
+      m.conflict_directory().ResetStats();
       // Host-side observers drop warm-up data at the same instant the
       // statistics reset (no co_await between the resets), so the trace
       // covers exactly the measured window.
@@ -275,6 +276,17 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
   result.host.mem_accesses = fp.accesses;
   result.host.mem_line_hits = fp.line_hits;
   result.host.mem_page_hits = fp.page_hits;
+  const asf::ConflictDirectory::Stats& ds = m.conflict_directory().stats();
+  result.host.dir_resolutions = ds.resolutions;
+  result.host.dir_gate_skips = ds.gate_skips;
+  result.host.dir_solo_fast_paths = ds.solo_fast_paths;
+  result.host.dir_probes = ds.probes;
+  result.host.dir_probe_hits = ds.probe_hits;
+  if (cfg.obs.metrics != nullptr) {
+    asfobs::RecordConflictDirectory(
+        *cfg.obs.metrics, {ds.resolutions, ds.gate_skips, ds.solo_fast_paths, ds.probes,
+                           ds.probe_hits});
+  }
   result.invariant_violation = set->CheckInvariants();
   ASF_CHECK_MSG(result.invariant_violation.empty(), result.invariant_violation.c_str());
   return result;

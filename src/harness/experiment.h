@@ -15,6 +15,7 @@
 #include "src/asf/machine.h"
 #include "src/common/abort_cause.h"
 #include "src/intset/int_set.h"
+#include "src/obs/metrics.h"
 #include "src/obs/tx_event.h"
 #include "src/sim/trace.h"
 #include "src/tm/tm_api.h"
@@ -29,6 +30,9 @@ namespace harness {
 struct ObsHooks {
   asfsim::Tracer* tracer = nullptr;        // Memory ops + cycle spans.
   asfobs::TxEventSink* tx_sink = nullptr;  // Transaction lifecycle events.
+  // Conflict-directory telemetry is folded into this registry at the end of
+  // the run (asfobs::RecordConflictDirectory, "conflict_directory.*").
+  asfobs::MetricsRegistry* metrics = nullptr;
 };
 
 enum class RuntimeKind {
@@ -92,6 +96,12 @@ struct HostPerf {
   uint64_t mem_accesses = 0;   // MemorySystem::Access calls.
   uint64_t mem_line_hits = 0;  // Full memo fast path (TLB+directory skipped).
   uint64_t mem_page_hits = 0;  // Translation memo only.
+  // Conflict-directory telemetry (asf::ConflictDirectory::Stats).
+  uint64_t dir_resolutions = 0;     // Conflict-resolution invocations.
+  uint64_t dir_gate_skips = 0;      // Skipped: no other active speculator.
+  uint64_t dir_solo_fast_paths = 0; // Single-speculator short circuit taken.
+  uint64_t dir_probes = 0;          // Directory line lookups.
+  uint64_t dir_probe_hits = 0;      // Lookups that found a record.
 };
 
 struct IntsetResult {

@@ -81,6 +81,7 @@ StampResult RunStamp(stamp::StampApp& app, const StampConfig& cfg) {
         m.context(c).ResetStats();
       }
       m.mem().ResetStats();
+      m.conflict_directory().ResetStats();
       if (cfg.obs.tracer != nullptr) {
         cfg.obs.tracer->Clear();
       }

@@ -115,6 +115,7 @@ StressResult RunStress(const StressConfig& cfg) {
         m.context(c).ResetStats();
       }
       m.mem().ResetStats();
+      m.conflict_directory().ResetStats();
       // The injection counters and the watchdog reset with the statistics;
       // the watchdog forwards the reset to the chained observer sink.
       injector.ResetCounts();

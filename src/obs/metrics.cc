@@ -177,4 +177,20 @@ void MetricsRegistry::WriteJson(JsonWriter& w) const {
   w.EndObject();
 }
 
+void RecordConflictDirectory(MetricsRegistry& registry, const ConflictDirectoryCounters& c) {
+  auto set = [&registry](const char* name, uint64_t value) {
+    Counter* counter = registry.FindCounter(name);
+    if (counter == nullptr) {
+      counter = &registry.AddCounter(name);
+    }
+    counter->Reset();
+    counter->Increment(value);
+  };
+  set("conflict_directory.resolutions", c.resolutions);
+  set("conflict_directory.gate_skips", c.gate_skips);
+  set("conflict_directory.solo_fast_paths", c.solo_fast_paths);
+  set("conflict_directory.probes", c.probes);
+  set("conflict_directory.probe_hits", c.probe_hits);
+}
+
 }  // namespace asfobs

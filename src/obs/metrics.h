@@ -72,6 +72,20 @@ class Histogram {
 std::vector<uint64_t> ExponentialBuckets(uint64_t first, double factor, size_t count);
 std::vector<uint64_t> LinearBuckets(uint64_t first, uint64_t step, size_t count);
 
+// Host-side conflict-directory telemetry (asf::ConflictDirectory::Stats,
+// mirrored field for field so this layer stays independent of src/asf).
+// RecordConflictDirectory folds a snapshot into `registry` under the
+// "conflict_directory.*" counter names — registering them on first use,
+// overwriting on subsequent calls — so metric exports place the directory's
+// gate and probe rates next to the lifecycle metrics.
+struct ConflictDirectoryCounters {
+  uint64_t resolutions = 0;     // Conflict-resolution invocations.
+  uint64_t gate_skips = 0;      // Skipped: no other active speculator.
+  uint64_t solo_fast_paths = 0; // Single-speculator short circuit taken.
+  uint64_t probes = 0;          // Directory line lookups.
+  uint64_t probe_hits = 0;      // Lookups that found a record.
+};
+
 // Owns counters and histograms; names are unique. Registration order is the
 // export order, so runs are byte-for-byte comparable.
 class MetricsRegistry {
@@ -99,6 +113,8 @@ class MetricsRegistry {
   std::vector<std::unique_ptr<Counter>> counters_;
   std::vector<std::unique_ptr<Histogram>> histograms_;
 };
+
+void RecordConflictDirectory(MetricsRegistry& registry, const ConflictDirectoryCounters& c);
 
 }  // namespace asfobs
 

@@ -112,6 +112,38 @@ TEST(FlatSetTest, InsertReportsNewness) {
   EXPECT_FALSE(set.Contains(12));
 }
 
+TEST(FlatMapTest, ForEachVisitsEveryEntryOnce) {
+  asfcommon::FlatMap64<int> map(8);
+  std::unordered_map<uint64_t, int> ref;
+  for (uint64_t k = 0; k < 200; k += 3) {
+    map[k * 4096] = static_cast<int>(k);
+    ref[k * 4096] = static_cast<int>(k);
+  }
+  map.Erase(12 * 4096);
+  ref.erase(12 * 4096);
+  std::unordered_map<uint64_t, int> seen;
+  map.ForEach([&](uint64_t key, const int& v) {
+    EXPECT_TRUE(seen.emplace(key, v).second) << "key visited twice: " << key;
+  });
+  EXPECT_EQ(seen, ref);
+}
+
+TEST(FlatSetTest, ForEachVisitsEveryKeyOnce) {
+  asfcommon::FlatSet64 set(8);
+  std::unordered_set<uint64_t> ref;
+  for (uint64_t k = 1; k < 500; k += 7) {
+    set.Insert(k);
+    ref.insert(k);
+  }
+  set.Erase(8);
+  ref.erase(8);
+  std::unordered_set<uint64_t> seen;
+  set.ForEach([&](uint64_t key) {
+    EXPECT_TRUE(seen.insert(key).second) << "key visited twice: " << key;
+  });
+  EXPECT_EQ(seen, ref);
+}
+
 TEST(FlatSetTest, EraseAndClear) {
   asfcommon::FlatSet64 set;
   for (uint64_t k = 0; k < 300; ++k) {

@@ -90,6 +90,21 @@ TEST(Metrics, RegistryIsIdempotentAndResets) {
   ASSERT_NE(doc.Get("histograms"), nullptr);
 }
 
+TEST(Metrics, RecordConflictDirectoryRegistersAndOverwrites) {
+  asfobs::MetricsRegistry reg;
+  asfobs::RecordConflictDirectory(reg, {100, 60, 10, 40, 35});
+  ASSERT_NE(reg.FindCounter("conflict_directory.resolutions"), nullptr);
+  EXPECT_EQ(reg.FindCounter("conflict_directory.resolutions")->value(), 100u);
+  EXPECT_EQ(reg.FindCounter("conflict_directory.gate_skips")->value(), 60u);
+  EXPECT_EQ(reg.FindCounter("conflict_directory.solo_fast_paths")->value(), 10u);
+  EXPECT_EQ(reg.FindCounter("conflict_directory.probes")->value(), 40u);
+  EXPECT_EQ(reg.FindCounter("conflict_directory.probe_hits")->value(), 35u);
+  // A second snapshot overwrites (no accumulation across runs).
+  asfobs::RecordConflictDirectory(reg, {7, 1, 2, 3, 4});
+  EXPECT_EQ(reg.FindCounter("conflict_directory.resolutions")->value(), 7u);
+  EXPECT_EQ(reg.FindCounter("conflict_directory.probe_hits")->value(), 4u);
+}
+
 // --- JSON writer/parser round-trip ------------------------------------------
 
 TEST(Json, WriterParserRoundTrip) {

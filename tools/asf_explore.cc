@@ -243,6 +243,9 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     obs.tracer = &tracer;
     obs.tx_sink = &session;
+    // Conflict-directory telemetry lands in the session's registry next to
+    // the lifecycle metrics ("conflict_directory.*" counters).
+    obs.metrics = &session.registry();
   }
 
   if (workload == "intset") {
@@ -347,7 +350,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (!schedule_arg.empty()) {
-      std::fprintf(stderr, "--schedule is not supported for STAMP workloads yet\n");
+      // The STAMP driver has no fault-injection hooks (only the intset
+      // stress harness injects — see docs/ROBUSTNESS.md), so reject up
+      // front with the workloads that do support schedules instead of
+      // failing deeper in with a generic parse error.
+      std::fprintf(stderr,
+                   "--schedule '%s': fault schedules are only supported for --workload intset "
+                   "(structures list|list-er|skip|rb|hash); the STAMP driver has no "
+                   "fault-injection hooks yet.\n"
+                   "Rerun with --workload intset, or drop --schedule.\n",
+                   schedule_arg.c_str());
       return 2;
     }
     std::string app_name = args.Get("app", "genome");

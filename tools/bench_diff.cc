@@ -12,6 +12,9 @@
 //      "speedup") dropped by more than --threshold percent, or a non-numeric
 //      cell (e.g. a result digest) changed
 //   2  usage or I/O error
+//   3  schema drift: a table exists in only one of the reports, so its rows
+//      were not compared at all (pass --allow-unmatched to downgrade this to
+//      informational when the schema change is deliberate)
 //
 // Wall-clock columns ("wall s") and absolute counters are reported but never
 // gate: on shared hosts they are noisy, and a counter change always shows up
@@ -128,8 +131,11 @@ int main(int argc, char** argv) {
   const char* old_path = nullptr;
   const char* new_path = nullptr;
   double threshold = 5.0;
+  bool allow_unmatched = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threshold") == 0) {
+    if (std::strcmp(argv[i], "--allow-unmatched") == 0) {
+      allow_unmatched = true;
+    } else if (std::strcmp(argv[i], "--threshold") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "bench_diff: --threshold requires a numeric operand\n");
         return 2;
@@ -141,7 +147,8 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: bench_diff <old.json> <new.json> [--threshold <pct>]\n");
+      std::printf(
+          "usage: bench_diff <old.json> <new.json> [--threshold <pct>] [--allow-unmatched]\n");
       return 0;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "bench_diff: unknown argument '%s'\n", argv[i]);
@@ -156,7 +163,9 @@ int main(int argc, char** argv) {
     }
   }
   if (old_path == nullptr || new_path == nullptr) {
-    std::fprintf(stderr, "usage: bench_diff <old.json> <new.json> [--threshold <pct>]\n");
+    std::fprintf(stderr,
+                 "usage: bench_diff <old.json> <new.json> [--threshold <pct>] "
+                 "[--allow-unmatched]\n");
     return 2;
   }
 
@@ -176,10 +185,13 @@ int main(int argc, char** argv) {
 
   int regressions = 0;
   int changes = 0;
+  int unmatched = 0;
   for (const Table& nt : new_tables) {
     const Table* ot = FindTable(old_tables, nt.title);
     if (ot == nullptr) {
-      std::printf("== %s ==\n  (new table, nothing to compare)\n", nt.title.c_str());
+      std::printf("== %s ==\n  (table only in %s — rows not compared)\n", nt.title.c_str(),
+                  new_path);
+      ++unmatched;
       continue;
     }
     std::printf("== %s ==\n", nt.title.c_str());
@@ -221,7 +233,9 @@ int main(int argc, char** argv) {
   }
   for (const Table& ot : old_tables) {
     if (FindTable(new_tables, ot.title) == nullptr) {
-      std::printf("== %s ==\n  (table removed in new report)\n", ot.title.c_str());
+      std::printf("== %s ==\n  (table only in %s — rows not compared)\n", ot.title.c_str(),
+                  old_path);
+      ++unmatched;
     }
   }
 
@@ -230,6 +244,16 @@ int main(int argc, char** argv) {
                 regressions, threshold, changes);
     return 1;
   }
-  std::printf("\nbench_diff: no regressions beyond %.1f%%\n", threshold);
+  if (unmatched != 0 && !allow_unmatched) {
+    // A one-sided table means a whole block of telemetry silently escaped
+    // comparison (e.g. a renamed or dropped table) — fail distinctly so
+    // schema drift cannot masquerade as "no regressions".
+    std::printf("\nbench_diff: %d table(s) exist in only one report; their rows were not "
+                "compared (rerun with --allow-unmatched if the schema change is deliberate)\n",
+                unmatched);
+    return 3;
+  }
+  std::printf("\nbench_diff: no regressions beyond %.1f%%%s\n", threshold,
+              unmatched != 0 ? " (unmatched tables allowed)" : "");
   return 0;
 }

@@ -9,11 +9,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/table.h"
 #include "src/obs/export.h"
+#include "src/obs/heatmap.h"
 #include "src/obs/json.h"
+#include "src/obs/latency.h"
 
 namespace benchutil {
 
@@ -97,6 +100,26 @@ inline const std::vector<uint32_t>& ThreadCounts() {
   return kThreads;
 }
 
+// Renders one latency row per series: block count, tail percentiles, mean,
+// and the wasted-cycle ratio. The same (label, stats) pairs feed the JSON
+// report's structured "latency" section via JsonReport::AddLatency.
+inline asfcommon::Table LatencyTable(
+    const std::string& title,
+    const std::vector<std::pair<std::string, asfobs::LatencyStats>>& series) {
+  asfcommon::Table t(title);
+  t.SetHeader({"series", "blocks", "p50", "p90", "p99", "p999", "mean", "wasted %"});
+  for (const auto& [label, s] : series) {
+    t.AddRow({label, asfcommon::Table::Int(static_cast<long long>(s.count)),
+              asfcommon::Table::Int(static_cast<long long>(s.Percentile(50.0))),
+              asfcommon::Table::Int(static_cast<long long>(s.Percentile(90.0))),
+              asfcommon::Table::Int(static_cast<long long>(s.Percentile(99.0))),
+              asfcommon::Table::Int(static_cast<long long>(s.Percentile(99.9))),
+              asfcommon::Table::Num(s.Mean(), 1),
+              asfcommon::Table::Num(100.0 * s.WastedRatio(), 1) + "%"});
+  }
+  return t;
+}
+
 // Collects the tables a benchmark printed and writes them as one JSON
 // document: {"benchmark", "quick", "seed", "tables": [{title, header,
 // rows}...]}. Rows are kept as strings, exactly as printed, so the report is
@@ -111,6 +134,21 @@ class JsonReport {
       return;
     }
     tables_.push_back(t);
+  }
+
+  // Structured latency / heatmap sections (beyond the string-cell tables):
+  // one entry per series label, validated by tools/json_check.
+  void AddLatency(const std::string& label, const asfobs::LatencyStats& s) {
+    if (opt_.json_path.empty()) {
+      return;
+    }
+    latency_.emplace_back(label, s);
+  }
+  void AddHeatmap(const std::string& label, const asfobs::HeatmapStats& s) {
+    if (opt_.json_path.empty()) {
+      return;
+    }
+    heatmap_.emplace_back(label, s);
   }
 
   // Writes the report if --json was given. On I/O failure prints the error
@@ -149,6 +187,24 @@ class JsonReport {
       w.EndObject();
     }
     w.EndArray();
+    if (!latency_.empty()) {
+      w.Key("latency");
+      w.BeginObject();
+      for (const auto& [label, s] : latency_) {
+        w.Key(label);
+        asfobs::WriteLatencyJson(w, s);
+      }
+      w.EndObject();
+    }
+    if (!heatmap_.empty()) {
+      w.Key("heatmap");
+      w.BeginObject();
+      for (const auto& [label, s] : heatmap_) {
+        w.Key(label);
+        asfobs::WriteHeatmapJson(w, s, /*top_k=*/8);
+      }
+      w.EndObject();
+    }
     w.EndObject();
     out.push_back('\n');
     std::string error;
@@ -163,6 +219,8 @@ class JsonReport {
   std::string benchmark_;
   Options opt_;
   std::vector<asfcommon::Table> tables_;
+  std::vector<std::pair<std::string, asfobs::LatencyStats>> latency_;
+  std::vector<std::pair<std::string, asfobs::HeatmapStats>> heatmap_;
 };
 
 }  // namespace benchutil

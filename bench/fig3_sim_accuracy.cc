@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     cfg.runtime = harness::RuntimeKind::kSequential;
     cfg.threads = 1;
     cfg.scale = scale;
+    cfg.collect_latency = true;
     if (opt.seed != 0) {
       cfg.seed = opt.seed;
     }
@@ -42,9 +43,12 @@ int main(int argc, char** argv) {
   }
   sweep.Run();
 
+  std::vector<std::pair<std::string, asfobs::LatencyStats>> lat;
   size_t job = 0;
   for (const std::string& app_name : harness::StampAppNames()) {
     const harness::StampResult& r = sweep.stamp(job++);
+    lat.emplace_back(app_name, r.latency);
+    report.AddLatency(app_name, r.latency);
     if (!r.validation.empty()) {
       std::fprintf(stderr, "VALIDATION FAILED: %s\n", r.validation.c_str());
       return 1;
@@ -68,6 +72,15 @@ int main(int argc, char** argv) {
     table.PrintCsv(stdout);
   }
   report.Add(table);
+
+  // Atomic-block latency of the uninstrumented sequential runs (serial-mode
+  // blocks, so aborts and backoff are structurally zero).
+  asfcommon::Table ltab = benchutil::LatencyTable("Sequential runs [latency]", lat);
+  ltab.Print();
+  if (opt.csv) {
+    ltab.PrintCsv(stdout);
+  }
+  report.Add(ltab);
   std::printf(
       "Note: the paper's Figure 3 reports 10-15%% deviation of PTLsim-ASF\n"
       "from native execution for five of eight applications. The reference\n"

@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
         cfg.threads = threads;
         cfg.ops_per_thread = ops;
         cfg.variant = variant;
+        cfg.collect_latency = true;
         if (opt.seed != 0) {
           cfg.seed = opt.seed;
         }
@@ -92,6 +93,33 @@ int main(int argc, char** argv) {
       table.PrintCsv(stdout);
     }
     report.Add(table);
+
+    // Tail latency per variant, merged across the panel's thread counts
+    // (the mergeable fixed-bucket layout makes this exact, not approximate).
+    const std::string panel_key =
+        std::string(panel.structure) + "/" + std::to_string(panel.range);
+    std::vector<std::pair<std::string, asfobs::LatencyStats>> lat;
+    size_t j = job - sizeof(variants) / sizeof(variants[0]) * benchutil::ThreadCounts().size();
+    for (const auto& variant : variants) {
+      asfobs::LatencyStats merged;
+      for (uint32_t threads : benchutil::ThreadCounts()) {
+        (void)threads;
+        merged.Merge(sweep.intset(j++).latency);
+      }
+      lat.emplace_back(variant.Name(), merged);
+      report.AddLatency(panel_key + "/" + variant.Name(), merged);
+      // Hot-line heatmaps for the paper's high-contention hash panel (the
+      // 8-thread run per variant, where contention is at its worst).
+      if (panel.update_pct == 100 && panel.range == 256) {
+        report.AddHeatmap(panel_key + "/" + variant.Name(), sweep.intset(j - 1).heatmap);
+      }
+    }
+    asfcommon::Table ltab = benchutil::LatencyTable(std::string(panel.title) + " [latency]", lat);
+    ltab.Print();
+    if (opt.csv) {
+      ltab.PrintCsv(stdout);
+    }
+    report.Add(ltab);
   }
   return report.Write() ? 0 : 1;
 }

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
         cfg.variant = variant;
         cfg.threads = threads;
         cfg.scale = scale;
+        cfg.collect_latency = true;
         if (opt.seed != 0) {
           cfg.seed = opt.seed;
         }
@@ -62,9 +63,12 @@ int main(int argc, char** argv) {
     asfcommon::Table table("STAMP: " + app_name);
     table.SetHeader({"variant", "thr", "abort%", "contention", "capacity", "page-fault",
                      "sys/intr", "malloc", "serial-restart"});
+    std::vector<std::pair<std::string, asfobs::LatencyStats>> lat;
     for (const auto& variant : variants) {
+      asfobs::LatencyStats merged;
       for (uint32_t threads : benchutil::ThreadCounts()) {
         const harness::StampResult& r = sweep.stamp(job++);
+        merged.Merge(r.latency);
         if (!r.validation.empty()) {
           std::fprintf(stderr, "VALIDATION FAILED: %s\n", r.validation.c_str());
           return 1;
@@ -87,12 +91,24 @@ int main(int argc, char** argv) {
                       asfcommon::Table::Num(Pct(r.tm.Aborts(AbortCause::kRestartSerial), attempts),
                                             2)});
       }
+      lat.emplace_back(variant.Name(), merged);
+      report.AddLatency(app_name + "/" + variant.Name(), merged);
     }
     table.Print();
     if (opt.csv) {
       table.PrintCsv(stdout);
     }
     report.Add(table);
+
+    // The wasted-cycle tail of the same abort mix: how the aborts above
+    // translate into per-block latency and wasted work.
+    asfcommon::Table ltab =
+        benchutil::LatencyTable("STAMP: " + app_name + " [latency]", lat);
+    ltab.Print();
+    if (opt.csv) {
+      ltab.PrintCsv(stdout);
+    }
+    report.Add(ltab);
   }
   return report.Write() ? 0 : 1;
 }

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
         cfg.threads = 8;
         cfg.ops_per_thread = ops;
         cfg.variant = variant;
+        cfg.collect_latency = true;
         if (opt.seed != 0) {
           cfg.seed = opt.seed;
         }
@@ -68,18 +69,33 @@ int main(int argc, char** argv) {
       header.push_back(std::to_string(s));
     }
     table.SetHeader(header);
+    std::vector<std::pair<std::string, asfobs::LatencyStats>> lat;
     for (const auto& variant : variants) {
       std::vector<std::string> row = {variant.Name()};
+      asfobs::LatencyStats merged;
       for (size_t i = 0; i < study.sizes.size(); ++i) {
-        row.push_back(asfcommon::Table::Num(sweep.intset(job++).tx_per_us, 2));
+        const harness::IntsetResult& r = sweep.intset(job++);
+        row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
+        merged.Merge(r.latency);
       }
       table.AddRow(row);
+      lat.emplace_back(variant.Name(), merged);
+      report.AddLatency(std::string(study.structure) + "/" + variant.Name(), merged);
     }
     table.Print();
     if (opt.csv) {
       table.PrintCsv(stdout);
     }
     report.Add(table);
+
+    // Capacity overflows surface as serial-mode tail latency: the small
+    // variants' p99/p999 blow up exactly where throughput collapses.
+    asfcommon::Table ltab = benchutil::LatencyTable(std::string(study.title) + " [latency]", lat);
+    ltab.Print();
+    if (opt.csv) {
+      ltab.PrintCsv(stdout);
+    }
+    report.Add(ltab);
   }
   return report.Write() ? 0 : 1;
 }

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
         cfg.threads = 8;
         cfg.ops_per_thread = ops;
         cfg.variant = variant;
+        cfg.collect_latency = true;
         if (opt.seed != 0) {
           cfg.seed = opt.seed;
         }
@@ -51,20 +52,35 @@ int main(int argc, char** argv) {
       header.push_back(std::to_string(s));
     }
     table.SetHeader(header);
+    std::vector<std::pair<std::string, asfobs::LatencyStats>> lat;
     for (bool early_release : {false, true}) {
       std::vector<std::string> row = {early_release ? "With early release"
                                                     : "Without early release"};
+      asfobs::LatencyStats merged;
       for (uint64_t size : sizes) {
         (void)size;
-        row.push_back(asfcommon::Table::Num(sweep.intset(job++).tx_per_us, 2));
+        const harness::IntsetResult& r = sweep.intset(job++);
+        row.push_back(asfcommon::Table::Num(r.tx_per_us, 2));
+        merged.Merge(r.latency);
       }
       table.AddRow(row);
+      const std::string mode = early_release ? "early-release" : "plain";
+      lat.emplace_back(mode, merged);
+      report.AddLatency(variant.Name() + "/" + mode, merged);
     }
     table.Print();
     if (opt.csv) {
       table.PrintCsv(stdout);
     }
     report.Add(table);
+
+    asfcommon::Table ltab =
+        benchutil::LatencyTable("Intset:LinkList (" + variant.Name() + ") [latency]", lat);
+    ltab.Print();
+    if (opt.csv) {
+      ltab.PrintCsv(stdout);
+    }
+    report.Add(ltab);
   }
   return report.Write() ? 0 : 1;
 }

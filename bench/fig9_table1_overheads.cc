@@ -35,6 +35,7 @@ harness::IntsetConfig MakeConfig(const Workload& w, harness::RuntimeKind rt, uin
   cfg.ops_per_thread = ops;
   cfg.runtime = rt;
   cfg.variant = asf::AsfVariant::Llb256();
+  cfg.collect_latency = true;
   if (seed != 0) {
     cfg.seed = seed;
   }
@@ -116,12 +117,23 @@ int main(int argc, char** argv) {
                   asfcommon::Table::Num(static_cast<double>(stm.breakdown.At(r.cat)) / denom, 3)});
     }
     fig.Print();
+
+    // Per-block latency of the same two runs: the start/commit and
+    // load/store overheads above show up directly in the percentiles.
+    asfcommon::Table ltab = benchutil::LatencyTable(
+        std::string(w.title) + " [latency]",
+        {{"ASF-TM (LLB-256)", asf.latency}, {"TinySTM", stm.latency}});
+    ltab.Print();
+    report.AddLatency(std::string(w.structure) + "/asf-tm", asf.latency);
+    report.AddLatency(std::string(w.structure) + "/tiny-stm", stm.latency);
     if (opt.csv) {
       table.PrintCsv(stdout);
       fig.PrintCsv(stdout);
+      ltab.PrintCsv(stdout);
     }
     report.Add(table);
     report.Add(fig);
+    report.Add(ltab);
   }
   return report.Write() ? 0 : 1;
 }

@@ -214,6 +214,7 @@ int main(int argc, char** argv) {
       sc.intset.runtime = nr.kind;
       sc.intset.seed = seed;
       sc.intset.contention_policy = opt.policy;
+      sc.intset.collect_latency = true;
       sc.schedule = ns.schedule;
       sweep.SubmitStress(sc);
       if (opt.verify_replay) {
@@ -230,8 +231,12 @@ int main(int argc, char** argv) {
                 Table::Int(static_cast<long long>(ns.schedule.seed)) + ")");
     table.SetHeader({"runtime", "commits", "attempts", "aborts", "abort rate", "injected",
                      "top injected cause", "watchdog", "invariants"});
+    std::vector<std::pair<std::string, asfobs::LatencyStats>> lat;
     for (const NamedRuntime& nr : runtimes) {
       const harness::StressResult& r = sweep.stress(job++);
+      lat.emplace_back(nr.flag, r.intset.latency);
+      report.AddLatency(ns.name + "/" + nr.flag, r.intset.latency);
+      report.AddHeatmap(ns.name + "/" + nr.flag, r.intset.heatmap);
       std::string replay = "-";
       if (opt.verify_replay) {
         const harness::StressResult& r2 = sweep.stress(job++);
@@ -269,6 +274,15 @@ int main(int argc, char** argv) {
     report.Add(table);
     if (opt.base.csv) {
       table.PrintCsv(stdout);
+    }
+
+    // Tail-latency view of the same cells: injected faults surface as
+    // wasted-cycle ratio and stretched p99/p999.
+    Table ltab = benchutil::LatencyTable("Fault stress: " + ns.name + " [latency]", lat);
+    ltab.Print();
+    report.Add(ltab);
+    if (opt.base.csv) {
+      ltab.PrintCsv(stdout);
     }
   }
 

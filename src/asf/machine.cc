@@ -145,6 +145,38 @@ AccessOutcome Machine::OnAccess(SimThread& thread, AccessKind kind, uint64_t add
   const uint64_t last = LineOf(addr + size - 1);
   uint64_t extra = injected_latency;  // Latency-only injections (no region).
   uint64_t victims = directory_.Resolve(first, last, write_like, cid);
+  // Abort-causality edges for the observability layer: one per (contended
+  // line, victim), read from directory state *before* the victims roll back
+  // (teardown erases their line records). Derived from the records rather
+  // than Resolve's internal path so the attribution is identical whichever
+  // fast path the directory took. Host-side only — zero simulated cost.
+  if (victims != 0 && tx_sink_ != nullptr) {
+    for (uint64_t line = first; line <= last; ++line) {
+      const ConflictDirectory::LineRecord* r = directory_.Find(line);
+      if (r == nullptr) {
+        continue;
+      }
+      uint64_t hit = write_like ? r->PresentBits()
+                                : (r->writer == ConflictDirectory::kNoWriter
+                                       ? 0
+                                       : uint64_t{1} << r->writer);
+      hit &= victims;
+      while (hit != 0) {
+        const uint32_t v = static_cast<uint32_t>(std::countr_zero(hit));
+        hit &= hit - 1;
+        asfobs::TxEvent ev;
+        ev.cycle = thread.core().clock();
+        ev.core = v;
+        ev.kind = asfobs::TxEventKind::kConflictEdge;
+        ev.mode = asfobs::TxMode::kHardware;
+        ev.cause = AbortCause::kContention;
+        ev.attempt = scheduler_.thread(v).core().attempt_seq();
+        ev.arg0 = line;
+        ev.arg1 = asfobs::PackConflictEdge(cid, r->writer == v, write_like);
+        tx_sink_->OnTxEvent(ev);
+      }
+    }
+  }
   while (victims != 0) {
     const uint32_t o = static_cast<uint32_t>(std::countr_zero(victims));
     victims &= victims - 1;

@@ -168,12 +168,29 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
   if (cfg.obs.tracer != nullptr) {
     m.scheduler().SetTracer(cfg.obs.tracer);
   }
-  if (cfg.obs.tx_sink != nullptr) {
+  // Latency/heatmap recorders chain in *front* of the caller's sink so both
+  // see the identical event stream; with collect_latency off the caller's
+  // sink is installed directly, byte-identical to the pre-latency plumbing.
+  asfobs::LatencyRecorder latency_rec;
+  asfobs::HeatmapRecorder heatmap_rec;
+  if (cfg.collect_latency) {
+    latency_rec.SetNext(&heatmap_rec);
+    heatmap_rec.SetNext(cfg.obs.tx_sink);  // May be null: chain just ends.
+    m.SetTxSink(&latency_rec);
+  } else if (cfg.obs.tx_sink != nullptr) {
     m.SetTxSink(cfg.obs.tx_sink);
   }
   auto set = MakeIntset(cfg.structure, &m.arena());
   auto rt = MakeRuntime(cfg.runtime, m, cfg);
   PretouchIntset(m, cfg.structure, set.get());
+  if (cfg.collect_latency && cfg.structure == "hash") {
+    // Named-region attribution for the heatmap: the one resident image the
+    // harness can name is the hash bucket array. Lines outside registered
+    // regions report "-".
+    auto* hs = static_cast<intset::HashSet*>(set.get());
+    heatmap_rec.regions().Register("hash:table", reinterpret_cast<uint64_t>(hs->table_data()),
+                                   hs->table_bytes());
+  }
 
   const uint64_t initial = cfg.initial_size != 0 ? cfg.initial_size : cfg.key_range / 2;
   ASF_CHECK(initial <= cfg.key_range);
@@ -219,8 +236,10 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
       if (cfg.obs.tracer != nullptr) {
         cfg.obs.tracer->Clear();
       }
-      if (cfg.obs.tx_sink != nullptr) {
-        cfg.obs.tx_sink->OnMeasurementReset();
+      // Reset whatever sink chain is installed on the machine (latency /
+      // heatmap recorders forward the reset to the caller's sink).
+      if (m.tx_sink() != nullptr) {
+        m.tx_sink()->OnMeasurementReset();
       }
       measure_start = t.core().clock();
     }
@@ -286,6 +305,10 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
     asfobs::RecordConflictDirectory(
         *cfg.obs.metrics, {ds.resolutions, ds.gate_skips, ds.solo_fast_paths, ds.probes,
                            ds.probe_hits});
+  }
+  if (cfg.collect_latency) {
+    result.latency = latency_rec.stats();
+    result.heatmap = heatmap_rec.stats();
   }
   result.invariant_violation = set->CheckInvariants();
   ASF_CHECK_MSG(result.invariant_violation.empty(), result.invariant_violation.c_str());

@@ -15,6 +15,8 @@
 #include "src/asf/machine.h"
 #include "src/common/abort_cause.h"
 #include "src/intset/int_set.h"
+#include "src/obs/heatmap.h"
+#include "src/obs/latency.h"
 #include "src/obs/metrics.h"
 #include "src/obs/tx_event.h"
 #include "src/sim/trace.h"
@@ -69,6 +71,12 @@ struct IntsetConfig {
   // built-in default. Ignored by kSequential / kGlobalLock.
   std::string contention_policy;
   ObsHooks obs;
+  // Collect per-transaction latency percentiles and the hot-line heatmap for
+  // this run (host-side recorders chained in front of obs.tx_sink; fills
+  // IntsetResult::latency/heatmap). Off by default: enabling it must not —
+  // and, by the obs-on/obs-off digest tests, does not — perturb simulated
+  // execution.
+  bool collect_latency = false;
 };
 
 struct CycleBreakdown {
@@ -113,6 +121,9 @@ struct IntsetResult {
   CycleBreakdown breakdown;        // Aggregated per-category cycles.
   HostPerf host;                   // Host-side fast-path telemetry.
   std::string invariant_violation; // Empty when the structure checked out.
+  // Filled only when IntsetConfig::collect_latency is set.
+  asfobs::LatencyStats latency;    // Block-latency distribution (measured window).
+  asfobs::HeatmapStats heatmap;    // Hot-line contention counts.
 };
 
 // Builds a TM runtime of the requested kind on `m` (applying the config's

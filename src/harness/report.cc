@@ -65,6 +65,12 @@ void WriteIntsetReport(JsonWriter& w, const IntsetConfig& cfg, const IntsetResul
   WriteTxStats(w, r.tm);
   w.Key("breakdown");
   WriteBreakdown(w, r.breakdown);
+  if (cfg.collect_latency) {
+    w.Key("latency");
+    asfobs::WriteLatencyJson(w, r.latency);
+    w.Key("heatmap");
+    asfobs::WriteHeatmapJson(w, r.heatmap, /*top_k=*/10);
+  }
   w.EndObject();
   w.EndObject();
 }
@@ -88,10 +94,17 @@ void WriteStampReport(JsonWriter& w, const std::string& app, const StampConfig& 
   w.KV("execMs", r.exec_ms);
   w.KV("workCycles", r.work_cycles);
   w.KV("validation", r.validation);
+  w.KV("totalInjected", r.total_injected);
   w.Key("tm");
   WriteTxStats(w, r.tm);
   w.Key("breakdown");
   WriteBreakdown(w, r.breakdown);
+  if (cfg.collect_latency) {
+    w.Key("latency");
+    asfobs::WriteLatencyJson(w, r.latency);
+    w.Key("heatmap");
+    asfobs::WriteHeatmapJson(w, r.heatmap, /*top_k=*/10);
+  }
   w.EndObject();
   w.EndObject();
 }

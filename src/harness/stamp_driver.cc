@@ -1,6 +1,7 @@
 // Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
 #include "src/harness/stamp_driver.h"
 
+#include "src/fault/fault_injector.h"
 #include "src/harness/run_threads.h"
 #include "src/sim/sync.h"
 #include "src/stamp/genome.h"
@@ -58,7 +59,19 @@ StampResult RunStamp(stamp::StampApp& app, const StampConfig& cfg) {
   if (cfg.obs.tracer != nullptr) {
     m.scheduler().SetTracer(cfg.obs.tracer);
   }
-  if (cfg.obs.tx_sink != nullptr) {
+  // Fault schedules work on STAMP exactly as on the intset stress harness:
+  // the injector strikes per access and the machine emits kFaultInjected.
+  asffault::FaultInjector injector(cfg.schedule, m.scheduler().num_cores());
+  if (!cfg.schedule.empty()) {
+    m.SetFaultInjector(&injector);
+  }
+  asfobs::LatencyRecorder latency_rec;
+  asfobs::HeatmapRecorder heatmap_rec;
+  if (cfg.collect_latency) {
+    latency_rec.SetNext(&heatmap_rec);
+    heatmap_rec.SetNext(cfg.obs.tx_sink);
+    m.SetTxSink(&latency_rec);
+  } else if (cfg.obs.tx_sink != nullptr) {
     m.SetTxSink(cfg.obs.tx_sink);
   }
   IntsetConfig rt_cfg;  // Runtime construction shares the intset factory.
@@ -82,11 +95,12 @@ StampResult RunStamp(stamp::StampApp& app, const StampConfig& cfg) {
       }
       m.mem().ResetStats();
       m.conflict_directory().ResetStats();
+      injector.ResetCounts();
       if (cfg.obs.tracer != nullptr) {
         cfg.obs.tracer->Clear();
       }
-      if (cfg.obs.tx_sink != nullptr) {
-        cfg.obs.tx_sink->OnMeasurementReset();
+      if (m.tx_sink() != nullptr) {
+        m.tx_sink()->OnMeasurementReset();
       }
       measure_start = t.core().clock();
     }
@@ -105,6 +119,14 @@ StampResult RunStamp(stamp::StampApp& app, const StampConfig& cfg) {
           m.scheduler().core(c).CategoryCycles(static_cast<asfsim::CycleCategory>(cat));
     }
     result.work_cycles += m.scheduler().core(c).total_work_cycles();
+  }
+  for (size_t c = 0; c < result.injected.size(); ++c) {
+    result.injected[c] = injector.injected(static_cast<asfcommon::AbortCause>(c));
+  }
+  result.total_injected = injector.total_injected();
+  if (cfg.collect_latency) {
+    result.latency = latency_rec.stats();
+    result.heatmap = heatmap_rec.stats();
   }
   result.validation = app.Validate();
   return result;

@@ -6,9 +6,11 @@
 #ifndef SRC_HARNESS_STAMP_DRIVER_H_
 #define SRC_HARNESS_STAMP_DRIVER_H_
 
+#include <array>
 #include <memory>
 #include <string>
 
+#include "src/fault/fault_schedule.h"
 #include "src/harness/experiment.h"
 #include "src/stamp/stamp_app.h"
 
@@ -21,7 +23,13 @@ struct StampConfig {
   uint32_t scale = 1;  // Input-size multiplier (1 = default sim-scale).
   uint64_t seed = 42;
   bool timer_interrupts = true;
+  // Adverse-event schedule (src/fault); empty = no injection. Injected
+  // faults emit kFaultInjected events, so latency histograms capture the
+  // fault-induced tails.
+  asffault::FaultSchedule schedule;
   ObsHooks obs;
+  // Collect latency percentiles + hot-line heatmap (see IntsetConfig).
+  bool collect_latency = false;
 };
 
 struct StampResult {
@@ -32,6 +40,12 @@ struct StampResult {
   asfmem::MemStats mem;      // Aggregated over cores (measurement only).
   uint64_t work_cycles = 0;  // Pure instruction-stream cycles (all cores).
   std::string validation;    // Empty when the app's output checked out.
+  // Injection counters (measured window), keyed by masqueraded cause.
+  std::array<uint64_t, static_cast<size_t>(asfcommon::AbortCause::kNumCauses)> injected{};
+  uint64_t total_injected = 0;
+  // Filled only when StampConfig::collect_latency is set.
+  asfobs::LatencyStats latency;
+  asfobs::HeatmapStats heatmap;
 };
 
 // Factory for a fresh app instance (apps are single-use).

@@ -65,7 +65,17 @@ StressResult RunStress(const StressConfig& cfg) {
   asffault::FaultInjector injector(cfg.schedule, m.scheduler().num_cores());
   m.SetFaultInjector(&injector);
   asffault::Watchdog watchdog(cfg.watchdog);
-  watchdog.set_next(ic.obs.tx_sink);  // Observers see the full stream too.
+  // Sink chain: watchdog -> (latency -> heatmap ->) caller's observers. The
+  // watchdog stays first so liveness monitoring sees the raw stream.
+  asfobs::LatencyRecorder latency_rec;
+  asfobs::HeatmapRecorder heatmap_rec;
+  if (ic.collect_latency) {
+    watchdog.set_next(&latency_rec);
+    latency_rec.SetNext(&heatmap_rec);
+    heatmap_rec.SetNext(ic.obs.tx_sink);
+  } else {
+    watchdog.set_next(ic.obs.tx_sink);  // Observers see the full stream too.
+  }
   m.SetTxSink(&watchdog);
   if (ic.obs.tracer != nullptr) {
     m.scheduler().SetTracer(ic.obs.tracer);
@@ -189,6 +199,10 @@ StressResult RunStress(const StressConfig& cfg) {
     result.injected[c] = injector.injected(static_cast<AbortCause>(c));
   }
   result.total_injected = injector.total_injected();
+  if (ic.collect_latency) {
+    result.intset.latency = latency_rec.stats();
+    result.intset.heatmap = heatmap_rec.stats();
+  }
 
   std::ostringstream viol;
   result.intset.invariant_violation = set->CheckInvariants();

@@ -1,8 +1,9 @@
 // Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
 #include "src/obs/export.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "src/common/defs.h"
 #include "src/obs/json.h"
@@ -52,18 +53,24 @@ TraceAnalysis AnalyzeTrace(const std::vector<asfsim::CycleSpan>& spans,
                            const std::vector<TxEvent>& tx_events) {
   TraceAnalysis a;
 
-  std::unordered_set<uint64_t> aborted;
+  // (core, attempt) -> cause of the abort that invalidated it; attempts only
+  // die once, so a plain overwrite map suffices.
+  std::unordered_map<uint64_t, asfcommon::AbortCause> aborted;
   for (const TxEvent& ev : tx_events) {
     if (ev.kind == TxEventKind::kTxAbort && ev.attempt != 0) {
-      aborted.insert(AttemptKey(ev.core, ev.attempt));
+      aborted[AttemptKey(ev.core, ev.attempt)] = ev.cause;
     }
   }
 
   bool first = true;
   for (const asfsim::CycleSpan& s : spans) {
     asfsim::CycleCategory cat = s.category;
-    if (s.attempt != 0 && aborted.count(AttemptKey(s.core, s.attempt)) != 0) {
-      cat = asfsim::CycleCategory::kTxAbortWaste;
+    if (s.attempt != 0) {
+      auto it = aborted.find(AttemptKey(s.core, s.attempt));
+      if (it != aborted.end()) {
+        cat = asfsim::CycleCategory::kTxAbortWaste;
+        a.wasted_by_cause[static_cast<size_t>(it->second)] += s.cycles;
+      }
     }
     a.category_cycles[static_cast<size_t>(cat)] += s.cycles;
     a.total_cycles += s.cycles;
@@ -97,8 +104,22 @@ TraceAnalysis AnalyzeTrace(const std::vector<asfsim::CycleSpan>& spans,
         ++a.total_injected;
         a.injected_by_cause[static_cast<size_t>(ev.cause)] += 1;
         break;
+      case TxEventKind::kConflictEdge:
+        ++a.conflict_edges;
+        a.matrix_cores = std::max(
+            a.matrix_cores, std::max(ev.core, ConflictEdgeAggressor(ev.arg1)) + 1);
+        break;
       default:
         break;
+    }
+  }
+  if (a.matrix_cores != 0) {
+    a.aggression.assign(static_cast<size_t>(a.matrix_cores) * a.matrix_cores, 0);
+    for (const TxEvent& ev : tx_events) {
+      if (ev.kind == TxEventKind::kConflictEdge) {
+        a.aggression[static_cast<size_t>(ConflictEdgeAggressor(ev.arg1)) * a.matrix_cores +
+                     ev.core] += 1;
+      }
     }
   }
   return a;
@@ -191,6 +212,23 @@ std::string WritePerfettoTrace(const PerfettoInput& in) {
                     TxTid(ev.core), ev.cycle);
         w.KV("s", "t");
         break;
+      case TxEventKind::kConflictEdge: {
+        EventCommon(w, "i",
+                    std::string("conflict:core") +
+                        std::to_string(ConflictEdgeAggressor(ev.arg1)) + "->core" +
+                        std::to_string(ev.core),
+                    TxTid(ev.core), ev.cycle);
+        w.KV("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        char line[32];
+        std::snprintf(line, sizeof(line), "0x%llx", static_cast<unsigned long long>(ev.arg0));
+        w.KV("line", line);
+        w.KV("victimRole", ConflictEdgeVictimWasWriter(ev.arg1) ? "writer" : "reader");
+        w.KV("aggressorAccess", ConflictEdgeWriteLike(ev.arg1) ? "write" : "read");
+        w.EndObject();
+        break;
+      }
       case TxEventKind::kNumKinds:
         break;
     }
@@ -222,6 +260,7 @@ std::string WritePerfettoTrace(const PerfettoInput& in) {
   w.KV("fallbackTransitions", analysis.fallback_transitions);
   w.KV("backoffWindows", analysis.backoff_windows);
   w.KV("backoffCycles", analysis.backoff_cycles);
+  w.KV("conflictEdges", analysis.conflict_edges);
   w.EndObject();
 
   // [[start, cycles, core, category, attempt], ...]

@@ -55,6 +55,16 @@ struct TraceAnalysis {
   uint64_t first_cycle = 0;
   uint64_t last_cycle = 0;
 
+  // Abort causality (kConflictEdge events). `aggression` is the row-major
+  // [aggressor * matrix_cores + victim] edge-count matrix; empty when the
+  // trace carries no edges. `wasted_by_cause` splits the reclassified
+  // kTxAbortWaste cycles by the cause of the abort that invalidated each
+  // attempt, so "what did contention cost in cycles" has a direct answer.
+  uint32_t matrix_cores = 0;
+  std::vector<uint64_t> aggression;
+  uint64_t conflict_edges = 0;
+  std::array<uint64_t, static_cast<size_t>(asfcommon::AbortCause::kNumCauses)> wasted_by_cause{};
+
   uint64_t CyclesOf(asfsim::CycleCategory c) const {
     return category_cycles[static_cast<size_t>(c)];
   }
@@ -63,6 +73,16 @@ struct TraceAnalysis {
   }
   uint64_t InjectedOf(asfcommon::AbortCause c) const {
     return injected_by_cause[static_cast<size_t>(c)];
+  }
+  uint64_t WastedOf(asfcommon::AbortCause c) const {
+    return wasted_by_cause[static_cast<size_t>(c)];
+  }
+  // Edge count aggressor -> victim; 0 when either core is outside the matrix.
+  uint64_t Aggression(uint32_t aggressor, uint32_t victim) const {
+    if (aggressor >= matrix_cores || victim >= matrix_cores) {
+      return 0;
+    }
+    return aggression[static_cast<size_t>(aggressor) * matrix_cores + victim];
   }
   // Fig. 6 definition: aborted attempts / all attempts.
   double AbortRatePercent() const {

@@ -1,0 +1,159 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/obs/heatmap.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace asfobs {
+
+namespace {
+
+constexpr uint64_t kLineBytes = 64;
+
+void FoldEdge(HeatmapStats* stats, const RegionMap* regions, const TxEvent& ev) {
+  uint64_t line = ev.arg0;
+  auto [it, inserted] = stats->lines.try_emplace(line);
+  HotLine& hl = it->second;
+  if (inserted) {
+    hl.line = line;
+    if (regions != nullptr) {
+      const std::string* name = regions->Find(line);
+      if (name != nullptr) {
+        hl.region = *name;
+      }
+    }
+  }
+  ++hl.edges;
+  ++stats->total_edges;
+  if (ConflictEdgeVictimWasWriter(ev.arg1)) {
+    ++hl.writer_victims;
+  } else {
+    ++hl.reader_victims;
+  }
+  if (ConflictEdgeWriteLike(ev.arg1)) {
+    ++hl.write_aggressors;
+  }
+  if (ev.core < 64) {
+    hl.victim_cores |= uint64_t{1} << ev.core;
+  }
+  uint32_t aggr = ConflictEdgeAggressor(ev.arg1);
+  if (aggr < 64) {
+    hl.aggressor_cores |= uint64_t{1} << aggr;
+  }
+}
+
+}  // namespace
+
+void RegionMap::Register(std::string name, uint64_t base_addr, uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  Region r;
+  r.name = std::move(name);
+  r.first_line = base_addr / kLineBytes;
+  r.last_line = (base_addr + bytes - 1) / kLineBytes;
+  regions_.push_back(std::move(r));
+}
+
+const std::string* RegionMap::Find(uint64_t line) const {
+  const Region* best = nullptr;
+  for (const Region& r : regions_) {
+    if (line < r.first_line || line > r.last_line) {
+      continue;
+    }
+    if (best == nullptr ||
+        r.last_line - r.first_line < best->last_line - best->first_line) {
+      best = &r;
+    }
+  }
+  return best == nullptr ? nullptr : &best->name;
+}
+
+void HeatmapStats::Merge(const HeatmapStats& other) {
+  for (const auto& [line, hl] : other.lines) {
+    auto [it, inserted] = lines.try_emplace(line, hl);
+    if (!inserted) {
+      HotLine& dst = it->second;
+      dst.edges += hl.edges;
+      dst.reader_victims += hl.reader_victims;
+      dst.writer_victims += hl.writer_victims;
+      dst.write_aggressors += hl.write_aggressors;
+      dst.victim_cores |= hl.victim_cores;
+      dst.aggressor_cores |= hl.aggressor_cores;
+    }
+  }
+  total_edges += other.total_edges;
+}
+
+std::vector<HotLine> HeatmapStats::TopK(size_t k) const {
+  std::vector<HotLine> all;
+  all.reserve(lines.size());
+  for (const auto& [line, hl] : lines) {
+    all.push_back(hl);
+  }
+  std::sort(all.begin(), all.end(), [](const HotLine& a, const HotLine& b) {
+    if (a.edges != b.edges) {
+      return a.edges > b.edges;
+    }
+    return a.line < b.line;
+  });
+  if (all.size() > k) {
+    all.resize(k);
+  }
+  return all;
+}
+
+void WriteHeatmapJson(JsonWriter& w, const HeatmapStats& s, size_t top_k) {
+  w.BeginObject();
+  w.KV("totalEdges", s.total_edges);
+  w.KV("distinctLines", static_cast<uint64_t>(s.lines.size()));
+  w.Key("top");
+  w.BeginArray();
+  for (const HotLine& hl : s.TopK(top_k)) {
+    w.BeginObject();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(hl.line));
+    w.KV("line", buf);
+    w.KV("edges", hl.edges);
+    w.KV("readerVictims", hl.reader_victims);
+    w.KV("writerVictims", hl.writer_victims);
+    w.KV("writeAggressors", hl.write_aggressors);
+    w.KV("victimCores", hl.victim_cores);
+    w.KV("aggressorCores", hl.aggressor_cores);
+    w.KV("region", hl.region);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+void HeatmapRecorder::OnTxEvent(const TxEvent& ev) {
+  if (ev.kind == TxEventKind::kConflictEdge) {
+    FoldEdge(&stats_, &regions_, ev);
+  }
+  if (next_ != nullptr) {
+    next_->OnTxEvent(ev);
+  }
+}
+
+void HeatmapRecorder::OnMeasurementReset() {
+  stats_ = HeatmapStats{};
+  if (next_ != nullptr) {
+    next_->OnMeasurementReset();
+  }
+}
+
+HeatmapStats ComputeHeatmapFromEvents(const std::vector<TxEvent>& events,
+                                      const RegionMap* regions) {
+  HeatmapStats stats;
+  for (const TxEvent& ev : events) {
+    if (ev.kind == TxEventKind::kConflictEdge) {
+      FoldEdge(&stats, regions, ev);
+    }
+  }
+  return stats;
+}
+
+}  // namespace asfobs

@@ -1,0 +1,100 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Hot-line contention heatmap fed by the machine's conflict-resolution
+// probes: every kConflictEdge event names one contended cache line and one
+// victim, so per-line counts answer "which lines cause the aborts, who loses
+// on them, and with what access mix".
+//
+// Attribution: workloads may register named address regions (e.g. the intset
+// hash bucket array) in a RegionMap; lines inside a region report its name,
+// everything else reports "-". Attribution is resolved when a line is first
+// seen, which is sound because region registration happens before the run.
+//
+// Host-side only (a TxEventSink); cannot perturb simulated execution.
+#ifndef SRC_OBS_HEATMAP_H_
+#define SRC_OBS_HEATMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/tx_event.h"
+
+namespace asfobs {
+
+class JsonWriter;
+
+// Named address range for heatmap attribution.
+class RegionMap {
+ public:
+  void Register(std::string name, uint64_t base_addr, uint64_t bytes);
+  // Name of the smallest registered region containing `line`, or nullptr.
+  const std::string* Find(uint64_t line) const;
+  bool empty() const { return regions_.empty(); }
+
+ private:
+  struct Region {
+    std::string name;
+    uint64_t first_line = 0;
+    uint64_t last_line = 0;
+  };
+  std::vector<Region> regions_;
+};
+
+// Per-line contention counters. One "edge" is one (contended line, aborted
+// victim) pair from a single conflict resolution, so a multi-core conflict
+// on one line produces one edge per victim.
+struct HotLine {
+  uint64_t line = 0;  // Cache-line number (address >> 6).
+  uint64_t edges = 0;
+  uint64_t reader_victims = 0;    // Victim held the line in its read set.
+  uint64_t writer_victims = 0;    // Victim held the line as a writer.
+  uint64_t write_aggressors = 0;  // Aggressor access was write-like.
+  uint64_t victim_cores = 0;      // Bitmap of cores that lost on this line.
+  uint64_t aggressor_cores = 0;   // Bitmap of cores that won on this line.
+  std::string region = "-";
+  bool operator==(const HotLine&) const = default;
+};
+
+struct HeatmapStats {
+  std::unordered_map<uint64_t, HotLine> lines;
+  uint64_t total_edges = 0;
+
+  void Merge(const HeatmapStats& other);
+  // Deterministic ranking: edges descending, then line ascending.
+  std::vector<HotLine> TopK(size_t k) const;
+  bool operator==(const HeatmapStats&) const = default;
+};
+
+// Serializes totals plus the top-K lines ("heatmap" sections in bench JSON
+// and harness reports; schema enforced by tools/json_check).
+void WriteHeatmapJson(JsonWriter& w, const HeatmapStats& s, size_t top_k);
+
+// Chainable sink that folds kConflictEdge events into a HeatmapStats and
+// forwards everything. Measurement reset clears counts but keeps regions.
+class HeatmapRecorder final : public TxEventSink {
+ public:
+  explicit HeatmapRecorder(TxEventSink* next = nullptr) : next_(next) {}
+
+  void SetNext(TxEventSink* next) { next_ = next; }
+  RegionMap& regions() { return regions_; }
+
+  void OnTxEvent(const TxEvent& ev) override;
+  void OnMeasurementReset() override;
+
+  const HeatmapStats& stats() const { return stats_; }
+
+ private:
+  RegionMap regions_;
+  HeatmapStats stats_;
+  TxEventSink* next_ = nullptr;
+};
+
+// Replays an event log into a fresh recorder (optionally with regions for
+// attribution) — bit-identical to live collection from the same events.
+HeatmapStats ComputeHeatmapFromEvents(const std::vector<TxEvent>& events,
+                                      const RegionMap* regions = nullptr);
+
+}  // namespace asfobs
+
+#endif  // SRC_OBS_HEATMAP_H_

@@ -1,0 +1,203 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/obs/latency.h"
+
+#include <algorithm>
+
+#include "src/obs/json.h"
+
+namespace asfobs {
+
+void LatencyStats::Observe(uint64_t total) {
+  size_t i = 0;
+  while (i < kNumBounds && total > BucketBound(i)) {
+    ++i;
+  }
+  buckets[i] += 1;
+  if (count == 0 || total < min) {
+    min = total;
+  }
+  if (total > max) {
+    max = total;
+  }
+  ++count;
+  sum += total;
+}
+
+void LatencyStats::Merge(const LatencyStats& other) {
+  if (other.count != 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  wasted_cycles += other.wasted_cycles;
+  backoff_cycles += other.backoff_cycles;
+  serial_cycles += other.serial_cycles;
+  aborted_attempts += other.aborted_attempts;
+  clean_blocks += other.clean_blocks;
+  retried_blocks += other.retried_blocks;
+  for (size_t m = 0; m < kNumModes; ++m) {
+    commits_by_mode[m] += other.commits_by_mode[m];
+  }
+}
+
+uint64_t LatencyStats::Percentile(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5);
+  rank = std::max<uint64_t>(1, std::min(rank, count));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return i < kNumBounds ? BucketBound(i) : max;
+    }
+  }
+  return max;
+}
+
+void WriteLatencyJson(JsonWriter& w, const LatencyStats& s) {
+  w.BeginObject();
+  w.KV("count", s.count);
+  w.KV("sum", s.sum);
+  w.KV("min", s.min);
+  w.KV("max", s.max);
+  w.KV("mean", s.Mean());
+  w.KV("p50", s.Percentile(50.0));
+  w.KV("p90", s.Percentile(90.0));
+  w.KV("p99", s.Percentile(99.0));
+  w.KV("p999", s.Percentile(99.9));
+  w.KV("wastedCycles", s.wasted_cycles);
+  w.KV("backoffCycles", s.backoff_cycles);
+  w.KV("serialCycles", s.serial_cycles);
+  w.KV("abortedAttempts", s.aborted_attempts);
+  w.KV("cleanBlocks", s.clean_blocks);
+  w.KV("retriedBlocks", s.retried_blocks);
+  w.KV("wastedRatio", s.WastedRatio());
+  w.Key("commitsByMode");
+  w.BeginObject();
+  for (size_t m = 0; m < LatencyStats::kNumModes; ++m) {
+    if (s.commits_by_mode[m] != 0) {
+      w.KV(TxModeName(static_cast<TxMode>(m)), s.commits_by_mode[m]);
+    }
+  }
+  w.EndObject();
+  // Sparse [bound, count] pairs; the overflow bucket's bound is "inf".
+  w.Key("buckets");
+  w.BeginArray();
+  for (size_t i = 0; i < LatencyStats::kNumBuckets; ++i) {
+    if (s.buckets[i] == 0) {
+      continue;
+    }
+    w.BeginArray();
+    if (i < LatencyStats::kNumBounds) {
+      w.UInt(LatencyStats::BucketBound(i));
+    } else {
+      w.String("inf");
+    }
+    w.UInt(s.buckets[i]);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+LatencyRecorder::CoreState& LatencyRecorder::StateFor(uint32_t core) {
+  if (core >= cores_.size()) {
+    cores_.resize(core + 1);
+  }
+  return cores_[core];
+}
+
+void LatencyRecorder::OnTxEvent(const TxEvent& ev) {
+  CoreState& st = StateFor(ev.core);
+  switch (ev.kind) {
+    case TxEventKind::kTxBegin:
+      if (!st.open) {
+        // First attempt of a new atomic block. (A begin with a block already
+        // open is a retry or an inner-runtime delegation — e.g. PhasedTm's
+        // software phase running through TinyStm — and stays in the block.)
+        st.open = true;
+        st.block_start = ev.cycle;
+        st.wasted = 0;
+        st.backoff = 0;
+        st.serial = 0;
+        st.aborted = 0;
+      }
+      st.attempt_start = ev.cycle;
+      st.attempt_mode = ev.mode;
+      break;
+    case TxEventKind::kTxAbort:
+      if (st.open) {
+        uint64_t spent = ev.cycle - st.attempt_start;
+        st.wasted += spent;
+        if (ev.mode == TxMode::kSerial) {
+          st.serial += spent;
+        }
+        ++st.aborted;
+        st.attempt_start = ev.cycle;
+      }
+      break;
+    case TxEventKind::kTxCommit:
+      if (st.open) {
+        if (ev.mode == TxMode::kSerial) {
+          st.serial += ev.cycle - st.attempt_start;
+        }
+        uint64_t total = ev.cycle - st.block_start;
+        bool retried = st.aborted != 0;
+        LatencyStats* dsts[2] = {&stats_, &keyed_[KeyIndex(ev.mode, retried)]};
+        for (LatencyStats* dst : dsts) {
+          dst->Observe(total);
+          dst->wasted_cycles += st.wasted;
+          dst->backoff_cycles += st.backoff;
+          dst->serial_cycles += st.serial;
+          dst->aborted_attempts += st.aborted;
+          if (retried) {
+            ++dst->retried_blocks;
+          } else {
+            ++dst->clean_blocks;
+          }
+          dst->commits_by_mode[static_cast<size_t>(ev.mode)] += 1;
+        }
+        st.open = false;
+      }
+      break;
+    case TxEventKind::kBackoffEnd:
+      if (st.open) {
+        st.backoff += ev.arg0;
+      }
+      break;
+    default:
+      break;
+  }
+  if (next_ != nullptr) {
+    next_->OnTxEvent(ev);
+  }
+}
+
+void LatencyRecorder::OnMeasurementReset() {
+  cores_.clear();
+  stats_ = LatencyStats{};
+  keyed_.fill(LatencyStats{});
+  if (next_ != nullptr) {
+    next_->OnMeasurementReset();
+  }
+}
+
+void ReplayLatency(const std::vector<TxEvent>& events, LatencyRecorder* out) {
+  for (const TxEvent& ev : events) {
+    out->OnTxEvent(ev);
+  }
+}
+
+LatencyStats ComputeLatencyFromEvents(const std::vector<TxEvent>& events) {
+  LatencyRecorder rec;
+  ReplayLatency(events, &rec);
+  return rec.stats();
+}
+
+}  // namespace asfobs

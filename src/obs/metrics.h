@@ -50,7 +50,14 @@ class Histogram {
   uint64_t max() const { return max_; }
   double Mean() const;
   // Upper-bound estimate of the p-th percentile (0 < p <= 100): the bound of
-  // the bucket containing that rank (max() for the overflow bucket).
+  // the bucket containing rank round(p/100 * count), clamped to [1, count].
+  // Edge cases are pinned down by contract (and tests):
+  //   - empty histogram: returns 0;
+  //   - rank lands in the overflow bucket (value > last bound): returns
+  //     max(), the largest value actually observed — never the meaningless
+  //     UINT64_MAX overflow "bound";
+  //   - single sample: every percentile reports that sample's bucket bound
+  //     (or max() when it overflowed).
   uint64_t Percentile(double p) const;
 
   size_t num_buckets() const { return bounds_.size() + 1; }  // + overflow.

@@ -17,7 +17,8 @@ LifecycleMetrics::LifecycleMetrics(MetricsRegistry* registry)
       backoff_(registry->AddHistogram("backoff_cycles", ExponentialBuckets(32, 2.0, 16))),
       begins_(registry->AddCounter("tx_begins")),
       fallbacks_(registry->AddCounter("fallback_transitions")),
-      faults_injected_(registry->AddCounter("faults_injected")) {
+      faults_injected_(registry->AddCounter("faults_injected")),
+      conflict_edges_(registry->AddCounter("conflict_edges")) {
   // Pre-register the per-mode and per-cause counters so export order is
   // stable regardless of which events a run happens to produce.
   for (int m = 1; m < static_cast<int>(TxMode::kNumModes); ++m) {
@@ -77,6 +78,12 @@ void LifecycleMetrics::OnTxEvent(const TxEvent& ev) {
       }
       break;
     }
+    case TxEventKind::kConflictEdge:
+      // Causality edges carry no lifecycle transition: they must not touch
+      // begins_ or the latency histogram (the victim's kTxAbort follows and
+      // accounts for both).
+      conflict_edges_.Increment();
+      break;
     case TxEventKind::kNumKinds:
       break;
   }

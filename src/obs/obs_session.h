@@ -49,6 +49,7 @@ class LifecycleMetrics final : public TxEventSink {
   Counter& begins_;
   Counter& fallbacks_;
   Counter& faults_injected_;
+  Counter& conflict_edges_;
   // Begin cycle of the attempt currently open on each core (0 = none).
   std::vector<uint64_t> open_begin_;
 };

@@ -19,6 +19,8 @@ const char* TxEventKindName(TxEventKind k) {
       return "backoff-end";
     case TxEventKind::kFaultInjected:
       return "fault-injected";
+    case TxEventKind::kConflictEdge:
+      return "conflict-edge";
     case TxEventKind::kNumKinds:
       break;
   }

@@ -27,6 +27,11 @@ enum class TxEventKind : uint8_t {
   kFaultInjected,        // src/fault injected a fault here (cause says what;
                          // arg0 = 1 if it aborted a region, 0 if it only
                          // charged service latency; arg1 = extra cycles).
+  kConflictEdge,         // Conflict resolution chose a victim: one event per
+                         // (contended line, victim). `core`/`attempt` name the
+                         // victim; the aggressor and line travel in arg0/arg1
+                         // (see TxEvent payload docs). Emitted by the machine
+                         // before the victim's kTxAbort.
   kNumKinds,
 };
 
@@ -69,9 +74,29 @@ struct TxEvent {
   //                        death when known (0 otherwise).
   //   kFallbackTransition: arg0 = source TxMode.
   //   kBackoffEnd:         arg0 = cycles waited.
+  //   kConflictEdge:       arg0 = cache-line number (address >> 6) of the
+  //                        contended line; arg1 packs the edge descriptor:
+  //                        bits [7:0] aggressor core, bit 8 set when the
+  //                        victim held the line as a writer (clear: reader),
+  //                        bit 9 set when the aggressor access was
+  //                        write-like. cause = kContention, mode = kHardware,
+  //                        retry = 0.
   uint64_t arg0 = 0;
   uint64_t arg1 = 0;
 };
+
+// kConflictEdge arg1 descriptor: bits [7:0] aggressor core, bit 8 victim held
+// the line as writer, bit 9 aggressor access was write-like.
+constexpr uint64_t PackConflictEdge(uint32_t aggressor_core, bool victim_was_writer,
+                                    bool aggressor_write_like) {
+  return (uint64_t{aggressor_core} & 0xffu) | (victim_was_writer ? 0x100ull : 0ull) |
+         (aggressor_write_like ? 0x200ull : 0ull);
+}
+constexpr uint32_t ConflictEdgeAggressor(uint64_t arg1) {
+  return static_cast<uint32_t>(arg1 & 0xffu);
+}
+constexpr bool ConflictEdgeVictimWasWriter(uint64_t arg1) { return (arg1 & 0x100ull) != 0; }
+constexpr bool ConflictEdgeWriteLike(uint64_t arg1) { return (arg1 & 0x200ull) != 0; }
 
 // Sink interface. Implementations must not touch simulated state: they are
 // host-side observers ("without any interference with the benchmark's

@@ -3,6 +3,8 @@
 
 #include <cstring>
 
+#include "src/tm/tx_observe.h"
+
 namespace asftm {
 
 using asfcommon::AbortCause;
@@ -68,11 +70,17 @@ SequentialTm::~SequentialTm() = default;
 Task<void> SequentialTm::Atomic(SimThread& t, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   ++pt.stats.tx_started;
+  // Sequential execution is a degenerate serial-irrevocable block: one
+  // attempt, no aborts, no attempt accounting (attempt = 0).
+  EmitTxEvent(machine_, t, asfobs::TxEventKind::kTxBegin, asfobs::TxMode::kSerial,
+              asfcommon::AbortCause::kNone, 0, 0);
   pt.alloc.OnAttemptStart();
   SeqTx tx(t, pt.alloc);
   co_await body(tx);
   pt.alloc.OnCommit();
   ++pt.stats.seq_commits;
+  EmitTxEvent(machine_, t, asfobs::TxEventKind::kTxCommit, asfobs::TxMode::kSerial,
+              asfcommon::AbortCause::kNone, 0, 0);
 }
 
 TxStats SequentialTm::TotalStats() const {
@@ -103,6 +111,10 @@ GlobalLockTm::~GlobalLockTm() = default;
 Task<void> GlobalLockTm::Atomic(SimThread& t, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   ++pt.stats.tx_started;
+  // Begin before the acquire so lock-wait time is part of block latency —
+  // the tail a lock-based runtime actually exposes to its callers.
+  EmitTxEvent(machine_, t, asfobs::TxEventKind::kTxBegin, asfobs::TxMode::kLock,
+              asfcommon::AbortCause::kNone, 0, 0);
   co_await mutex_.Acquire(t);
   // Model the lock's cache-line transfer (the handoff cost a real spinlock
   // pays even uncontended).
@@ -114,6 +126,8 @@ Task<void> GlobalLockTm::Atomic(SimThread& t, BodyFn body) {
   mutex_.Release(t);
   pt.alloc.OnCommit();
   ++pt.stats.seq_commits;
+  EmitTxEvent(machine_, t, asfobs::TxEventKind::kTxCommit, asfobs::TxMode::kLock,
+              asfcommon::AbortCause::kNone, 0, 0);
 }
 
 TxStats GlobalLockTm::TotalStats() const {

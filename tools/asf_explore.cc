@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/common/abort_cause.h"
+#include "src/common/defs.h"
 #include "src/fault/fault_schedule.h"
 #include "src/harness/report.h"
 #include "src/harness/stamp_driver.h"
@@ -62,7 +63,8 @@ void Usage() {
       "                          built-ins: none, interrupt-heavy, capacity-heavy,\n"
       "                          adversarial-contention) and report the stress summary\n"
       "  stamp:   --app genome|intruder|kmeans-low|kmeans-high|labyrinth|ssca2|\n"
-      "                 vacation-low|vacation-high       --scale N\n");
+      "                 vacation-low|vacation-high       --scale N\n"
+      "           --schedule S   inject the fault schedule into the STAMP run\n");
 }
 
 RuntimeKind ParseRuntime(const std::string& s) {
@@ -121,6 +123,22 @@ void PrintBreakdown(const harness::CycleBreakdown& b) {
   for (size_t i = 0; i < b.cycles.size(); ++i) {
     std::printf("  %-16s %12lu\n",
                 asfsim::CycleCategoryName(static_cast<asfsim::CycleCategory>(i)), b.cycles[i]);
+  }
+}
+
+// One-line tail-latency summary for observed runs (docs/OBSERVABILITY.md).
+void PrintLatency(const asfobs::LatencyStats& s, const asfobs::HeatmapStats& heat) {
+  std::printf("block latency: %lu blocks | p50 %lu | p90 %lu | p99 %lu | p999 %lu cycles | "
+              "wasted %.1f%%\n",
+              s.count, s.Percentile(50.0), s.Percentile(90.0), s.Percentile(99.0),
+              s.Percentile(99.9), 100.0 * s.WastedRatio());
+  if (heat.total_edges != 0) {
+    std::printf("hot lines: %lu conflict edges on %zu lines; top:", heat.total_edges,
+                heat.lines.size());
+    for (const asfobs::HotLine& hl : heat.TopK(3)) {
+      std::printf(" 0x%lx(%lu)", hl.line << asfcommon::kCacheLineShift, hl.edges);
+    }
+    std::printf("\n");
   }
 }
 
@@ -324,6 +342,9 @@ int main(int argc, char** argv) {
     }
 
     cfg.obs = obs;
+    // Exports carry the latency/heatmap sections; the extra recorders are
+    // host-side, so the simulated run is unchanged.
+    cfg.collect_latency = !trace_path.empty() || !report_path.empty();
     harness::IntsetResult r = harness::RunIntset(cfg);
     std::printf("intset %s | range %lu | %u%% updates | %u threads | %s | %s\n",
                 cfg.structure.c_str(), cfg.key_range, cfg.update_pct, threads,
@@ -332,6 +353,9 @@ int main(int argc, char** argv) {
                 r.measure_cycles);
     PrintTmStats(r.tm);
     PrintBreakdown(r.breakdown);
+    if (cfg.collect_latency) {
+      PrintLatency(r.latency, r.heatmap);
+    }
     bool ok = true;
     if (!trace_path.empty()) {
       ok = ExportTrace(trace_path, "intset-" + cfg.structure + "-" + variant.Name(), cfg.threads,
@@ -349,19 +373,6 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--policy applies to the intset workload only\n");
       return 2;
     }
-    if (!schedule_arg.empty()) {
-      // The STAMP driver has no fault-injection hooks (only the intset
-      // stress harness injects — see docs/ROBUSTNESS.md), so reject up
-      // front with the workloads that do support schedules instead of
-      // failing deeper in with a generic parse error.
-      std::fprintf(stderr,
-                   "--schedule '%s': fault schedules are only supported for --workload intset "
-                   "(structures list|list-er|skip|rb|hash); the STAMP driver has no "
-                   "fault-injection hooks yet.\n"
-                   "Rerun with --workload intset, or drop --schedule.\n",
-                   schedule_arg.c_str());
-      return 2;
-    }
     std::string app_name = args.Get("app", "genome");
     auto app = harness::MakeStampApp(app_name);
     harness::StampConfig cfg;
@@ -371,6 +382,11 @@ int main(int argc, char** argv) {
     cfg.scale = static_cast<uint32_t>(args.GetInt("scale", 1));
     cfg.seed = seed;
     cfg.timer_interrupts = timer;
+    if (!schedule_arg.empty()) {
+      // The STAMP driver injects exactly like the intset stress harness
+      // (docs/ROBUSTNESS.md): per-access strikes, reported as kFaultInjected.
+      cfg.schedule = LoadSchedule(schedule_arg);
+    }
 
     if (reps > 1) {
       harness::SweepRunner sweep(jobs);
@@ -398,13 +414,22 @@ int main(int argc, char** argv) {
     }
 
     cfg.obs = obs;
+    cfg.collect_latency = !trace_path.empty() || !report_path.empty();
     harness::StampResult r = harness::RunStamp(*app, cfg);
-    std::printf("stamp %s | scale %u | %u threads | %s | %s\n", app_name.c_str(), cfg.scale,
-                threads, harness::RuntimeKindName(runtime), variant.Name().c_str());
+    std::printf("stamp %s | scale %u | %u threads | %s | %s%s%s\n", app_name.c_str(), cfg.scale,
+                threads, harness::RuntimeKindName(runtime), variant.Name().c_str(),
+                schedule_arg.empty() ? "" : " | schedule ",
+                schedule_arg.empty() ? "" : schedule_arg.c_str());
     std::printf("execution time: %.3f ms (%lu cycles); validation: %s\n", r.exec_ms,
                 r.exec_cycles, r.validation.empty() ? "OK" : r.validation.c_str());
+    if (!schedule_arg.empty()) {
+      std::printf("injected faults: %lu\n", r.total_injected);
+    }
     PrintTmStats(r.tm);
     PrintBreakdown(r.breakdown);
+    if (cfg.collect_latency) {
+      PrintLatency(r.latency, r.heatmap);
+    }
     bool ok = r.validation.empty();
     if (!trace_path.empty()) {
       ok = ExportTrace(trace_path, "stamp-" + app_name + "-" + variant.Name(), cfg.threads,

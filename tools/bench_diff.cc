@@ -9,8 +9,12 @@
 // Exit status:
 //   0  reports agree (all rate deltas within threshold, no string changes)
 //   1  regression: a higher-is-better column (header containing "/s" or
-//      "speedup") dropped by more than --threshold percent, or a non-numeric
-//      cell (e.g. a result digest) changed
+//      "speedup") dropped by more than --threshold percent, a lower-is-better
+//      latency percentile column (p50/p90/p99/p999) rose by more than its
+//      per-quantile threshold, or a non-numeric cell (e.g. a result digest)
+//      changed. Tail quantiles are intrinsically noisier than the median, so
+//      the gate escalates: p50 gates at 1x --threshold, p90 at 1.5x, p99 at
+//      2x, p999 at 3x.
 //   2  usage or I/O error
 //   3  schema drift: a table exists in only one of the reports, so its rows
 //      were not compared at all (pass --allow-unmatched to downgrade this to
@@ -105,6 +109,26 @@ bool ParseNum(const std::string& s, double* out) {
 bool IsRateColumn(const std::string& header) {
   return header.find("/s") != std::string::npos || header.find("speedup") != std::string::npos ||
          header.find("hit rate") != std::string::npos;
+}
+
+// Lower-is-better latency percentile columns (the [latency] tables) gate on
+// increases. Returns the per-quantile threshold multiplier, or 0 when the
+// column is not a latency percentile: the tail of a distribution moves on
+// fewer samples than the median, so p999 gets 3x the slack of p50.
+double LatencyGateScale(const std::string& header) {
+  if (header == "p999") {
+    return 3.0;
+  }
+  if (header == "p99") {
+    return 2.0;
+  }
+  if (header == "p90") {
+    return 1.5;
+  }
+  if (header == "p50") {
+    return 1.0;
+  }
+  return 0.0;
 }
 
 const Table* FindTable(const std::vector<Table>& tables, const std::string& title) {
@@ -215,8 +239,9 @@ int main(int argc, char** argv) {
             continue;
           }
           double pct = od != 0.0 ? 100.0 * (nd - od) / od : 0.0;
-          bool gate = IsRateColumn(header);
-          bool regressed = gate && pct < -threshold;
+          const double lat_scale = LatencyGateScale(header);
+          bool regressed = (IsRateColumn(header) && pct < -threshold) ||
+                           (lat_scale != 0.0 && pct > threshold * lat_scale);
           std::printf("  %-40s %-14s %10s -> %-10s %+7.1f%%%s\n", nrow[0].c_str(),
                       header.c_str(), ov.c_str(), nv.c_str(), pct,
                       regressed ? "  REGRESSION" : "");

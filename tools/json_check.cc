@@ -1,21 +1,181 @@
 // Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
-// Validates a JSON document: parses it and checks that the required
-// top-level keys are present. Used by the bench smoke tests to assert that
-// every fig* binary's --json report is well-formed.
+// Validates a JSON document: parses it, checks that the required top-level
+// keys are present, and schema-checks every "latency" / "heatmap" section
+// found anywhere in the document (bench reports carry them at the top level
+// keyed by series label; harness reports nest one per "result"):
+//
+//   latency: quantiles monotone (p50 <= p90 <= p99 <= p999), bucket counts
+//     summing to "count", cleanBlocks + retriedBlocks == count, and
+//     wastedCycles <= sum;
+//   heatmap: "top" sorted by edges descending, readerVictims + writerVictims
+//     == edges per line, and the top edges not exceeding "totalEdges".
+//
+// Used by the bench smoke tests to assert every fig* --json report is
+// well-formed. Errors are named with their JSON path.
 //
 //   usage: json_check <file> [required-key...]
 //
-// Exit status: 0 when the file parses and all keys exist, 1 otherwise.
+// Exit status: 0 when the file parses and all checks pass, 1 otherwise.
 #include <cstdio>
+#include <string>
 
 #include "src/obs/export.h"
 #include "src/obs/json.h"
+
+namespace {
+
+using asfobs::JsonValue;
+
+int g_errors = 0;
+const char* g_file = nullptr;
+
+void Fail(const std::string& path, const std::string& what) {
+  std::fprintf(stderr, "json_check: %s: %s: %s\n", g_file, path.c_str(), what.c_str());
+  ++g_errors;
+}
+
+uint64_t UIntOf(const JsonValue& obj, const char* key, const std::string& path) {
+  const JsonValue* v = obj.Get(key);
+  if (v == nullptr || !v->IsNumber()) {
+    Fail(path, std::string("missing numeric field \"") + key + "\"");
+    return 0;
+  }
+  return v->AsUInt();
+}
+
+// One LatencyStats object as written by asfobs::WriteLatencyJson.
+void CheckLatencyStats(const JsonValue& s, const std::string& path) {
+  if (!s.IsObject()) {
+    Fail(path, "latency entry is not an object");
+    return;
+  }
+  const uint64_t count = UIntOf(s, "count", path);
+  const uint64_t sum = UIntOf(s, "sum", path);
+  const uint64_t p50 = UIntOf(s, "p50", path);
+  const uint64_t p90 = UIntOf(s, "p90", path);
+  const uint64_t p99 = UIntOf(s, "p99", path);
+  const uint64_t p999 = UIntOf(s, "p999", path);
+  if (!(p50 <= p90 && p90 <= p99 && p99 <= p999)) {
+    Fail(path, "quantiles not monotone: p50 " + std::to_string(p50) + ", p90 " +
+                   std::to_string(p90) + ", p99 " + std::to_string(p99) + ", p999 " +
+                   std::to_string(p999));
+  }
+  const JsonValue* buckets = s.Get("buckets");
+  if (buckets == nullptr || !buckets->IsArray()) {
+    Fail(path, "missing \"buckets\" array");
+  } else {
+    uint64_t bucket_total = 0;
+    uint64_t prev_bound = 0;
+    bool have_prev = false;
+    for (size_t i = 0; i < buckets->items().size(); ++i) {
+      const JsonValue& b = buckets->items()[i];
+      const std::string bpath = path + ".buckets[" + std::to_string(i) + "]";
+      if (!b.IsArray() || b.items().size() != 2 || !b.items()[1].IsNumber()) {
+        Fail(bpath, "bucket is not a [bound, count] pair");
+        continue;
+      }
+      bucket_total += b.items()[1].AsUInt();
+      if (b.items()[0].IsNumber()) {  // The overflow bucket's bound is "inf".
+        uint64_t bound = b.items()[0].AsUInt();
+        if (have_prev && bound <= prev_bound) {
+          Fail(bpath, "bucket bounds not strictly increasing");
+        }
+        prev_bound = bound;
+        have_prev = true;
+      }
+    }
+    if (bucket_total != count) {
+      Fail(path, "bucket counts sum to " + std::to_string(bucket_total) + ", expected count " +
+                     std::to_string(count));
+    }
+  }
+  const uint64_t clean = UIntOf(s, "cleanBlocks", path);
+  const uint64_t retried = UIntOf(s, "retriedBlocks", path);
+  if (clean + retried != count) {
+    Fail(path, "cleanBlocks + retriedBlocks != count");
+  }
+  if (UIntOf(s, "wastedCycles", path) > sum) {
+    Fail(path, "wastedCycles exceeds total cycles");
+  }
+}
+
+// One HeatmapStats object as written by asfobs::WriteHeatmapJson.
+void CheckHeatmapStats(const JsonValue& s, const std::string& path) {
+  if (!s.IsObject()) {
+    Fail(path, "heatmap entry is not an object");
+    return;
+  }
+  const uint64_t total_edges = UIntOf(s, "totalEdges", path);
+  const uint64_t distinct = UIntOf(s, "distinctLines", path);
+  const JsonValue* top = s.Get("top");
+  if (top == nullptr || !top->IsArray()) {
+    Fail(path, "missing \"top\" array");
+    return;
+  }
+  if (top->items().size() > distinct) {
+    Fail(path, "top has more lines than distinctLines");
+  }
+  uint64_t prev_edges = 0;
+  uint64_t top_total = 0;
+  for (size_t i = 0; i < top->items().size(); ++i) {
+    const JsonValue& hl = top->items()[i];
+    const std::string hpath = path + ".top[" + std::to_string(i) + "]";
+    const uint64_t edges = UIntOf(hl, "edges", hpath);
+    if (i != 0 && edges > prev_edges) {
+      Fail(hpath, "top not sorted by edges descending");
+    }
+    prev_edges = edges;
+    top_total += edges;
+    if (UIntOf(hl, "readerVictims", hpath) + UIntOf(hl, "writerVictims", hpath) != edges) {
+      Fail(hpath, "readerVictims + writerVictims != edges");
+    }
+  }
+  if (top_total > total_edges) {
+    Fail(path, "top edges exceed totalEdges");
+  }
+}
+
+// "latency" values are either a single stats object (harness reports) or a
+// {label: stats} map (bench reports); same for "heatmap".
+void CheckSection(const JsonValue& v, const std::string& path,
+                  void (*check)(const JsonValue&, const std::string&)) {
+  if (v.IsObject() && v.Get("count") == nullptr && v.Get("totalEdges") == nullptr) {
+    for (const auto& [label, entry] : v.members()) {
+      check(entry, path + "." + label);
+    }
+    return;
+  }
+  check(v, path);
+}
+
+// Recursively validates every latency/heatmap section in the document.
+void Walk(const JsonValue& v, const std::string& path) {
+  if (v.IsObject()) {
+    for (const auto& [key, child] : v.members()) {
+      const std::string cpath = path.empty() ? key : path + "." + key;
+      if (key == "latency") {
+        CheckSection(child, cpath, CheckLatencyStats);
+      } else if (key == "heatmap") {
+        CheckSection(child, cpath, CheckHeatmapStats);
+      } else {
+        Walk(child, cpath);
+      }
+    }
+  } else if (v.IsArray()) {
+    for (size_t i = 0; i < v.items().size(); ++i) {
+      Walk(v.items()[i], path + "[" + std::to_string(i) + "]");
+    }
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s <file> [required-key...]\n", argv[0]);
     return 2;
   }
+  g_file = argv[1];
   std::string text;
   std::string error;
   if (!asfobs::ReadTextFile(argv[1], &text, &error)) {
@@ -38,7 +198,8 @@ int main(int argc, char** argv) {
       ++missing;
     }
   }
-  if (missing != 0) {
+  Walk(doc, "");
+  if (missing != 0 || g_errors != 0) {
     return 1;
   }
   std::printf("%s: ok (%zu top-level members)\n", argv[1], doc.members().size());

@@ -13,9 +13,16 @@
 //   * a per-category re-aggregation of the memory-operation events in
 //     "traceEvents", cross-checked against the stored memSummary;
 //   * the top-N contended cache lines (lines touched by more than one core),
-//     ranked by access count.
+//     ranked by access count;
+//   * abort causality, when the trace carries conflict-edge events: the
+//     core-level aggression matrix (who aborts whom), wasted cycles split by
+//     abort cause, and the conflict-edge hot-line heatmap;
+//   * with --latency, the atomic-block latency distribution replayed from
+//     the lifecycle events (docs/OBSERVABILITY.md): aggregate and per
+//     (mode, clean|retried) percentiles, bit-identical to what a live
+//     LatencyRecorder produced during the run.
 //
-//   usage: trace_report <trace.json> [--top <n>]
+//   usage: trace_report <trace.json> [--top <n>] [--latency]
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -30,7 +37,9 @@
 #include "src/common/defs.h"
 #include "src/common/table.h"
 #include "src/obs/export.h"
+#include "src/obs/heatmap.h"
 #include "src/obs/json.h"
+#include "src/obs/latency.h"
 #include "src/obs/tx_event.h"
 #include "src/sim/core.h"
 
@@ -70,23 +79,49 @@ std::string Pct(uint64_t part, uint64_t whole) {
   return Table::Num(100.0 * static_cast<double>(part) / static_cast<double>(whole), 2) + " %";
 }
 
+// "0,3,5" from a core bitmap.
+std::string CoreList(uint64_t mask) {
+  std::string out;
+  for (uint32_t c = 0; c < 64; ++c) {
+    if ((mask >> c) & 1) {
+      if (!out.empty()) {
+        out += ',';
+      }
+      out += std::to_string(c);
+    }
+  }
+  return out.empty() ? "-" : out;
+}
+
+void AddLatencyRow(Table& table, const std::string& label, const asfobs::LatencyStats& s) {
+  table.AddRow({label, Table::Int(static_cast<long long>(s.count)),
+                Table::Int(static_cast<long long>(s.Percentile(50.0))),
+                Table::Int(static_cast<long long>(s.Percentile(90.0))),
+                Table::Int(static_cast<long long>(s.Percentile(99.0))),
+                Table::Int(static_cast<long long>(s.Percentile(99.9))),
+                Table::Num(s.Mean(), 1), Table::Num(100.0 * s.WastedRatio(), 1) + " %"});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* path = nullptr;
   size_t top_n = 10;
+  bool show_latency = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_n = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--latency") == 0) {
+      show_latency = true;
     } else if (argv[i][0] != '-' && path == nullptr) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: %s <trace.json> [--top <n>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s <trace.json> [--top <n>] [--latency]\n", argv[0]);
       return 2;
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: %s <trace.json> [--top <n>]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <trace.json> [--top <n>] [--latency]\n", argv[0]);
     return 2;
   }
 
@@ -214,6 +249,81 @@ int main(int argc, char** argv) {
         row.push_back(Table::Int(static_cast<long long>(n)));
       }
       table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  // --- Wasted cycles attributed to the abort cause that caused them -------
+  if (a.total_aborts != 0) {
+    uint64_t total_wasted = 0;
+    for (uint64_t w : a.wasted_by_cause) {
+      total_wasted += w;
+    }
+    Table table("Wasted cycles by abort cause (cycles inside attempts that later aborted)");
+    table.SetHeader({"cause", "wasted cycles", "share"});
+    for (size_t c = 1; c < a.wasted_by_cause.size(); ++c) {
+      if (a.wasted_by_cause[c] != 0) {
+        table.AddRow({asfcommon::AbortCauseName(static_cast<AbortCause>(c)),
+                      Table::Int(static_cast<long long>(a.wasted_by_cause[c])),
+                      Pct(a.wasted_by_cause[c], total_wasted)});
+      }
+    }
+    table.AddRow({"TOTAL", Table::Int(static_cast<long long>(total_wasted)), "100.00 %"});
+    table.Print();
+  }
+
+  // --- Abort causality: who aborts whom, and on which lines ---------------
+  if (a.conflict_edges != 0) {
+    Table table("Core aggression matrix (row = aggressor, column = aborted victim)");
+    std::vector<std::string> header = {"aggr \\ victim"};
+    for (uint32_t v = 0; v < a.matrix_cores; ++v) {
+      header.push_back("c" + std::to_string(v));
+    }
+    table.SetHeader(header);
+    for (uint32_t g = 0; g < a.matrix_cores; ++g) {
+      std::vector<std::string> row = {"c" + std::to_string(g)};
+      for (uint32_t v = 0; v < a.matrix_cores; ++v) {
+        row.push_back(Table::Int(static_cast<long long>(a.Aggression(g, v))));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+
+    asfobs::HeatmapStats heat = asfobs::ComputeHeatmapFromEvents(txs);
+    Table lines("Hot lines from conflict edges (top " + std::to_string(top_n) + ")");
+    lines.SetHeader({"line address", "edges", "rd victims", "wr victims", "wr aggressors",
+                     "victim cores", "aggressor cores", "region"});
+    for (const asfobs::HotLine& hl : heat.TopK(top_n)) {
+      char addr[32];
+      std::snprintf(addr, sizeof(addr), "0x%llx",
+                    static_cast<unsigned long long>(hl.line << asfcommon::kCacheLineShift));
+      lines.AddRow({addr, Table::Int(static_cast<long long>(hl.edges)),
+                    Table::Int(static_cast<long long>(hl.reader_victims)),
+                    Table::Int(static_cast<long long>(hl.writer_victims)),
+                    Table::Int(static_cast<long long>(hl.write_aggressors)),
+                    CoreList(hl.victim_cores), CoreList(hl.aggressor_cores), hl.region});
+    }
+    lines.Print();
+  }
+
+  // --- Atomic-block latency replayed from the lifecycle events ------------
+  if (show_latency) {
+    asfobs::LatencyRecorder rec;
+    asfobs::ReplayLatency(txs, &rec);
+    Table table("Atomic-block latency (offline replay; cycles per completed block)");
+    table.SetHeader({"series", "blocks", "p50", "p90", "p99", "p999", "mean", "wasted %"});
+    AddLatencyRow(table, "all blocks", rec.stats());
+    for (size_t m = 1; m < static_cast<size_t>(asfobs::TxMode::kNumModes); ++m) {
+      for (bool retried : {false, true}) {
+        const asfobs::LatencyStats& s =
+            rec.keyed(static_cast<asfobs::TxMode>(m), retried);
+        if (s.count != 0) {
+          AddLatencyRow(table,
+                        std::string(asfobs::TxModeName(static_cast<asfobs::TxMode>(m))) +
+                            (retried ? "/retried" : "/clean"),
+                        s);
+        }
+      }
     }
     table.Print();
   }

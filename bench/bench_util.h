@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/table.h"
+#include "src/fault/watchdog.h"
 #include "src/obs/export.h"
 #include "src/obs/heatmap.h"
 #include "src/obs/json.h"
@@ -150,6 +151,17 @@ class JsonReport {
     }
     heatmap_.emplace_back(label, s);
   }
+  // Watchdog progress accounting (one entry per run cell): verdict,
+  // per-core commit counts and abort streaks, starved cores, longest
+  // no-commit window. tools/json_check validates the shape; tools/bench_diff
+  // fails a run whose verdict degrades or that starves a thread the baseline
+  // kept fed.
+  void AddProgress(const std::string& label, const asffault::Watchdog::ProgressReport& p) {
+    if (opt_.json_path.empty()) {
+      return;
+    }
+    progress_.emplace_back(label, p);
+  }
 
   // Writes the report if --json was given. On I/O failure prints the error
   // and returns false.
@@ -205,6 +217,36 @@ class JsonReport {
       }
       w.EndObject();
     }
+    if (!progress_.empty()) {
+      w.Key("progress");
+      w.BeginObject();
+      for (const auto& [label, p] : progress_) {
+        w.Key(label);
+        w.BeginObject();
+        w.KV("verdict", asffault::Watchdog::VerdictName(p.verdict));
+        w.KV("max_commit_gap_cycles", p.max_commit_gap_cycles);
+        w.Key("commits");
+        w.BeginArray();
+        for (uint64_t c : p.commits) {
+          w.UInt(c);
+        }
+        w.EndArray();
+        w.Key("max_abort_streak");
+        w.BeginArray();
+        for (uint64_t c : p.max_abort_streak) {
+          w.UInt(c);
+        }
+        w.EndArray();
+        w.Key("starved_cores");
+        w.BeginArray();
+        for (uint32_t c : p.starved_cores) {
+          w.UInt(c);
+        }
+        w.EndArray();
+        w.EndObject();
+      }
+      w.EndObject();
+    }
     w.EndObject();
     out.push_back('\n');
     std::string error;
@@ -221,6 +263,7 @@ class JsonReport {
   std::vector<asfcommon::Table> tables_;
   std::vector<std::pair<std::string, asfobs::LatencyStats>> latency_;
   std::vector<std::pair<std::string, asfobs::HeatmapStats>> heatmap_;
+  std::vector<std::pair<std::string, asffault::Watchdog::ProgressReport>> progress_;
 };
 
 }  // namespace benchutil

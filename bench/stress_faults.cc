@@ -237,6 +237,7 @@ int main(int argc, char** argv) {
       lat.emplace_back(nr.flag, r.intset.latency);
       report.AddLatency(ns.name + "/" + nr.flag, r.intset.latency);
       report.AddHeatmap(ns.name + "/" + nr.flag, r.intset.heatmap);
+      report.AddProgress(ns.name + "/" + nr.flag, r.progress);
       std::string replay = "-";
       if (opt.verify_replay) {
         const harness::StressResult& r2 = sweep.stress(job++);

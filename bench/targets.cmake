@@ -26,7 +26,25 @@ asf_add_bench(fig8_early_release)
 asf_add_bench(fig9_table1_overheads)
 asf_add_bench(ablation_design_choices)
 asf_add_bench(stress_faults)
+asf_add_bench(litmus_progress)
 asf_add_bench(perf_selfcheck)
+
+# Progress-race gate (docs/ROBUSTNESS.md): the smoke run already hard-fails
+# unless no-backoff starves and exp-backoff/karma/greedy keep every core
+# committing; label it into `ctest -L litmus` alongside the semantics tests.
+set_tests_properties(bench_smoke_litmus_progress bench_smoke_litmus_progress_json
+                     PROPERTIES LABELS "litmus;stress")
+
+# Litmus semantics smoke: enumerate every test on every runtime (exit 0 iff
+# all reachable outcomes are within the allowed sets). Builds with
+# ASF_SANITIZE=ON run this under ASan/UBSan like every other target.
+add_test(NAME litmus_explore_all COMMAND asf_explore --litmus all)
+set_tests_properties(litmus_explore_all PROPERTIES LABELS "litmus")
+# Mutation check: with requester-wins deliberately broken for plain loads the
+# dirty-read litmus MUST fail (exit 1), or the harness has lost its teeth.
+add_test(NAME litmus_mutation_check
+         COMMAND asf_explore --litmus dirty-read --runtime asf --break-rw 1)
+set_tests_properties(litmus_mutation_check PROPERTIES WILL_FAIL TRUE LABELS "litmus")
 
 # The self-benchmark smoke doubles as the sweep-determinism gate (serial and
 # parallel passes must produce identical digests); `ctest -L perf` runs just

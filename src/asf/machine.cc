@@ -31,6 +31,7 @@ void SetSpeculatorGateDisabled(bool disabled) {
 
 Machine::Machine(const MachineParams& params)
     : params_(params),
+      arena_(params.arena_bytes),
       scheduler_(params.num_cores, params.core),
       mem_(params.num_cores, params.mem),
       directory_(params.num_cores, !SpeculatorGateDisabled()),
@@ -144,7 +145,12 @@ AccessOutcome Machine::OnAccess(SimThread& thread, AccessKind kind, uint64_t add
   const uint64_t first = LineOf(addr);
   const uint64_t last = LineOf(addr + size - 1);
   uint64_t extra = injected_latency;  // Latency-only injections (no region).
-  uint64_t victims = directory_.Resolve(first, last, write_like, cid);
+  // Mutation hook (litmus suite): a plain load skips conflict resolution,
+  // so it can observe a remote region's uncommitted store. See
+  // MachineParams::break_requester_wins_for_testing.
+  const bool skip_resolution =
+      params_.break_requester_wins_for_testing && kind == AccessKind::kLoad;
+  uint64_t victims = skip_resolution ? 0 : directory_.Resolve(first, last, write_like, cid);
   // Abort-causality edges for the observability layer: one per (contended
   // line, victim), read from directory state *before* the victims roll back
   // (teardown erases their line records). Derived from the records rather

@@ -40,6 +40,19 @@ struct MachineParams {
   asfmem::MemParams mem;
   AsfVariant variant;
   AsfCosts costs;
+  // Simulation-arena reservation. The default fits every workload; the
+  // litmus explorer shrinks it because it constructs one Machine per
+  // enumerated interleaving and the mmap/munmap of a large reservation
+  // dominates its host time.
+  uint64_t arena_bytes = 512ull << 20;
+  // Mutation hook for the litmus suite (src/litmus): skips requester-wins
+  // conflict resolution for *plain loads only*, letting an unannotated read
+  // observe another core's uncommitted speculative store (a dirty read).
+  // Plain loads do no protected-set bookkeeping, so the skip breaks no
+  // directory invariant — it merely removes strong isolation. The semantics
+  // tests assert they FAIL with this on, proving they actually exercise the
+  // conflict-resolution path. Never set outside tests.
+  bool break_requester_wins_for_testing = false;
 };
 
 // Ablation/equivalence hook (bench/perf_selfcheck --gate-check; env

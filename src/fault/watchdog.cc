@@ -11,6 +11,9 @@ using asfobs::TxEventKind;
 void Watchdog::EnsureCore(uint32_t core) {
   if (core >= aborts_since_commit_.size()) {
     aborts_since_commit_.resize(core + 1, 0);
+    commits_per_core_.resize(core + 1, 0);
+    max_streak_.resize(core + 1, 0);
+    ever_starved_.resize(core + 1, 0);
   }
 }
 
@@ -36,6 +39,10 @@ void Watchdog::OnTxEvent(const TxEvent& ev) {
       break;
     case TxEventKind::kTxCommit:
       ++commits_;
+      ++commits_per_core_[ev.core];
+      if (ev.cycle - last_commit_cycle_ > max_commit_gap_) {
+        max_commit_gap_ = ev.cycle - last_commit_cycle_;
+      }
       last_commit_cycle_ = ev.cycle;
       begins_since_commit_ = 0;
       aborts_since_commit_[ev.core] = 0;
@@ -43,10 +50,14 @@ void Watchdog::OnTxEvent(const TxEvent& ev) {
     case TxEventKind::kTxAbort: {
       ++aborts_;
       uint64_t streak = ++aborts_since_commit_[ev.core];
+      if (streak > max_streak_[ev.core]) {
+        max_streak_[ev.core] = streak;
+      }
       // Starvation means *divergence*: this core spins while the rest of the
       // machine commits, so require at least one global commit since start.
       if (params_.starvation_attempts != 0 && commits_ > 0 &&
           streak > params_.starvation_attempts) {
+        ever_starved_[ev.core] = 1;  // Record every exceeder, not just the first.
         Fire(Verdict::kStarvation, ev.cycle, ev.core);
       }
       break;
@@ -72,6 +83,10 @@ void Watchdog::OnMeasurementReset() {
   saw_event_ = false;
   begins_since_commit_ = 0;
   aborts_since_commit_.assign(aborts_since_commit_.size(), 0);
+  commits_per_core_.assign(commits_per_core_.size(), 0);
+  max_streak_.assign(max_streak_.size(), 0);
+  ever_starved_.assign(ever_starved_.size(), 0);
+  max_commit_gap_ = 0;
   verdict_ = Verdict::kProgress;
   fired_cycle_ = 0;
   fired_core_ = 0;
@@ -81,10 +96,41 @@ void Watchdog::OnMeasurementReset() {
 }
 
 void Watchdog::Finalize(uint64_t final_cycle) {
+  if (saw_event_ && begins_since_commit_ > 0 && final_cycle > last_commit_cycle_ &&
+      final_cycle - last_commit_cycle_ > max_commit_gap_) {
+    // A run cut off mid-stall still spent its tail not committing.
+    max_commit_gap_ = final_cycle - last_commit_cycle_;
+  }
   if (params_.commit_gap_cycles != 0 && saw_event_ && begins_since_commit_ > 0 &&
       final_cycle > last_commit_cycle_ + params_.commit_gap_cycles) {
     Fire(Verdict::kLivelock, final_cycle, 0);
   }
+}
+
+const char* Watchdog::VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kProgress:
+      return "progress";
+    case Verdict::kLivelock:
+      return "livelock";
+    case Verdict::kStarvation:
+      return "starvation";
+  }
+  return "unknown";
+}
+
+Watchdog::ProgressReport Watchdog::progress() const {
+  ProgressReport report;
+  report.commits = commits_per_core_;
+  report.max_abort_streak = max_streak_;
+  for (uint32_t c = 0; c < ever_starved_.size(); ++c) {
+    if (ever_starved_[c] != 0) {
+      report.starved_cores.push_back(c);
+    }
+  }
+  report.max_commit_gap_cycles = max_commit_gap_;
+  report.verdict = verdict_;
+  return report;
 }
 
 std::string Watchdog::diagnosis() const {

@@ -49,6 +49,25 @@ class Watchdog final : public asfobs::TxEventSink {
     kStarvation,    // One core's abort streak exceeded starvation_attempts.
   };
 
+  // Cumulative progress accounting over the (post-reset) run — not just the
+  // first violation. The stress harness exports this as the obs JSON
+  // "progress" section, and bench_diff gates on it.
+  struct ProgressReport {
+    std::vector<uint64_t> commits;           // Per-core commit counts.
+    std::vector<uint64_t> max_abort_streak;  // Per-core max aborts between own commits.
+    // Every core whose abort streak exceeded starvation_attempts while the
+    // rest of the machine committed — all exceeders, not just the first to
+    // trip the verdict.
+    std::vector<uint32_t> starved_cores;
+    uint64_t max_commit_gap_cycles = 0;  // Longest machine-wide no-commit window.
+    Verdict verdict = Verdict::kProgress;
+  };
+
+  // Stable lowercase name ("progress" / "livelock" / "starvation") — the
+  // value of the obs JSON progress section's "verdict" field, schema-checked
+  // by tools/json_check and compared across runs by tools/bench_diff.
+  static const char* VerdictName(Verdict v);
+
   explicit Watchdog(const WatchdogParams& params = {}) : params_(params) {}
 
   // Downstream sink that keeps receiving every event (may be null).
@@ -70,6 +89,10 @@ class Watchdog final : public asfobs::TxEventSink {
   // Human-readable one-liner ("" while kProgress).
   std::string diagnosis() const;
 
+  // Snapshot of the cumulative accounting; call after Finalize() so the tail
+  // commit gap is included.
+  ProgressReport progress() const;
+
   uint64_t commits_seen() const { return commits_; }
   uint64_t aborts_seen() const { return aborts_; }
 
@@ -86,6 +109,10 @@ class Watchdog final : public asfobs::TxEventSink {
   bool saw_event_ = false;
   uint64_t begins_since_commit_ = 0;
   std::vector<uint64_t> aborts_since_commit_;  // Per core.
+  std::vector<uint64_t> commits_per_core_;
+  std::vector<uint64_t> max_streak_;   // Per core, over the whole run.
+  std::vector<uint8_t> ever_starved_;  // Per core: streak ever exceeded limit.
+  uint64_t max_commit_gap_ = 0;
 
   Verdict verdict_ = Verdict::kProgress;
   uint64_t fired_cycle_ = 0;

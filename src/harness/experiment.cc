@@ -246,21 +246,25 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
     co_await barrier_b.Arrive(t);
 
     // ---- Measurement phase ----
+    // The three operation kinds are distinct static atomic blocks; the site
+    // ids (insert=1, remove=2, contains=3) let site-keyed contention
+    // policies learn each block's behavior separately. Population above
+    // stays site 0 (unattributed warm-up).
     asfcommon::Rng rng(cfg.seed * 1000003 + tid);
     const uint32_t half_upd = cfg.update_pct / 2;
     for (uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
       uint64_t key = rng.NextBelow(cfg.key_range) + 1;
       uint32_t dice = static_cast<uint32_t>(rng.NextBelow(100));
       if (dice < half_upd) {
-        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+        co_await rt->Atomic(t, kSiteInsert, [&](Tx& tx) -> Task<void> {
           co_await set->Insert(tx, key);
         });
       } else if (dice < cfg.update_pct) {
-        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+        co_await rt->Atomic(t, kSiteRemove, [&](Tx& tx) -> Task<void> {
           co_await set->Remove(tx, key);
         });
       } else {
-        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+        co_await rt->Atomic(t, kSiteContains, [&](Tx& tx) -> Task<void> {
           co_await set->Contains(tx, key);
         });
       }

@@ -48,6 +48,13 @@ enum class RuntimeKind {
 
 const char* RuntimeKindName(RuntimeKind k);
 
+// Static site ids of the intset workload's atomic blocks, forwarded to
+// site-keyed contention policies via TmRuntime::Atomic. The population
+// phase stays site 0 (unattributed warm-up).
+inline constexpr uint32_t kSiteInsert = 1;
+inline constexpr uint32_t kSiteRemove = 2;
+inline constexpr uint32_t kSiteContains = 3;
+
 struct IntsetConfig {
   std::string structure = "list";  // list | list-er | skip | rb | hash.
   uint64_t key_range = 1024;

@@ -147,7 +147,7 @@ StressResult RunStress(const StressConfig& cfg) {
         // `ok` is overwritten by every retry, so it ends up holding the
         // committed attempt's outcome.
         bool ok = false;
-        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+        co_await rt->Atomic(t, kSiteInsert, [&](Tx& tx) -> Task<void> {
           ok = co_await set->Insert(tx, key);
         });
         if (ok) {
@@ -155,14 +155,14 @@ StressResult RunStress(const StressConfig& cfg) {
         }
       } else if (dice < ic.update_pct) {
         bool ok = false;
-        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+        co_await rt->Atomic(t, kSiteRemove, [&](Tx& tx) -> Task<void> {
           ok = co_await set->Remove(tx, key);
         });
         if (ok) {
           --net[tid][key];
         }
       } else {
-        co_await rt->Atomic(t, [&](Tx& tx) -> Task<void> {
+        co_await rt->Atomic(t, kSiteContains, [&](Tx& tx) -> Task<void> {
           co_await set->Contains(tx, key);
         });
       }
@@ -174,6 +174,7 @@ StressResult RunStress(const StressConfig& cfg) {
   result.watchdog_fired = watchdog.fired();
   result.verdict = watchdog.verdict();
   result.watchdog_diagnosis = watchdog.diagnosis();
+  result.progress = watchdog.progress();
 
   result.intset.measure_cycles = result.final_cycle - measure_start;
   result.intset.tm = rt->TotalStats();

@@ -54,6 +54,10 @@ struct StressResult {
   bool watchdog_fired = false;
   asffault::Watchdog::Verdict verdict = asffault::Watchdog::Verdict::kProgress;
   std::string watchdog_diagnosis;
+  // Cumulative per-core progress accounting (post-Finalize snapshot): every
+  // starved core, max abort streaks, and the longest no-commit window. The
+  // benches export this as the obs JSON "progress" section.
+  asffault::Watchdog::ProgressReport progress;
 
   // Empty when every invariant held; else a description of the first
   // violation (membership mismatch, conservation failure, structure damage).

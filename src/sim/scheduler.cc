@@ -89,6 +89,16 @@ std::coroutine_handle<> SimThread::AccessAwaiter::await_suspend(
   return t.SubmitPendingOp(op);
 }
 
+std::coroutine_handle<> SimThread::LoadAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+  t.resume_point_ = h;
+  PendingOp op;
+  op.kind = kind;
+  op.addr = addr;
+  op.size = size;
+  op.data = PendingOp::Data::kLoadCapture;
+  return t.SubmitPendingOp(op);
+}
+
 std::coroutine_handle<> SimThread::RmwAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
   t.resume_point_ = h;
   PendingOp op;
@@ -105,7 +115,7 @@ void SimThread::SleepAwaiter::await_suspend(std::coroutine_handle<> h) noexcept 
   t.resume_point_ = h;
   t.phase_ = Phase::kIdle;
   t.core_->TakePendingWork();
-  t.scheduler_->ScheduleWake(t, t.core_->clock() + cycles);
+  t.scheduler_->ScheduleWake(t, t.core_->clock() + cycles, /*yield=*/true);
 }
 
 void SimThread::SelfAbortAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
@@ -126,6 +136,16 @@ std::atomic<bool> g_wake_fast_path{true};
 
 void Scheduler::SetWakeFastPathForTesting(bool enabled) {
   g_wake_fast_path.store(enabled, std::memory_order_relaxed);
+}
+
+void Scheduler::SetChooser(ScheduleChooser* chooser) {
+  ASF_CHECK_MSG(threads_.empty(), "SetChooser must run before any thread is spawned");
+  chooser_ = chooser;
+  if (chooser != nullptr) {
+    // Fast paths short-circuit wakes past the event loop; in chooser mode
+    // every wake must surface in the pending set the chooser sees.
+    wake_fast_path_ = false;
+  }
 }
 
 Scheduler::Scheduler(uint32_t num_cores, const CoreParams& params)
@@ -160,9 +180,9 @@ SimThread& Scheduler::Spawn(Task<void> root) {
   return ref;
 }
 
-void Scheduler::ScheduleWake(SimThread& t, uint64_t cycle) {
+void Scheduler::ScheduleWake(SimThread& t, uint64_t cycle, bool yield) {
   ++t.wake_seq_;
-  SchedEvent ev{cycle, next_seq_++, &t};
+  SchedEvent ev{cycle, next_seq_++, &t, yield};
   if (!wake_fast_path_) {
     events_.push(ev);
     return;
@@ -213,9 +233,32 @@ void Scheduler::Run() {
       // Slot invariant: the parked event precedes everything in the heap.
       ev = next_;
       has_next_ = false;
-    } else {
+    } else if (chooser_ == nullptr) {
       ev = events_.top();
       events_.pop();
+    } else {
+      // Chooser mode: drain the heap (pop order is already (cycle, seq)-
+      // sorted) into the pending set, let the chooser pick, re-queue the
+      // rest. Re-pushed events keep their original seq, so later drains
+      // re-sort them into the exact same reference order.
+      eligible_.clear();
+      while (!events_.empty()) {
+        if (!events_.top().thread->finished_) {
+          eligible_.push_back(events_.top());
+        }
+        events_.pop();
+      }
+      if (eligible_.empty()) {
+        break;
+      }
+      const size_t pick = eligible_.size() > 1 ? chooser_->Choose(eligible_) : 0;
+      ASF_CHECK_MSG(pick < eligible_.size(), "chooser picked an out-of-range event");
+      ev = eligible_[pick];
+      for (size_t i = 0; i < eligible_.size(); ++i) {
+        if (i != pick) {
+          events_.push(eligible_[i]);
+        }
+      }
     }
     SimThread& t = *ev.thread;
     if (t.finished_) {
@@ -297,6 +340,12 @@ void Scheduler::ProcessAccess(SimThread& t, const SimThread::PendingOp& op) {
         break;
       case Data::kStore:
         std::memcpy(reinterpret_cast<void*>(op.addr), &op.value, op.size);
+        break;
+      case Data::kLoadCapture:
+        // Bind the loaded value now — after conflict resolution rolled back
+        // any victim region — so a later speculative store cannot leak into
+        // this load's result (see SimThread::Load).
+        t.load_result_ = ReadHost(op.addr, op.size);
         break;
       case Data::kCas: {
         uint64_t cur = ReadHost(op.addr, op.size);

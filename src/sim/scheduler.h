@@ -49,6 +49,11 @@ struct SchedEvent {
   uint64_t cycle = 0;
   uint64_t seq = 0;
   SimThread* thread = nullptr;
+  // The thread queued this wake by explicitly sleeping (backoff, polling
+  // wait) rather than by completing an access. Interleaving choosers treat
+  // a sleeping thread as having yielded the processor: the reference
+  // schedule hands off instead of spinning it (see litmus::DfsChooser).
+  bool yield = false;
 };
 
 constexpr bool EventBefore(const SchedEvent& a, const SchedEvent& b) {
@@ -112,6 +117,23 @@ class EventHeap {
  private:
   static constexpr size_t kArity = 4;
   std::vector<SchedEvent> v_;
+};
+
+// Interleaving chooser (model checking; see src/litmus). When one is
+// installed, every event-loop iteration surfaces the *entire* pending-event
+// set — one event per runnable thread, sorted by (cycle, seq) — and asks the
+// chooser which event to dispatch next. Index 0 is the reference choice (the
+// event the default scheduler would pop), so a chooser that always returns 0
+// reproduces the default execution exactly. Per-thread program order is
+// preserved for free: a thread has at most one pending event, so any pop
+// order is a legal interleaving of the per-thread sequences, and core clocks
+// stay monotonic (OnWake advances only the woken thread's own core).
+class ScheduleChooser {
+ public:
+  virtual ~ScheduleChooser() = default;
+  // `eligible` is non-empty and (cycle, seq)-sorted; returns the index of
+  // the event to dispatch. Out-of-range picks are a fatal error.
+  virtual size_t Choose(const std::vector<SchedEvent>& eligible) = 0;
 };
 
 // Abortable scope: awaitable that runs `body` so that the scheduler can
@@ -199,6 +221,33 @@ class SimThread {
     return Store(kind, reinterpret_cast<uint64_t>(p), size, value);
   }
 
+  // A value-binding load (size <= 8 bytes, little-endian): the value is
+  // captured from host memory at issue time, atomically with the access's
+  // coherence and conflict-resolution effects, and returned on resume.
+  // Plain (unannotated) readers racing speculative regions need this for
+  // exact strong-isolation semantics: speculative stores are applied to host
+  // memory in place (LLB-backed), so a resume-time read as in Access() opens
+  // a window in which a store issued *after* this load's conflict resolution
+  // becomes visible to it — the litmus dirty-read test fails on that
+  // artifact. Protected (tx) loads may keep the Access() pattern: a remote
+  // write to the line aborts this region before the value could change.
+  struct LoadAwaiter {
+    SimThread& t;
+    AccessKind kind;
+    uint64_t addr;
+    uint32_t size;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) noexcept;
+    uint64_t await_resume() const noexcept { return t.load_result_; }
+  };
+  LoadAwaiter Load(AccessKind kind, uint64_t addr, uint32_t size) {
+    ASF_CHECK(size <= 8);
+    return LoadAwaiter{*this, kind, addr, size};
+  }
+  LoadAwaiter Load(AccessKind kind, const void* p, uint32_t size) {
+    return Load(kind, reinterpret_cast<uint64_t>(p), size);
+  }
+
   // Atomic read-modify-write operations (LOCK CMPXCHG / LOCK XADD), applied
   // at issue time like Store(). The awaitable resumes with the RMW result:
   // Cas -> 1 if the exchange happened, 0 otherwise; FetchAdd -> the previous
@@ -282,7 +331,7 @@ class SimThread {
     AccessKind kind = AccessKind::kLoad;
     uint64_t addr = 0;
     uint32_t size = 0;
-    enum class Data : uint8_t { kNone, kStore, kCas, kFaa } data = Data::kNone;
+    enum class Data : uint8_t { kNone, kStore, kCas, kFaa, kLoadCapture } data = Data::kNone;
     uint64_t value = 0;     // Store value / CAS desired / fetch-add delta.
     uint64_t expected = 0;  // CAS expected value.
   };
@@ -296,6 +345,7 @@ class SimThread {
 
   PendingOp pending_;
   uint64_t rmw_result_ = 0;
+  uint64_t load_result_ = 0;
 };
 
 // The scheduler: owns cores and threads, runs the event loop.
@@ -336,7 +386,7 @@ class Scheduler {
 
   // Schedules thread `t` to wake at `cycle` (used internally and by sync
   // primitives).
-  void ScheduleWake(SimThread& t, uint64_t cycle);
+  void ScheduleWake(SimThread& t, uint64_t cycle, bool yield = false);
 
   // Host-side wake accounting (perf counters, zero simulated cost): total
   // wakes ever scheduled, how many took the next-event fast path (no heap
@@ -351,6 +401,13 @@ class Scheduler {
   // schedulers constructed afterwards, forcing every event through the heap.
   // The determinism tests run both ways and assert identical event orders.
   static void SetWakeFastPathForTesting(bool enabled);
+
+  // Installs an interleaving chooser (model checking; see src/litmus). Must
+  // be called before any thread is spawned: chooser mode turns off the
+  // next-event slot and inline-wake fast paths so every scheduled wake is
+  // visible in the pending set handed to the chooser. Pass nullptr to
+  // detach (fast paths stay off for this scheduler's lifetime).
+  void SetChooser(ScheduleChooser* chooser);
 
  private:
   friend class SimThread;
@@ -407,6 +464,10 @@ class Scheduler {
   uint64_t next_seq_ = 0;
   uint32_t finished_count_ = 0;
   bool running_ = false;
+  // Interleaving chooser (null in normal runs); `eligible_` is its reusable
+  // scratch buffer for the drained pending set.
+  ScheduleChooser* chooser_ = nullptr;
+  std::vector<SchedEvent> eligible_;
   // Guards against two host threads driving the same scheduler (the sweep
   // engine runs one Machine per job; sharing one is a bug). See Run().
   std::atomic<bool> host_busy_{false};

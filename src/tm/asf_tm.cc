@@ -261,11 +261,11 @@ Task<void> AsfTm::Backoff(SimThread& t, PerThread& pt, uint64_t wait, uint32_t r
               retry, wait);
 }
 
-Task<void> AsfTm::Atomic(SimThread& t, BodyFn body) {
+Task<void> AsfTm::Atomic(SimThread& t, uint32_t site, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   Core& core = t.core();
   ++pt.stats.tx_started;
-  policy_->OnBlockStart(t.id());
+  policy_->OnBlockStart(t.id(), site);
   uint32_t aborted_attempts = 0;  // Lifecycle retry ordinal for this block.
   bool go_serial = false;
   for (;;) {
@@ -320,7 +320,7 @@ Task<void> AsfTm::Atomic(SimThread& t, BodyFn body) {
       default: {
         // Everything else — contention, capacity, transient OS events,
         // disallowed instructions — is contention management's call.
-        PolicyDecision d = policy_->OnAbort(t.id(), cause);
+        PolicyDecision d = policy_->OnAbort(t.id(), cause, site);
         if (d.action == PolicyAction::kSerialize) {
           go_serial = true;
         } else if (d.action == PolicyAction::kBackoffRetry) {

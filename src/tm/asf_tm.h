@@ -66,7 +66,8 @@ class AsfTm : public TmRuntime {
   ~AsfTm() override;
 
   std::string name() const override;
-  asfsim::Task<void> Atomic(asfsim::SimThread& thread, BodyFn body) override;
+  using TmRuntime::Atomic;
+  asfsim::Task<void> Atomic(asfsim::SimThread& thread, uint32_t site, BodyFn body) override;
   const TxStats& stats(uint32_t thread_id) const override { return threads_[thread_id]->stats; }
   TxStats TotalStats() const override;
   void ResetStats() override;

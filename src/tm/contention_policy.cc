@@ -73,9 +73,9 @@ class ExpBackoffPolicy final : public ContentionPolicy {
 
   std::string name() const override { return "exp-backoff"; }
 
-  void OnBlockStart(uint32_t tid) override { state_.RetriesFor(tid) = 0; }
+  void OnBlockStart(uint32_t tid, uint32_t) override { state_.RetriesFor(tid) = 0; }
 
-  PolicyDecision OnAbort(uint32_t tid, AbortCause cause) override {
+  PolicyDecision OnAbort(uint32_t tid, AbortCause cause, uint32_t) override {
     if (IsTransientCause(cause)) {
       return {PolicyAction::kRetryNow, 0};
     }
@@ -102,9 +102,9 @@ class CappedRetryPolicy final : public ContentionPolicy {
 
   std::string name() const override { return "capped-retry"; }
 
-  void OnBlockStart(uint32_t tid) override { state_.RetriesFor(tid) = 0; }
+  void OnBlockStart(uint32_t tid, uint32_t) override { state_.RetriesFor(tid) = 0; }
 
-  PolicyDecision OnAbort(uint32_t tid, AbortCause cause) override {
+  PolicyDecision OnAbort(uint32_t tid, AbortCause cause, uint32_t) override {
     if (IsTransientCause(cause)) {
       return {PolicyAction::kRetryNow, 0};
     }
@@ -123,8 +123,8 @@ class CappedRetryPolicy final : public ContentionPolicy {
 class ImmediateSerializePolicy final : public ContentionPolicy {
  public:
   std::string name() const override { return "serialize"; }
-  void OnBlockStart(uint32_t) override {}
-  PolicyDecision OnAbort(uint32_t, AbortCause cause) override {
+  void OnBlockStart(uint32_t, uint32_t) override {}
+  PolicyDecision OnAbort(uint32_t, AbortCause cause, uint32_t) override {
     if (IsTransientCause(cause)) {
       return {PolicyAction::kRetryNow, 0};
     }
@@ -135,8 +135,8 @@ class ImmediateSerializePolicy final : public ContentionPolicy {
 class NoBackoffPolicy final : public ContentionPolicy {
  public:
   std::string name() const override { return "no-backoff"; }
-  void OnBlockStart(uint32_t) override {}
-  PolicyDecision OnAbort(uint32_t, AbortCause) override {
+  void OnBlockStart(uint32_t, uint32_t) override {}
+  PolicyDecision OnAbort(uint32_t, AbortCause, uint32_t) override {
     return {PolicyAction::kRetryNow, 0};
   }
 };
@@ -148,23 +148,31 @@ class AdaptivePolicy final : public ContentionPolicy {
 
   std::string name() const override { return "adaptive"; }
 
-  void OnBlockStart(uint32_t tid) override {
+  void OnBlockStart(uint32_t tid, uint32_t site) override {
     state_.RetriesFor(tid) = 0;
+    EnsureSite(site);
     EnsureThread(tid);
-    threads_[tid].hopeless_this_block = 0;
+    threads_[tid] = 0;  // hopeless_this_block
   }
 
-  PolicyDecision OnAbort(uint32_t tid, AbortCause cause) override {
+  PolicyDecision OnAbort(uint32_t tid, AbortCause cause, uint32_t site) override {
     if (IsTransientCause(cause)) {
       return {PolicyAction::kRetryNow, 0};
     }
+    EnsureSite(site);
     EnsureThread(tid);
-    ThreadWindow& w = threads_[tid];
+    // The learned abort-mix window is per SITE: what this atomic block's
+    // working set keeps doing (overflowing, syscalling) is a property of the
+    // block, not of whichever thread happens to run it — so the lesson
+    // transfers across threads, and two different blocks on one thread adapt
+    // independently (pinned by contention_policy_test).
+    SiteWindow& w = sites_[site];
     Record(w, cause);
 
     // A hopeless cause recurring within one block means the condition is
-    // structural, not timing: serialize on the second occurrence.
-    if (IsHopelessCause(cause) && ++w.hopeless_this_block >= 2) {
+    // structural, not timing: serialize on the second occurrence. The
+    // recurrence counter is per thread — it scopes the *current* block.
+    if (IsHopelessCause(cause) && ++threads_[tid] >= 2) {
       return {PolicyAction::kSerialize, 0};
     }
 
@@ -188,22 +196,27 @@ class AdaptivePolicy final : public ContentionPolicy {
   }
 
  private:
-  struct ThreadWindow {
+  struct SiteWindow {
     std::vector<uint8_t> hopeless;  // Ring buffer of is-hopeless flags.
     uint32_t next = 0;
     uint32_t count = 0;              // Total causes recorded (saturating use).
     uint32_t hopeless_in_window = 0;
-    uint32_t hopeless_this_block = 0;
   };
 
-  void EnsureThread(uint32_t tid) {
-    while (threads_.size() <= tid) {
-      threads_.emplace_back();
-      threads_.back().hopeless.assign(params_.window, 0);
+  void EnsureSite(uint32_t site) {
+    while (sites_.size() <= site) {
+      sites_.emplace_back();
+      sites_.back().hopeless.assign(params_.window, 0);
     }
   }
 
-  void Record(ThreadWindow& w, AbortCause cause) {
+  void EnsureThread(uint32_t tid) {
+    while (threads_.size() <= tid) {
+      threads_.push_back(0);
+    }
+  }
+
+  void Record(SiteWindow& w, AbortCause cause) {
     uint8_t flag = IsHopelessCause(cause) ? 1 : 0;
     if (w.count >= params_.window) {
       w.hopeless_in_window -= w.hopeless[w.next];
@@ -218,7 +231,101 @@ class AdaptivePolicy final : public ContentionPolicy {
 
   const AdaptivePolicyParams params_;
   PerThreadState state_;
-  std::vector<ThreadWindow> threads_;
+  std::vector<SiteWindow> sites_;
+  std::vector<uint32_t> threads_;  // Per-thread hopeless-this-block counter.
+};
+
+// Karma priority policy: losing raises priority. See KarmaPolicyParams.
+class KarmaPolicy final : public ContentionPolicy {
+ public:
+  explicit KarmaPolicy(const KarmaPolicyParams& params)
+      : params_(params), state_(params.seed, params.seed_stride) {}
+
+  std::string name() const override { return "karma"; }
+
+  // Karma is per block: a commit ended the previous block, so the priority
+  // it accumulated has been spent.
+  void OnBlockStart(uint32_t tid, uint32_t) override { state_.RetriesFor(tid) = 0; }
+
+  PolicyDecision OnAbort(uint32_t tid, AbortCause cause, uint32_t) override {
+    if (IsTransientCause(cause)) {
+      return {PolicyAction::kRetryNow, 0};
+    }
+    if (IsHopelessCause(cause)) {
+      // Waiting cannot make these succeed; no priority game to play.
+      return {PolicyAction::kSerialize, 0};
+    }
+    uint32_t& karma = state_.RetriesFor(tid);
+    if (++karma >= params_.serialize_threshold) {
+      // Priority exhausted the optimistic path: claim the fallback, whose
+      // execution an adversary cannot abort.
+      return {PolicyAction::kSerialize, 0};
+    }
+    // Backoff shrinks as karma grows: the wait exponent is the remaining
+    // distance to the threshold, so a block that keeps losing yields less
+    // and less before it escalates.
+    const uint32_t deficit = params_.serialize_threshold - karma;
+    uint64_t wait =
+        JitteredWait(state_.For(tid).rng, params_.base_cycles, params_.shift_cap, deficit);
+    return {PolicyAction::kBackoffRetry, wait};
+  }
+
+ private:
+  const KarmaPolicyParams params_;
+  PerThreadState state_;
+};
+
+// Greedy timestamp policy: oldest active block wins. See GreedyPolicyParams.
+class GreedyPolicy final : public ContentionPolicy {
+ public:
+  explicit GreedyPolicy(const GreedyPolicyParams& params)
+      : params_(params), state_(params.seed, params.seed_stride) {}
+
+  std::string name() const override { return "greedy"; }
+
+  void OnBlockStart(uint32_t tid, uint32_t) override {
+    state_.RetriesFor(tid) = 0;
+    while (stamps_.size() <= tid) {
+      stamps_.push_back(0);
+    }
+    stamps_[tid] = ++clock_;
+  }
+
+  PolicyDecision OnAbort(uint32_t tid, AbortCause cause, uint32_t) override {
+    if (IsTransientCause(cause)) {
+      return {PolicyAction::kRetryNow, 0};
+    }
+    if (IsHopelessCause(cause)) {
+      return {PolicyAction::kSerialize, 0};
+    }
+    // The oldest active stamp has priority: its holder stops gambling and
+    // takes the unconditional fallback. (Heuristic: a committed block's
+    // stamp stays registered until that thread's next block start — exact
+    // whenever all threads keep running blocks.)
+    bool oldest = true;
+    for (size_t i = 0; i < stamps_.size(); ++i) {
+      if (stamps_[i] != 0 && stamps_[i] < stamps_[tid]) {
+        oldest = false;
+        break;
+      }
+    }
+    if (oldest) {
+      return {PolicyAction::kSerialize, 0};
+    }
+    uint32_t& retries = state_.RetriesFor(tid);
+    if (++retries > params_.max_retries) {
+      return {PolicyAction::kSerialize, 0};
+    }
+    uint64_t wait =
+        JitteredWait(state_.For(tid).rng, params_.base_cycles, params_.shift_cap, retries);
+    return {PolicyAction::kBackoffRetry, wait};
+  }
+
+ private:
+  const GreedyPolicyParams params_;
+  PerThreadState state_;
+  std::vector<uint64_t> stamps_;  // 0 = thread never started a block.
+  uint64_t clock_ = 0;
 };
 
 // "key=value,key=value" option parsing for the factory specs.
@@ -276,6 +383,14 @@ std::shared_ptr<ContentionPolicy> MakeNoBackoffPolicy() {
 
 std::shared_ptr<ContentionPolicy> MakeAdaptivePolicy(const AdaptivePolicyParams& params) {
   return std::make_shared<AdaptivePolicy>(params);
+}
+
+std::shared_ptr<ContentionPolicy> MakeKarmaPolicy(const KarmaPolicyParams& params) {
+  return std::make_shared<KarmaPolicy>(params);
+}
+
+std::shared_ptr<ContentionPolicy> MakeGreedyPolicy(const GreedyPolicyParams& params) {
+  return std::make_shared<GreedyPolicy>(params);
 }
 
 std::shared_ptr<ContentionPolicy> MakeContentionPolicy(const std::string& spec, uint64_t seed,
@@ -364,6 +479,52 @@ std::shared_ptr<ContentionPolicy> MakeContentionPolicy(const std::string& spec, 
     }
     return ok ? MakeAdaptivePolicy(p) : nullptr;
   }
+  if (name == "karma") {
+    KarmaPolicyParams p;
+    p.seed = seed;
+    bool ok = ParseSpecOptions(
+        opts,
+        [&](const std::string& key, uint64_t value) {
+          if (key == "threshold") {
+            p.serialize_threshold = static_cast<uint32_t>(value);
+          } else if (key == "base") {
+            p.base_cycles = value;
+          } else if (key == "cap") {
+            p.shift_cap = static_cast<uint32_t>(value);
+          } else {
+            return false;
+          }
+          return true;
+        },
+        error);
+    if (ok && p.serialize_threshold == 0) {
+      if (error != nullptr) {
+        *error = "karma threshold must be >= 1";
+      }
+      return nullptr;
+    }
+    return ok ? MakeKarmaPolicy(p) : nullptr;
+  }
+  if (name == "greedy") {
+    GreedyPolicyParams p;
+    p.seed = seed;
+    bool ok = ParseSpecOptions(
+        opts,
+        [&](const std::string& key, uint64_t value) {
+          if (key == "retries") {
+            p.max_retries = static_cast<uint32_t>(value);
+          } else if (key == "base") {
+            p.base_cycles = value;
+          } else if (key == "cap") {
+            p.shift_cap = static_cast<uint32_t>(value);
+          } else {
+            return false;
+          }
+          return true;
+        },
+        error);
+    return ok ? MakeGreedyPolicy(p) : nullptr;
+  }
   if (error != nullptr) {
     *error = "unknown contention policy '" + name + "'";
   }
@@ -372,7 +533,7 @@ std::shared_ptr<ContentionPolicy> MakeContentionPolicy(const std::string& spec, 
 
 const std::vector<std::string>& ContentionPolicyNames() {
   static const std::vector<std::string> kNames = {"exp-backoff", "capped-retry", "serialize",
-                                                  "no-backoff", "adaptive"};
+                                                  "no-backoff", "adaptive", "karma", "greedy"};
   return kNames;
 }
 

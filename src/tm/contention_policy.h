@@ -59,13 +59,20 @@ class ContentionPolicy {
   virtual std::string name() const = 0;
 
   // A new atomic block begins on `tid`: reset per-block state (retry
-  // budgets). Threads are dense small integers (core ids).
-  virtual void OnBlockStart(uint32_t tid) = 0;
+  // budgets). Threads are dense small integers (core ids). `site` is the
+  // static id of the atomic block in the program (also a dense small
+  // integer; 0 = unattributed) — the `adaptive` policy keys its learned
+  // abort-mix window on it, so two blocks that behave differently adapt
+  // independently even on one thread, and a site's lesson transfers across
+  // threads. Policies without learned state ignore it.
+  virtual void OnBlockStart(uint32_t tid, uint32_t site = 0) = 0;
 
   // One attempt of `tid`'s current block aborted with `cause`; decide what
   // the runtime does next. Never called for the runtime-mechanism causes
-  // (kRestartSerial, kUserAbort, kMallocRefill) or for kNone.
-  virtual PolicyDecision OnAbort(uint32_t tid, asfcommon::AbortCause cause) = 0;
+  // (kRestartSerial, kUserAbort, kMallocRefill) or for kNone. `site` must
+  // match the preceding OnBlockStart.
+  virtual PolicyDecision OnAbort(uint32_t tid, asfcommon::AbortCause cause,
+                                 uint32_t site = 0) = 0;
 };
 
 // --- Built-in policies -------------------------------------------------------
@@ -121,8 +128,50 @@ struct AdaptivePolicyParams {
 
 // Serializes early when the observed abort-cause mix says optimism is not
 // paying: a hopeless cause seen twice within one block serializes, and the
-// per-block retry budget scales down with the window's hopeless share.
+// per-block retry budget scales down with the window's hopeless share. The
+// window is keyed per SITE (shared across threads), so distinct atomic
+// blocks adapt independently; retry counters and jitter RNGs stay per
+// thread.
 std::shared_ptr<ContentionPolicy> MakeAdaptivePolicy(const AdaptivePolicyParams& params);
+
+struct KarmaPolicyParams {
+  // Counted aborts of the current block ("karma" — priority earned by
+  // losing) at which the block escalates to the runtime's guaranteed-win
+  // fallback. Backoff waits *shrink* as karma grows, so a repeatedly beaten
+  // transaction yields less and less before claiming the fallback.
+  uint32_t serialize_threshold = 8;
+  uint64_t base_cycles = 64;
+  uint32_t shift_cap = 8;
+  uint64_t seed = 0xCA12A;
+  uint64_t seed_stride = 0x9E37;
+};
+
+// Karma-style priority contention management (conflict-count-weighted): each
+// counted abort raises the block's priority, which shortens its backoff;
+// at `serialize_threshold` the block takes the fallback, whose execution no
+// adversary can abort (ASF-TM serial-irrevocable mode has no speculative
+// region to snipe). This bounds the losses of any transaction under a
+// perpetually winning adversary — the progress property the bully-schedule
+// litmus tests pin.
+std::shared_ptr<ContentionPolicy> MakeKarmaPolicy(const KarmaPolicyParams& params);
+
+struct GreedyPolicyParams {
+  // Retry budget for blocks that do NOT hold the oldest active timestamp.
+  uint32_t max_retries = 8;
+  uint64_t base_cycles = 64;
+  uint32_t shift_cap = 8;
+  uint64_t seed = 0x62EED;
+  uint64_t seed_stride = 0x9E37;
+};
+
+// Greedy-style timestamp priority: every block start takes a globally
+// increasing stamp; when the OLDEST active block aborts it serializes at
+// once (its age gives it priority, and the fallback makes the win
+// unconditional), while younger blocks back off within a retry budget. The
+// age order is a heuristic: a committed block's stamp stays registered until
+// the thread's next block start, so "oldest active" is exact only while all
+// threads keep running blocks (true in all our workloads).
+std::shared_ptr<ContentionPolicy> MakeGreedyPolicy(const GreedyPolicyParams& params);
 
 // Parses a policy spec string:
 //   "exp-backoff[:base=<n>,cap=<n>,retries=<n>,capacity-serial=<0|1>]"
@@ -130,6 +179,8 @@ std::shared_ptr<ContentionPolicy> MakeAdaptivePolicy(const AdaptivePolicyParams&
 //   "serialize"
 //   "no-backoff"
 //   "adaptive[:window=<n>,retries=<n>]"
+//   "karma[:threshold=<n>,base=<n>,cap=<n>]"
+//   "greedy[:retries=<n>,base=<n>,cap=<n>]"
 // `seed` seeds the policy's jitter RNG. Returns nullptr (with a message in
 // *error if non-null) on malformed specs.
 std::shared_ptr<ContentionPolicy> MakeContentionPolicy(const std::string& spec, uint64_t seed,

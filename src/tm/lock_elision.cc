@@ -117,8 +117,9 @@ Task<void> ElidableLock::Backoff(SimThread& t, uint64_t wait, uint32_t retry, Tx
               retry, wait);
 }
 
-Task<void> ElidableLock::CriticalSection(SimThread& t, Body body, TxStats* stats) {
-  policy_->OnBlockStart(t.id());
+Task<void> ElidableLock::CriticalSection(SimThread& t, Body body, TxStats* stats,
+                                         uint32_t site) {
+  policy_->OnBlockStart(t.id(), site);
   uint32_t aborted = 0;  // Lifecycle retry ordinal within this section.
   bool take_lock = params_.always_acquire;
   while (!take_lock) {
@@ -130,7 +131,7 @@ Task<void> ElidableLock::CriticalSection(SimThread& t, Body body, TxStats* stats
     if (cause == AbortCause::kRestartSerial) {
       continue;  // Lock was held; waiting again is not a failed elision.
     }
-    PolicyDecision d = policy_->OnAbort(t.id(), cause);
+    PolicyDecision d = policy_->OnAbort(t.id(), cause, site);
     if (d.action == PolicyAction::kSerialize) {
       take_lock = true;
     } else if (d.action == PolicyAction::kBackoffRetry) {
@@ -232,11 +233,11 @@ std::string ElisionTm::name() const {
   return "LockElision (" + machine_.params().variant.Name() + ")";
 }
 
-Task<void> ElisionTm::Atomic(SimThread& t, BodyFn body) {
+Task<void> ElisionTm::Atomic(SimThread& t, uint32_t site, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   ++pt.stats.tx_started;
   ElidableLock& lk = *lock_;
-  lk.policy().OnBlockStart(t.id());
+  lk.policy().OnBlockStart(t.id(), site);
   ElidableLock::Body section = [&](bool elided) -> Task<void> {
     CategoryGuard g(t.core(), CycleCategory::kTxAppCode);
     ElisionTx tx(*this, t, pt, elided);
@@ -264,7 +265,7 @@ Task<void> ElisionTm::Atomic(SimThread& t, BodyFn body) {
         continue;
       }
       default: {
-        PolicyDecision d = lk.policy().OnAbort(t.id(), cause);
+        PolicyDecision d = lk.policy().OnAbort(t.id(), cause, site);
         if (d.action == PolicyAction::kSerialize) {
           take_lock = true;
         } else if (d.action == PolicyAction::kBackoffRetry) {

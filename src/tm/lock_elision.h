@@ -59,8 +59,10 @@ class ElidableLock {
   // Executes `body` as a critical section protected by this lock, eliding
   // when possible. When `stats` is non-null the attempt outcomes are folded
   // into it (elided attempts as hardware, real acquisitions as serial).
+  // `site` is the section's static site id, forwarded to the contention
+  // policy (0 = unattributed).
   asfsim::Task<void> CriticalSection(asfsim::SimThread& t, Body body,
-                                     TxStats* stats = nullptr);
+                                     TxStats* stats = nullptr, uint32_t site = 0);
 
   // --- Building blocks (used by CriticalSection and ElisionTm) -------------
 
@@ -127,7 +129,8 @@ class ElisionTm : public TmRuntime {
   ~ElisionTm() override;
 
   std::string name() const override;
-  asfsim::Task<void> Atomic(asfsim::SimThread& thread, BodyFn body) override;
+  using TmRuntime::Atomic;
+  asfsim::Task<void> Atomic(asfsim::SimThread& thread, uint32_t site, BodyFn body) override;
   const TxStats& stats(uint32_t thread_id) const override { return threads_[thread_id]->stats; }
   TxStats TotalStats() const override;
   void ResetStats() override;

@@ -87,6 +87,9 @@ PhasedTm::PhasedTm(asf::Machine& machine, const PhasedTmParams& params)
   }
   phase_ = machine.arena().New<PhaseState>();
   TinyStmParams stm_params;
+  stm_params.orec_count_log2 = params.stm_orec_count_log2;
+  stm_params.max_read_set = params.stm_max_read_set;
+  stm_params.max_write_set = params.stm_max_write_set;
   stm_params.rng_seed = params.rng_seed ^ 0xF00D;
   stm_ = std::make_unique<TinyStm>(machine, stm_params);
   const uint32_t n = machine.scheduler().num_cores();
@@ -151,11 +154,11 @@ Task<void> PhasedTm::SwitchToSoftware(SimThread& t, uint32_t aborted_attempts) {
               aborted_attempts, static_cast<uint64_t>(TxMode::kHardware));
 }
 
-Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
+Task<void> PhasedTm::Atomic(SimThread& t, uint32_t site, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   Core& core = t.core();
   ++pt.stats.tx_started;
-  policy_->OnBlockStart(t.id());
+  policy_->OnBlockStart(t.id(), site);
   uint32_t aborted_attempts = 0;  // Lifecycle retry ordinal for this block.
   for (;;) {
     co_await t.Access(AccessKind::kLoad, &phase_->phase, 8);
@@ -196,7 +199,7 @@ Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
           // contention budget) flips the whole system into the software
           // phase instead of serializing, so capacity-challenged
           // transactions retain concurrency among themselves.
-          PolicyDecision d = policy_->OnAbort(t.id(), cause);
+          PolicyDecision d = policy_->OnAbort(t.id(), cause, site);
           if (d.action == PolicyAction::kSerialize) {
             co_await SwitchToSoftware(t, aborted_attempts);
           } else if (d.action == PolicyAction::kBackoffRetry) {
@@ -221,7 +224,7 @@ Task<void> PhasedTm::Atomic(SimThread& t, BodyFn body) {
       co_await t.FetchAdd(&phase_->active_software, 8, static_cast<uint64_t>(-1));
       continue;
     }
-    co_await stm_->Atomic(t, std::move(body));
+    co_await stm_->Atomic(t, site, std::move(body));
     ++pt.stats.stm_commits;
     uint64_t budget_before = co_await t.FetchAdd(&phase_->software_budget, 8,
                                                  static_cast<uint64_t>(-1));

@@ -33,6 +33,12 @@ struct PhasedTmParams {
   // Software-phase commits before attempting to switch back to hardware.
   uint32_t software_quota = 16;
   uint64_t rng_seed = 0x9A5ED;
+  // Sizing of the software-phase TinySTM (orec table and per-thread logs).
+  // The defaults match TinyStmParams; the litmus explorer shrinks them to
+  // fit one machine per enumerated interleaving.
+  uint32_t stm_orec_count_log2 = TinyStmParams().orec_count_log2;
+  uint64_t stm_max_read_set = TinyStmParams().max_read_set;
+  uint64_t stm_max_write_set = TinyStmParams().max_write_set;
   // Contention management for the hardware phase. Null constructs the
   // default exponential-backoff policy from the knobs above; kSerialize
   // decisions flip the system into the software phase.
@@ -45,7 +51,8 @@ class PhasedTm : public TmRuntime {
   ~PhasedTm() override;
 
   std::string name() const override;
-  asfsim::Task<void> Atomic(asfsim::SimThread& thread, BodyFn body) override;
+  using TmRuntime::Atomic;
+  asfsim::Task<void> Atomic(asfsim::SimThread& thread, uint32_t site, BodyFn body) override;
   const TxStats& stats(uint32_t thread_id) const override { return threads_[thread_id]->stats; }
   TxStats TotalStats() const override;
   void ResetStats() override;

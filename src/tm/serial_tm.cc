@@ -67,7 +67,7 @@ SequentialTm::SequentialTm(asf::Machine& machine) : machine_(machine) {
 
 SequentialTm::~SequentialTm() = default;
 
-Task<void> SequentialTm::Atomic(SimThread& t, BodyFn body) {
+Task<void> SequentialTm::Atomic(SimThread& t, uint32_t /*site*/, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   ++pt.stats.tx_started;
   // Sequential execution is a degenerate serial-irrevocable block: one
@@ -108,7 +108,7 @@ GlobalLockTm::GlobalLockTm(asf::Machine& machine) : machine_(machine) {
 
 GlobalLockTm::~GlobalLockTm() = default;
 
-Task<void> GlobalLockTm::Atomic(SimThread& t, BodyFn body) {
+Task<void> GlobalLockTm::Atomic(SimThread& t, uint32_t /*site*/, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   ++pt.stats.tx_started;
   // Begin before the acquire so lock-wait time is part of block latency —

@@ -27,7 +27,8 @@ class SequentialTm : public TmRuntime {
   ~SequentialTm() override;
 
   std::string name() const override { return "Sequential"; }
-  asfsim::Task<void> Atomic(asfsim::SimThread& thread, BodyFn body) override;
+  using TmRuntime::Atomic;
+  asfsim::Task<void> Atomic(asfsim::SimThread& thread, uint32_t site, BodyFn body) override;
   const TxStats& stats(uint32_t thread_id) const override { return threads_[thread_id]->stats; }
   TxStats TotalStats() const override;
   void ResetStats() override;
@@ -51,7 +52,8 @@ class GlobalLockTm : public TmRuntime {
   ~GlobalLockTm() override;
 
   std::string name() const override { return "Global lock"; }
-  asfsim::Task<void> Atomic(asfsim::SimThread& thread, BodyFn body) override;
+  using TmRuntime::Atomic;
+  asfsim::Task<void> Atomic(asfsim::SimThread& thread, uint32_t site, BodyFn body) override;
   const TxStats& stats(uint32_t thread_id) const override { return threads_[thread_id]->stats; }
   TxStats TotalStats() const override;
   void ResetStats() override;

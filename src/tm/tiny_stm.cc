@@ -53,7 +53,7 @@ class StmTx : public Tx {
       co_await rt_.RollbackAndAbort(t, pt_);
     }
     // Track the read; the append also costs a (thread-local) store.
-    ASF_CHECK_MSG(pt_.read_count < TinyStm::kMaxReadSet, "STM read set overflow");
+    ASF_CHECK_MSG(pt_.read_count < rt_.params_.max_read_set, "STM read set overflow");
     pt_.read_set[pt_.read_count] = {o, TinyStm::VersionOf(w)};
     TinyStm::ReadEntry* slot = &pt_.read_set[pt_.read_count++];
     co_await t.Access(AccessKind::kStore, slot, sizeof(TinyStm::ReadEntry));
@@ -87,7 +87,7 @@ class StmTx : public Tx {
     co_await t.Access(AccessKind::kLoad, addr, size);
     uint64_t old_value = 0;
     std::memcpy(&old_value, reinterpret_cast<const void*>(addr), size);
-    ASF_CHECK_MSG(pt_.write_count < TinyStm::kMaxWriteSet, "STM write set overflow");
+    ASF_CHECK_MSG(pt_.write_count < rt_.params_.max_write_set, "STM write set overflow");
     pt_.write_set[pt_.write_count] = {addr, size, old_value, o, w, locked_here};
     TinyStm::WriteEntry* slot = &pt_.write_set[pt_.write_count++];
     co_await t.Access(AccessKind::kStore, slot, sizeof(TinyStm::WriteEntry));
@@ -145,8 +145,8 @@ TinyStm::TinyStm(asf::Machine& machine, const TinyStmParams& params)
   for (uint32_t i = 0; i < n; ++i) {
     auto pt = std::make_unique<PerThread>(&arena);
     pt->alloc.Refill(1);
-    pt->read_set = arena.NewArray<ReadEntry>(kMaxReadSet);
-    pt->write_set = arena.NewArray<WriteEntry>(kMaxWriteSet);
+    pt->read_set = arena.NewArray<ReadEntry>(params.max_read_set);
+    pt->write_set = arena.NewArray<WriteEntry>(params.max_write_set);
     threads_.push_back(std::move(pt));
   }
   // The STM image (orec table, clock, descriptor arrays) is resident after
@@ -155,9 +155,9 @@ TinyStm::TinyStm(asf::Machine& machine, const TinyStmParams& params)
   machine.mem().PretouchPages(reinterpret_cast<uint64_t>(clock_), sizeof(GlobalClock));
   for (auto& pt : threads_) {
     machine.mem().PretouchPages(reinterpret_cast<uint64_t>(pt->read_set),
-                                kMaxReadSet * sizeof(ReadEntry));
+                                params.max_read_set * sizeof(ReadEntry));
     machine.mem().PretouchPages(reinterpret_cast<uint64_t>(pt->write_set),
-                                kMaxWriteSet * sizeof(WriteEntry));
+                                params.max_write_set * sizeof(WriteEntry));
   }
 }
 
@@ -268,11 +268,11 @@ Task<void> TinyStm::StmAttempt(SimThread& t, PerThread& pt, const BodyFn& body) 
   co_await Commit(t, pt);
 }
 
-Task<void> TinyStm::Atomic(SimThread& t, BodyFn body) {
+Task<void> TinyStm::Atomic(SimThread& t, uint32_t site, BodyFn body) {
   PerThread& pt = *threads_[t.id()];
   Core& core = t.core();
   ++pt.stats.tx_started;
-  policy_->OnBlockStart(t.id());
+  policy_->OnBlockStart(t.id(), site);
   for (uint32_t retry = 0;; ++retry) {
     ++pt.stats.stm_attempts;
     core.BeginAttemptAccounting();
@@ -300,7 +300,7 @@ Task<void> TinyStm::Atomic(SimThread& t, BodyFn body) {
     // No fallback mode exists here, so a kSerialize decision degenerates to
     // an immediate retry; the STM's word-granular conflict detection plus
     // backoff is its whole forward-progress story.
-    PolicyDecision d = policy_->OnAbort(t.id(), cause);
+    PolicyDecision d = policy_->OnAbort(t.id(), cause, site);
     if (d.action != PolicyAction::kBackoffRetry) {
       continue;
     }

@@ -37,6 +37,12 @@ namespace asftm {
 
 struct TinyStmParams {
   uint32_t orec_count_log2 = 20;  // 2^20 orecs (8 MiB), as TinySTM defaults.
+  // Capacity of the arena-backed per-thread read/write logs, in entries.
+  // The defaults hold the paper's workloads with wide margin; the litmus
+  // explorer shrinks them (with the orec table) so a machine-per-
+  // interleaving search does not spend its host time zero-filling logs.
+  uint64_t max_read_set = 1ull << 18;
+  uint64_t max_write_set = 1ull << 16;
   // Modeled instruction counts for the software paths (pure ALU work; the
   // memory traffic is simulated explicitly).
   uint32_t begin_instructions = 40;  // sigsetjmp + descriptor setup.
@@ -60,7 +66,8 @@ class TinyStm : public TmRuntime {
   ~TinyStm() override;
 
   std::string name() const override { return "TinySTM (write-through)"; }
-  asfsim::Task<void> Atomic(asfsim::SimThread& thread, BodyFn body) override;
+  using TmRuntime::Atomic;
+  asfsim::Task<void> Atomic(asfsim::SimThread& thread, uint32_t site, BodyFn body) override;
   const TxStats& stats(uint32_t thread_id) const override { return threads_[thread_id]->stats; }
   TxStats TotalStats() const override;
   void ResetStats() override;
@@ -96,11 +103,6 @@ class TinyStm : public TmRuntime {
                          // lock it at this entry, i.e. a re-write).
     bool locked_here;
   };
-
-  // Fixed-capacity, arena-backed descriptor arrays: deterministic addresses
-  // and no mid-run reallocation (a real STM similarly grows its logs rarely).
-  static constexpr uint64_t kMaxReadSet = 1ull << 18;
-  static constexpr uint64_t kMaxWriteSet = 1ull << 16;
 
   struct PerThread {
     TxStats stats;

@@ -213,6 +213,160 @@ TEST(AdaptivePolicy, ContentionOnlyMixKeepsTheFullBudget) {
   }
 }
 
+TEST(AdaptivePolicy, SitesAdaptIndependentlyAndShareAcrossThreads) {
+  AdaptivePolicyParams params;
+  params.window = 4;
+  params.max_retries = 4;
+  params.min_retries = 0;
+  auto p = MakeAdaptivePolicy(params);
+
+  // Warm site 2 with a contention-only history (full budget, four waits)...
+  p->OnBlockStart(0, /*site=*/2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(p->OnAbort(0, AbortCause::kContention, 2).action, PolicyAction::kBackoffRetry)
+        << i;
+  }
+  // ...and saturate site 1's window with hopeless causes: with min_retries=0
+  // each block's first capacity abort already serializes, recording as it
+  // goes.
+  for (int block = 0; block < 4; ++block) {
+    p->OnBlockStart(0, /*site=*/1);
+    EXPECT_EQ(p->OnAbort(0, AbortCause::kCapacity, 1).action, PolicyAction::kSerialize)
+        << block;
+  }
+
+  // The SAME thread now takes a capacity abort at each site: site 2's
+  // contention-dominated window still grants a retry, site 1's
+  // hopeless-saturated window serializes at once. The lesson belongs to the
+  // atomic block, not to whichever thread runs it.
+  p->OnBlockStart(0, /*site=*/2);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kCapacity, 2).action, PolicyAction::kBackoffRetry);
+  p->OnBlockStart(0, /*site=*/1);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kCapacity, 1).action, PolicyAction::kSerialize);
+
+  // And the site's lesson transfers across threads: thread 1's first-ever
+  // abort, at the poisoned site, inherits the learned mix.
+  p->OnBlockStart(1, /*site=*/1);
+  EXPECT_EQ(p->OnAbort(1, AbortCause::kCapacity, 1).action, PolicyAction::kSerialize);
+}
+
+// --- KarmaPolicy -------------------------------------------------------------
+
+TEST(KarmaPolicy, SerializesAtTheThreshold) {
+  KarmaPolicyParams params;
+  params.serialize_threshold = 3;
+  auto p = MakeKarmaPolicy(params);
+  // threshold - 1 backoff-retries; the threshold-th counted abort claims the
+  // guaranteed-win fallback.
+  EXPECT_EQ(RetriesUntilSerialize(*p, 0, AbortCause::kContention), 2u);
+}
+
+TEST(KarmaPolicy, BackoffShrinksAsKarmaGrows) {
+  KarmaPolicyParams params;
+  params.serialize_threshold = 10;
+  params.base_cycles = 64;
+  params.shift_cap = 8;
+  auto p = MakeKarmaPolicy(params);
+  p->OnBlockStart(0);
+  uint64_t prev_bound = UINT64_MAX;
+  for (uint32_t karma = 1; karma < params.serialize_threshold; ++karma) {
+    PolicyDecision d = p->OnAbort(0, AbortCause::kContention);
+    ASSERT_EQ(d.action, PolicyAction::kBackoffRetry) << "karma " << karma;
+    // The wait exponent is the remaining distance to the threshold, so the
+    // jitter window halves (once under the shift cap) with every loss: a
+    // repeatedly beaten block yields less and less before it escalates.
+    const uint32_t deficit = params.serialize_threshold - karma;
+    const uint64_t bound = params.base_cycles
+                           << std::min(deficit, params.shift_cap);
+    EXPECT_GE(d.backoff_cycles, bound / 2) << "karma " << karma;
+    EXPECT_LE(d.backoff_cycles, bound) << "karma " << karma;
+    EXPECT_LE(bound, prev_bound) << "karma " << karma;
+    prev_bound = bound;
+  }
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kSerialize);
+}
+
+TEST(KarmaPolicy, HopelessCausesSkipThePriorityGame) {
+  auto p = MakeKarmaPolicy(KarmaPolicyParams{});
+  // Waiting cannot make capacity or syscall aborts succeed; no karma to earn.
+  p->OnBlockStart(0);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kCapacity).action, PolicyAction::kSerialize);
+  p->OnBlockStart(0);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kSyscall).action, PolicyAction::kSerialize);
+}
+
+TEST(KarmaPolicy, TransientsNeitherWaitNorEarnKarma) {
+  KarmaPolicyParams params;
+  params.serialize_threshold = 2;
+  auto p = MakeKarmaPolicy(params);
+  p->OnBlockStart(0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(p->OnAbort(0, AbortCause::kPageFault).action, PolicyAction::kRetryNow);
+    EXPECT_EQ(p->OnAbort(0, AbortCause::kInterrupt).action, PolicyAction::kRetryNow);
+  }
+  // The full threshold is still available afterwards.
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kBackoffRetry);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kSerialize);
+}
+
+TEST(KarmaPolicy, CommitSpendsTheAccumulatedPriority) {
+  KarmaPolicyParams params;
+  params.serialize_threshold = 2;
+  auto p = MakeKarmaPolicy(params);
+  EXPECT_EQ(RetriesUntilSerialize(*p, 0, AbortCause::kContention), 1u);
+  // A new block starts from zero karma, not from the spent threshold.
+  EXPECT_EQ(RetriesUntilSerialize(*p, 0, AbortCause::kContention), 1u);
+}
+
+// --- GreedyPolicy ------------------------------------------------------------
+
+TEST(GreedyPolicy, OldestActiveBlockSerializesAtOnce) {
+  auto p = MakeGreedyPolicy(GreedyPolicyParams{});
+  p->OnBlockStart(0);  // The oldest active stamp: priority on first abort.
+  p->OnBlockStart(1);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kSerialize);
+}
+
+TEST(GreedyPolicy, YoungerBlockBacksOffWithinItsBudget) {
+  GreedyPolicyParams params;
+  params.max_retries = 2;
+  auto p = MakeGreedyPolicy(params);
+  p->OnBlockStart(0);  // Older.
+  p->OnBlockStart(1);  // Younger: must yield to thread 0's age...
+  EXPECT_EQ(p->OnAbort(1, AbortCause::kContention).action, PolicyAction::kBackoffRetry);
+  EXPECT_EQ(p->OnAbort(1, AbortCause::kContention).action, PolicyAction::kBackoffRetry);
+  // ...but not forever: budget exhaustion still reaches the fallback, so
+  // even the perpetually-youngest block's losses stay bounded.
+  EXPECT_EQ(p->OnAbort(1, AbortCause::kContention).action, PolicyAction::kSerialize);
+}
+
+TEST(GreedyPolicy, PriorityPassesWhenTheOlderBlockMovesOn) {
+  auto p = MakeGreedyPolicy(GreedyPolicyParams{});
+  p->OnBlockStart(0);
+  p->OnBlockStart(1);
+  EXPECT_EQ(p->OnAbort(1, AbortCause::kContention).action, PolicyAction::kBackoffRetry);
+  // Thread 0 commits and starts its next block: its fresh stamp is now the
+  // youngest, so thread 1 holds the oldest active stamp and wins at once.
+  p->OnBlockStart(0);
+  EXPECT_EQ(p->OnAbort(1, AbortCause::kContention).action, PolicyAction::kSerialize);
+}
+
+TEST(GreedyPolicy, LoneBlockIsOldestByDefinition) {
+  auto p = MakeGreedyPolicy(GreedyPolicyParams{});
+  p->OnBlockStart(0);
+  EXPECT_EQ(p->OnAbort(0, AbortCause::kContention).action, PolicyAction::kSerialize);
+}
+
+TEST(GreedyPolicy, HopelessAndTransientShortCircuitTheStampOrder) {
+  auto p = MakeGreedyPolicy(GreedyPolicyParams{});
+  p->OnBlockStart(0);
+  p->OnBlockStart(1);
+  // Transients retry free regardless of age; hopeless causes serialize even
+  // the youngest block (waiting cannot help).
+  EXPECT_EQ(p->OnAbort(1, AbortCause::kInterrupt).action, PolicyAction::kRetryNow);
+  EXPECT_EQ(p->OnAbort(1, AbortCause::kCapacity).action, PolicyAction::kSerialize);
+}
+
 // --- Factory -----------------------------------------------------------------
 
 TEST(MakeContentionPolicy, BuildsEveryNamedPolicy) {
@@ -243,6 +397,20 @@ TEST(MakeContentionPolicy, CappedRetryHonorsRetriesOption) {
   auto p = MakeContentionPolicy("capped-retry:retries=2", 7);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(RetriesUntilSerialize(*p, 0, AbortCause::kContention), 2u);
+}
+
+TEST(MakeContentionPolicy, KarmaAndGreedyOptionsAreHonored) {
+  std::string error;
+  auto karma = MakeContentionPolicy("karma:threshold=2", 7, &error);
+  ASSERT_NE(karma, nullptr) << error;
+  EXPECT_EQ(RetriesUntilSerialize(*karma, 0, AbortCause::kContention), 1u);
+
+  auto greedy = MakeContentionPolicy("greedy:retries=1", 7, &error);
+  ASSERT_NE(greedy, nullptr) << error;
+  greedy->OnBlockStart(0);
+  greedy->OnBlockStart(1);  // Younger: retries=1 grants exactly one wait.
+  EXPECT_EQ(greedy->OnAbort(1, AbortCause::kContention).action, PolicyAction::kBackoffRetry);
+  EXPECT_EQ(greedy->OnAbort(1, AbortCause::kContention).action, PolicyAction::kSerialize);
 }
 
 TEST(MakeContentionPolicy, RejectsMalformedSpecs) {

@@ -16,11 +16,13 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/abort_cause.h"
 #include "src/common/defs.h"
 #include "src/fault/fault_schedule.h"
 #include "src/harness/report.h"
+#include "src/litmus/litmus.h"
 #include "src/harness/stamp_driver.h"
 #include "src/harness/stress.h"
 #include "src/harness/sweep.h"
@@ -64,7 +66,14 @@ void Usage() {
       "                          adversarial-contention) and report the stress summary\n"
       "  stamp:   --app genome|intruder|kmeans-low|kmeans-high|labyrinth|ssca2|\n"
       "                 vacation-low|vacation-high       --scale N\n"
-      "           --schedule S   inject the fault schedule into the STAMP run\n");
+      "           --schedule S   inject the fault schedule into the STAMP run\n"
+      "  litmus:  --litmus NAME|all  enumerate a semantics litmus test over all bounded\n"
+      "                          interleavings (docs/ROBUSTNESS.md) instead of a workload;\n"
+      "                          runs every runtime unless --runtime is given; honors\n"
+      "                          --variant/--seed/--policy. Exits 0 iff every reachable\n"
+      "                          outcome is in the allowed set.\n"
+      "           --break-rw 1   deliberately break requester-wins for plain loads\n"
+      "                          (mutation check: the dirty-read test must then fail)\n");
 }
 
 RuntimeKind ParseRuntime(const std::string& s) {
@@ -82,6 +91,9 @@ RuntimeKind ParseRuntime(const std::string& s) {
   }
   if (s == "phased") {
     return RuntimeKind::kPhasedTm;
+  }
+  if (s == "elision") {
+    return RuntimeKind::kLockElision;
   }
   std::fprintf(stderr, "unknown runtime '%s'\n", s.c_str());
   std::exit(2);
@@ -220,7 +232,7 @@ int main(int argc, char** argv) {
   static const char* kKnownKeys[] = {"workload", "runtime", "variant", "threads",  "seed",
                                      "trace",    "report",  "reps",    "jobs",     "structure",
                                      "range",    "update",  "ops",     "policy",   "schedule",
-                                     "app",      "scale"};
+                                     "app",      "scale",   "litmus",  "break-rw", "prune"};
   for (const auto& [key, value] : args.kv) {
     bool known = false;
     for (const char* k : kKnownKeys) {
@@ -238,6 +250,62 @@ int main(int argc, char** argv) {
   asf::AsfVariant variant = ParseVariant(args.Get("variant", "llb256"));
   uint32_t threads = static_cast<uint32_t>(args.GetInt("threads", 8));
   uint64_t seed = args.GetInt("seed", 1);
+
+  // Litmus mode: enumerate a semantics test instead of running a workload.
+  std::string litmus_arg = args.Get("litmus", "");
+  if (!litmus_arg.empty()) {
+    std::vector<const litmus::LitmusTest*> tests;
+    if (litmus_arg == "all") {
+      tests = litmus::AllTests();
+    } else {
+      const litmus::LitmusTest* t = litmus::FindTest(litmus_arg);
+      if (t == nullptr) {
+        std::fprintf(stderr, "unknown litmus test '%s'; tests:", litmus_arg.c_str());
+        for (const litmus::LitmusTest* known : litmus::AllTests()) {
+          std::fprintf(stderr, " %s", known->name().c_str());
+        }
+        std::fprintf(stderr, " all\n");
+        return 2;
+      }
+      tests.push_back(t);
+    }
+    std::vector<RuntimeKind> runtimes;
+    if (args.kv.count("runtime") != 0) {
+      runtimes.push_back(runtime);
+    } else {
+      runtimes = {RuntimeKind::kAsfTm,      RuntimeKind::kLockElision,
+                  RuntimeKind::kPhasedTm,   RuntimeKind::kTinyStm,
+                  RuntimeKind::kGlobalLock, RuntimeKind::kSequential};
+    }
+    bool ok = true;
+    for (const litmus::LitmusTest* t : tests) {
+      std::printf("%s: %s\n", t->name().c_str(), t->description().c_str());
+      for (RuntimeKind rk : runtimes) {
+        litmus::LitmusConfig cfg;
+        cfg.runtime = rk;
+        cfg.variant = variant;
+        cfg.seed = seed;
+        cfg.policy = args.Get("policy", "");
+        cfg.break_requester_wins = args.GetInt("break-rw", 0) != 0;
+        cfg.prune = args.GetInt("prune", 1) != 0;
+        litmus::LitmusResult r = litmus::RunLitmus(*t, cfg);
+        std::printf("  %-14s %4lu interleavings | %4lu decision points | %4lu pruned | "
+                    "%4lu bounded%s\n",
+                    r.runtime.c_str(), r.interleavings, r.decision_points, r.pruned_branches,
+                    r.bounded_branches, r.hit_cap ? " | CAP HIT" : "");
+        for (const auto& [outcome, count] : r.outcomes) {
+          std::printf("    %-28s x%lu\n", outcome.c_str(), count);
+        }
+        std::printf("    allowed: %s\n", t->AllowedSummary(rk).c_str());
+        for (const std::string& v : r.violations) {
+          std::printf("    VIOLATION: %s\n", v.c_str());
+        }
+        ok = ok && r.ok();
+      }
+    }
+    std::printf("litmus: %s\n", ok ? "all outcomes within allowed sets" : "VIOLATIONS FOUND");
+    return ok ? 0 : 1;
+  }
   std::string trace_path = args.Get("trace", "");
   std::string report_path = args.Get("report", "");
   std::string policy = args.Get("policy", "");

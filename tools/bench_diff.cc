@@ -14,7 +14,10 @@
 //      per-quantile threshold, or a non-numeric cell (e.g. a result digest)
 //      changed. Tail quantiles are intrinsically noisier than the median, so
 //      the gate escalates: p50 gates at 1x --threshold, p90 at 1.5x, p99 at
-//      2x, p999 at 3x.
+//      2x, p999 at 3x. The "progress" section (watchdog verdicts) gates
+//      absolutely, with no threshold: a verdict that degrades (progress ->
+//      livelock -> starvation) or a thread starving where the baseline kept
+//      it fed is a regression regardless of every rate column.
 //   2  usage or I/O error
 //   3  schema drift: a table exists in only one of the reports, so its rows
 //      were not compared at all (pass --allow-unmatched to downgrade this to
@@ -40,7 +43,34 @@ struct Table {
   std::vector<std::vector<std::string>> rows;
 };
 
-bool LoadReport(const char* path, std::vector<Table>* out, std::string* benchmark) {
+// One watchdog progress entry (the JSON "progress" section, keyed by run
+// label). Verdicts and starved-core sets gate ABSOLUTELY, not by percentage:
+// a thread that starves where the baseline kept it fed is a regression no
+// threshold can excuse.
+struct ProgressEntry {
+  std::string label;
+  std::string verdict;
+  std::vector<uint64_t> starved_cores;
+};
+
+// Severity order for "did the verdict degrade": progress < livelock <
+// starvation (starvation outranks livelock because it is the targeted
+// failure — one victim losing every race while the machine runs).
+int VerdictRank(const std::string& v) {
+  if (v == "progress") {
+    return 0;
+  }
+  if (v == "livelock") {
+    return 1;
+  }
+  if (v == "starvation") {
+    return 2;
+  }
+  return 3;  // Unknown verdicts rank worst; json_check rejects them anyway.
+}
+
+bool LoadReport(const char* path, std::vector<Table>* out, std::string* benchmark,
+                std::vector<ProgressEntry>* progress) {
   std::string text;
   std::string error;
   if (!asfobs::ReadTextFile(path, &text, &error)) {
@@ -85,7 +115,35 @@ bool LoadReport(const char* path, std::vector<Table>* out, std::string* benchmar
     }
     out->push_back(std::move(table));
   }
+  const asfobs::JsonValue* prog = root.Get("progress");
+  if (prog != nullptr && prog->IsObject()) {
+    for (const auto& [label, entry] : prog->members()) {
+      ProgressEntry pe;
+      pe.label = label;
+      const asfobs::JsonValue* verdict = entry.Get("verdict");
+      if (verdict != nullptr && verdict->IsString()) {
+        pe.verdict = verdict->AsString();
+      }
+      const asfobs::JsonValue* starved = entry.Get("starved_cores");
+      if (starved != nullptr && starved->IsArray()) {
+        for (const asfobs::JsonValue& c : starved->items()) {
+          pe.starved_cores.push_back(c.AsUInt());
+        }
+      }
+      progress->push_back(std::move(pe));
+    }
+  }
   return true;
+}
+
+const ProgressEntry* FindProgress(const std::vector<ProgressEntry>& entries,
+                                  const std::string& label) {
+  for (const ProgressEntry& e : entries) {
+    if (e.label == label) {
+      return &e;
+    }
+  }
+  return nullptr;
 }
 
 // Parses a table cell as a number; accepts a trailing '%'.
@@ -197,8 +255,10 @@ int main(int argc, char** argv) {
   std::vector<Table> new_tables;
   std::string old_bench;
   std::string new_bench;
-  if (!LoadReport(old_path, &old_tables, &old_bench) ||
-      !LoadReport(new_path, &new_tables, &new_bench)) {
+  std::vector<ProgressEntry> old_progress;
+  std::vector<ProgressEntry> new_progress;
+  if (!LoadReport(old_path, &old_tables, &old_bench, &old_progress) ||
+      !LoadReport(new_path, &new_tables, &new_bench, &new_progress)) {
     return 2;
   }
   if (old_bench != new_bench) {
@@ -261,6 +321,49 @@ int main(int argc, char** argv) {
       std::printf("== %s ==\n  (table only in %s — rows not compared)\n", ot.title.c_str(),
                   old_path);
       ++unmatched;
+    }
+  }
+
+  // Progress gate: absolute, threshold-free. A degraded verdict or a newly
+  // starved thread is a regression even if every rate column improved.
+  if (!old_progress.empty() || !new_progress.empty()) {
+    std::printf("== progress ==\n");
+    for (const ProgressEntry& ne : new_progress) {
+      const ProgressEntry* oe = FindProgress(old_progress, ne.label);
+      if (oe == nullptr) {
+        std::printf("  %-40s new entry (verdict %s)\n", ne.label.c_str(), ne.verdict.c_str());
+        continue;
+      }
+      bool regressed = false;
+      if (VerdictRank(ne.verdict) > VerdictRank(oe->verdict)) {
+        std::printf("  %-40s verdict        %10s -> %-10s  REGRESSION\n", ne.label.c_str(),
+                    oe->verdict.c_str(), ne.verdict.c_str());
+        regressed = true;
+      }
+      for (uint64_t core : ne.starved_cores) {
+        bool was_starved = false;
+        for (uint64_t old_core : oe->starved_cores) {
+          was_starved = was_starved || old_core == core;
+        }
+        if (!was_starved) {
+          std::printf("  %-40s core %llu newly starved  REGRESSION\n", ne.label.c_str(),
+                      static_cast<unsigned long long>(core));
+          regressed = true;
+        }
+      }
+      if (regressed) {
+        ++regressions;
+      } else if (ne.verdict != oe->verdict) {
+        // An improvement (or lateral move) is worth a line, but not an exit.
+        std::printf("  %-40s verdict        %10s -> %-10s\n", ne.label.c_str(),
+                    oe->verdict.c_str(), ne.verdict.c_str());
+      }
+    }
+    for (const ProgressEntry& oe : old_progress) {
+      if (FindProgress(new_progress, oe.label) == nullptr) {
+        std::printf("  %-40s entry only in %s\n", oe.label.c_str(), old_path);
+        ++unmatched;
+      }
     }
   }
 

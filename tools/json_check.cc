@@ -1,14 +1,19 @@
 // Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
 // Validates a JSON document: parses it, checks that the required top-level
-// keys are present, and schema-checks every "latency" / "heatmap" section
-// found anywhere in the document (bench reports carry them at the top level
-// keyed by series label; harness reports nest one per "result"):
+// keys are present, and schema-checks every "latency" / "heatmap" /
+// "progress" section found anywhere in the document (bench reports carry
+// them at the top level keyed by series label; harness reports nest one per
+// "result"):
 //
 //   latency: quantiles monotone (p50 <= p90 <= p99 <= p999), bucket counts
 //     summing to "count", cleanBlocks + retriedBlocks == count, and
 //     wastedCycles <= sum;
 //   heatmap: "top" sorted by edges descending, readerVictims + writerVictims
-//     == edges per line, and the top edges not exceeding "totalEdges".
+//     == edges per line, and the top edges not exceeding "totalEdges";
+//   progress: verdict in progress|livelock|starvation, per-core commits and
+//     max_abort_streak arrays of equal length, starved_cores strictly
+//     increasing and in range, and verdict/starved_cores consistency (a
+//     starvation verdict names a core; a progress verdict starves none).
 //
 // Used by the bench smoke tests to assert every fig* --json report is
 // well-formed. Errors are named with their JSON path.
@@ -135,11 +140,74 @@ void CheckHeatmapStats(const JsonValue& s, const std::string& path) {
   }
 }
 
+// One watchdog ProgressReport object as written by JsonReport::AddProgress.
+void CheckProgressStats(const JsonValue& s, const std::string& path) {
+  if (!s.IsObject()) {
+    Fail(path, "progress entry is not an object");
+    return;
+  }
+  const JsonValue* verdict = s.Get("verdict");
+  std::string v;
+  if (verdict == nullptr || !verdict->IsString()) {
+    Fail(path, "missing string field \"verdict\"");
+  } else {
+    v = verdict->AsString();
+    if (v != "progress" && v != "livelock" && v != "starvation") {
+      Fail(path, "verdict \"" + v + "\" is not progress|livelock|starvation");
+    }
+  }
+  UIntOf(s, "max_commit_gap_cycles", path);
+  auto uint_array = [&](const char* key) -> const JsonValue* {
+    const JsonValue* a = s.Get(key);
+    if (a == nullptr || !a->IsArray()) {
+      Fail(path, std::string("missing \"") + key + "\" array");
+      return nullptr;
+    }
+    for (size_t i = 0; i < a->items().size(); ++i) {
+      if (!a->items()[i].IsNumber()) {
+        Fail(path + "." + key + "[" + std::to_string(i) + "]", "not a number");
+        return nullptr;
+      }
+    }
+    return a;
+  };
+  const JsonValue* commits = uint_array("commits");
+  const JsonValue* streaks = uint_array("max_abort_streak");
+  const JsonValue* starved = uint_array("starved_cores");
+  if (commits != nullptr && streaks != nullptr &&
+      commits->items().size() != streaks->items().size()) {
+    Fail(path, "commits and max_abort_streak disagree on the core count");
+  }
+  if (starved != nullptr && commits != nullptr) {
+    uint64_t prev = 0;
+    for (size_t i = 0; i < starved->items().size(); ++i) {
+      const uint64_t core = starved->items()[i].AsUInt();
+      const std::string spath = path + ".starved_cores[" + std::to_string(i) + "]";
+      if (core >= commits->items().size()) {
+        Fail(spath, "core " + std::to_string(core) + " out of range");
+      }
+      if (i != 0 && core <= prev) {
+        Fail(spath, "starved cores not strictly increasing");
+      }
+      prev = core;
+    }
+    // The verdict is the FIRST violation, so a starved core implies a
+    // non-progress verdict, and a starvation verdict names at least one.
+    if (!starved->items().empty() && v == "progress") {
+      Fail(path, "starved cores listed under a \"progress\" verdict");
+    }
+    if (starved->items().empty() && v == "starvation") {
+      Fail(path, "\"starvation\" verdict with no starved cores");
+    }
+  }
+}
+
 // "latency" values are either a single stats object (harness reports) or a
-// {label: stats} map (bench reports); same for "heatmap".
+// {label: stats} map (bench reports); same for "heatmap" and "progress".
 void CheckSection(const JsonValue& v, const std::string& path,
                   void (*check)(const JsonValue&, const std::string&)) {
-  if (v.IsObject() && v.Get("count") == nullptr && v.Get("totalEdges") == nullptr) {
+  if (v.IsObject() && v.Get("count") == nullptr && v.Get("totalEdges") == nullptr &&
+      v.Get("verdict") == nullptr) {
     for (const auto& [label, entry] : v.members()) {
       check(entry, path + "." + label);
     }
@@ -157,6 +225,8 @@ void Walk(const JsonValue& v, const std::string& path) {
         CheckSection(child, cpath, CheckLatencyStats);
       } else if (key == "heatmap") {
         CheckSection(child, cpath, CheckHeatmapStats);
+      } else if (key == "progress") {
+        CheckSection(child, cpath, CheckProgressStats);
       } else {
         Walk(child, cpath);
       }

@@ -9,8 +9,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "src/common/table.h"
 #include "src/fault/watchdog.h"
@@ -27,17 +32,20 @@ struct Options {
   std::string json_path;     // Write a JSON run report here (empty = off).
   uint64_t seed = 0;         // Override the benchmark's base seed (0 = keep).
   uint32_t jobs = 0;         // Host-parallel sweep jobs (0 = hardware_concurrency).
+  uint64_t slack = 0;        // Bounded-slack quantum cycles (0 = exact loop).
 };
 
 inline void PrintUsage(const char* prog, std::FILE* out) {
   std::fprintf(out,
-               "usage: %s [--quick] [--csv] [--json <path>] [--seed <n>] [--jobs <n>]\n"
+               "usage: %s [--quick] [--csv] [--json <path>] [--seed <n>] [--jobs <n>] [--slack <n>]\n"
                "  --quick        reduced op counts (smoke runs)\n"
                "  --csv          emit CSV after the human-readable tables\n"
                "  --json <path>  write a machine-readable JSON run report\n"
                "  --seed <n>     override the benchmark's base RNG seed\n"
                "  --jobs <n>     host threads for the sweep (default: all cores;\n"
-               "                 results are identical for every job count)\n",
+               "                 results are identical for every job count)\n"
+               "  --slack <n>    bounded-slack quantum cycles (0 = exact event loop;\n"
+               "                 results are identical for every value)\n",
                prog);
 }
 
@@ -84,6 +92,19 @@ inline Options ParseArgs(int argc, char** argv) {
         std::exit(2);
       }
       opt.jobs = static_cast<uint32_t>(jobs);
+    } else if (std::strcmp(argv[i], "--slack") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --slack requires a numeric operand\n", argv[0]);
+        PrintUsage(argv[0], stderr);
+        std::exit(2);
+      }
+      char* end = nullptr;
+      opt.slack = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "%s: --slack operand must be a non-negative integer, got '%s'\n",
+                     argv[0], argv[i]);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       PrintUsage(argv[0], stdout);
       std::exit(0);
@@ -94,6 +115,29 @@ inline Options ParseArgs(int argc, char** argv) {
     }
   }
   return opt;
+}
+
+// Host CPU topology as visible to this process. `cpus` is the hardware
+// thread count; `affinity_cpus` is how many of them the scheduler lets us
+// run on (container/cgroup/taskset pinning) — 0 where the platform cannot
+// say. Throughput baselines are only comparable between hosts with the same
+// numbers, so every bench JSON report carries them in its header.
+struct HostInfo {
+  uint32_t cpus = 0;
+  uint32_t affinity_cpus = 0;
+};
+
+inline HostInfo QueryHostInfo() {
+  HostInfo info;
+  info.cpus = std::thread::hardware_concurrency();
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    info.affinity_cpus = static_cast<uint32_t>(CPU_COUNT(&set));
+  }
+#endif
+  return info;
 }
 
 inline const std::vector<uint32_t>& ThreadCounts() {
@@ -175,6 +219,15 @@ class JsonReport {
     w.KV("benchmark", benchmark_);
     w.KV("quick", opt_.quick);
     w.KV("seed", opt_.seed);
+    w.KV("slack", opt_.slack);
+    // Host header: throughput rows are only comparable across machines with
+    // the same visible-CPU counts (see QueryHostInfo).
+    const HostInfo host = QueryHostInfo();
+    w.Key("host");
+    w.BeginObject();
+    w.KV("cpus", static_cast<uint64_t>(host.cpus));
+    w.KV("affinity_cpus", static_cast<uint64_t>(host.affinity_cpus));
+    w.EndObject();
     w.Key("tables");
     w.BeginArray();
     for (const asfcommon::Table& t : tables_) {

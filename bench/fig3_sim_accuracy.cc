@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   table.SetHeader({"benchmark", "simulated-cycles", "reference-cycles", "deviation"});
 
   harness::SweepRunner sweep(opt.jobs);
+  sweep.SetSlackCycles(opt.slack);
   for (const std::string& app_name : harness::StampAppNames()) {
     harness::StampConfig cfg;
     cfg.runtime = harness::RuntimeKind::kSequential;

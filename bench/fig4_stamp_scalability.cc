@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
   }
 
   harness::SweepRunner sweep(opt.jobs);
+  sweep.SetSlackCycles(opt.slack);
   for (const std::string& app_name : harness::StampAppNames()) {
     for (const Series& s : series) {
       for (uint32_t threads : benchutil::ThreadCounts()) {

@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   // formatting below reads results back in submit order, so the output is
   // identical for every --jobs value.
   harness::SweepRunner sweep(opt.jobs);
+  sweep.SetSlackCycles(opt.slack);
   for (const Panel& panel : panels) {
     for (const auto& variant : variants) {
       for (uint32_t threads : benchutil::ThreadCounts()) {

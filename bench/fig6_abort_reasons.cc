@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
       "attempts)\n\n");
 
   harness::SweepRunner sweep(opt.jobs);
+  sweep.SetSlackCycles(opt.slack);
   for (const std::string& app_name : harness::StampAppNames()) {
     for (const auto& variant : variants) {
       for (uint32_t threads : benchutil::ThreadCounts()) {

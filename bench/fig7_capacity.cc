@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   };
 
   harness::SweepRunner sweep(opt.jobs);
+  sweep.SetSlackCycles(opt.slack);
   for (const Study& study : studies) {
     for (const auto& variant : variants) {
       for (uint64_t size : study.sizes) {

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
       "spent inside transactions, ASF-TM (LLB-256) vs TinySTM.\n\n");
 
   harness::SweepRunner sweep(opt.jobs);
+  sweep.SetSlackCycles(opt.slack);
   for (const Workload& w : workloads) {
     sweep.SubmitIntset(MakeConfig(w, harness::RuntimeKind::kAsfTm, ops, opt.seed));
     sweep.SubmitIntset(MakeConfig(w, harness::RuntimeKind::kTinyStm, ops, opt.seed));

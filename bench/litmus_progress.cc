@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
   const uint64_t seed = opt.seed != 0 ? opt.seed : 1;
 
   harness::SweepRunner sweep(opt.jobs);
+  sweep.SetSlackCycles(opt.slack);
   for (const Adversary& adv : kAdversaries) {
     for (const Contender& con : kContenders) {
       harness::StressConfig sc;

@@ -93,10 +93,12 @@ std::vector<harness::IntsetConfig> BuildGrid(bool quick, uint64_t seed) {
   return grid;
 }
 
-PassResult RunPass(const std::vector<harness::IntsetConfig>& grid, uint32_t jobs) {
+PassResult RunPass(const std::vector<harness::IntsetConfig>& grid, uint32_t jobs,
+                   uint64_t slack_cycles = 0) {
   PassResult pass;
   auto start = std::chrono::steady_clock::now();
   harness::SweepRunner sweep(jobs);
+  sweep.SetSlackCycles(slack_cycles);
   for (const harness::IntsetConfig& cfg : grid) {
     sweep.SubmitIntset(cfg);
   }
@@ -117,6 +119,12 @@ PassResult RunPass(const std::vector<harness::IntsetConfig>& grid, uint32_t jobs
     pass.host.dir_solo_fast_paths += r.host.dir_solo_fast_paths;
     pass.host.dir_probes += r.host.dir_probes;
     pass.host.dir_probe_hits += r.host.dir_probe_hits;
+    pass.host.slack_quanta += r.host.slack_quanta;
+    pass.host.slack_solo_quanta += r.host.slack_solo_quanta;
+    pass.host.slack_torn_quanta += r.host.slack_torn_quanta;
+    pass.host.slack_conflict_quanta += r.host.slack_conflict_quanta;
+    pass.host.slack_batched += r.host.slack_batched;
+    pass.host.slack_journal_lines += r.host.slack_journal_lines;
     pass.digests.push_back(DigestOf(r));
   }
   return pass;
@@ -222,8 +230,13 @@ int main(int argc, char** argv) {
   // conflict directory's active-speculator gate force-disabled and fails if
   // any digest differs from the gated serial pass (the fast path must never
   // drift from the slow path).
+  // --slack-check reruns the grid in bounded-slack quantum mode (quantum =
+  // --slack, default 256 cycles) and fails if any digest differs from the
+  // exact serial pass; it also prints the quantum telemetry and the
+  // slack-vs-exact digest table.
   std::string baseline_path;
   bool gate_check = false;
+  bool slack_check = false;
   std::vector<char*> filtered;
   filtered.reserve(static_cast<size_t>(argc));
   filtered.push_back(argv[0]);
@@ -236,6 +249,8 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--gate-check") == 0) {
       gate_check = true;
+    } else if (std::strcmp(argv[i], "--slack-check") == 0) {
+      slack_check = true;
     } else {
       filtered.push_back(argv[i]);
     }
@@ -245,26 +260,36 @@ int main(int argc, char** argv) {
   benchutil::JsonReport report("perf_selfcheck", opt);
 
   const std::vector<harness::IntsetConfig> grid = BuildGrid(opt.quick, opt.seed);
+  const benchutil::HostInfo host_info = benchutil::QueryHostInfo();
   const uint32_t host_cpus = harness::DefaultJobs();
   const uint32_t parallel_jobs = opt.jobs != 0 ? opt.jobs : host_cpus;
 
-  std::printf("Simulator self-benchmark: %zu configurations (fig5 slice), host CPUs %u\n\n",
-              grid.size(), host_cpus);
+  // Host pinning context up front: throughput numbers from a host whose
+  // affinity mask is narrower than its CPU count are not comparable to an
+  // unpinned run (the JSON header carries the same pair of numbers).
+  std::printf(
+      "Simulator self-benchmark: %zu configurations (fig5 slice), host CPUs %u "
+      "(affinity %u)\n\n",
+      grid.size(), host_cpus, host_info.affinity_cpus);
 
   // The serial pass runs inline on this thread (SweepRunner contract for
   // jobs=1), so the thread-local frame pool delta below covers exactly it.
+  // It always uses the exact event loop (slack 0): it is the reference every
+  // other pass — parallel, gate-check, slack-check, --baseline — is held to.
   const asfcommon::FramePool::Stats frames_before = asfcommon::FramePool::ForThread().stats();
   const PassResult serial = RunPass(grid, 1);
   const asfcommon::FramePool::Stats frames_after = asfcommon::FramePool::ForThread().stats();
-  const PassResult parallel = RunPass(grid, parallel_jobs);
+  const PassResult parallel = RunPass(grid, parallel_jobs, opt.slack);
 
-  // Determinism gate: the fan-out must not change a single result.
+  // Determinism gate: neither the fan-out nor a --slack quantum may change a
+  // single result.
   for (size_t i = 0; i < grid.size(); ++i) {
     if (serial.digests[i] != parallel.digests[i]) {
       std::fprintf(stderr,
-                   "FAILED: config %zu diverged between --jobs 1 and --jobs %u\n"
+                   "FAILED: config %zu diverged between --jobs 1 and --jobs %u (slack %llu)\n"
                    "  serial:   %s\n  parallel: %s\n",
-                   i, parallel_jobs, serial.digests[i].c_str(), parallel.digests[i].c_str());
+                   i, parallel_jobs, static_cast<unsigned long long>(opt.slack),
+                   serial.digests[i].c_str(), parallel.digests[i].c_str());
       return 1;
     }
   }
@@ -289,6 +314,71 @@ int main(int argc, char** argv) {
                 "(gated probes %llu, ungated probes %llu)\n\n",
                 grid.size(), static_cast<unsigned long long>(serial.host.dir_probes),
                 static_cast<unsigned long long>(ungated.host.dir_probes));
+  }
+
+  // Slack equivalence: rerun the whole grid in bounded-slack quantum mode
+  // and hard-fail on any divergence from the exact serial pass. The digest
+  // table goes into the report so a baseline diff shows which configuration
+  // moved, not just that one did.
+  if (slack_check) {
+    const uint64_t quantum = opt.slack != 0 ? opt.slack : 256;
+    const PassResult slackp = RunPass(grid, parallel_jobs, quantum);
+    asfcommon::Table sd("Slack-vs-exact digests (quantum " + std::to_string(quantum) +
+                        " cycles)");
+    sd.SetHeader({"configuration", "exact", "slack", "match"});
+    size_t mismatches = 0;
+    for (size_t i = 0; i < grid.size(); ++i) {
+      const bool match = serial.digests[i] == slackp.digests[i];
+      mismatches += match ? 0 : 1;
+      sd.AddRow({ConfigLabel(grid[i]), serial.digests[i], slackp.digests[i],
+                 match ? "yes" : "NO"});
+    }
+    sd.Print();
+    report.Add(sd);
+
+    const harness::HostPerf& sp = slackp.host;
+    asfcommon::Table st("Bounded-slack telemetry (quantum " + std::to_string(quantum) +
+                        " cycles)");
+    st.SetHeader({"metric", "value", "rate"});
+    st.AddRow({"quanta run", asfcommon::Table::Int(static_cast<long long>(sp.slack_quanta)),
+               "-"});
+    st.AddRow({"solo quanta",
+               asfcommon::Table::Int(static_cast<long long>(sp.slack_solo_quanta)),
+               Pct(sp.slack_solo_quanta, sp.slack_quanta)});
+    st.AddRow({"torn quanta (cross-thread wake)",
+               asfcommon::Table::Int(static_cast<long long>(sp.slack_torn_quanta)),
+               Pct(sp.slack_torn_quanta, sp.slack_quanta)});
+    st.AddRow({"conflict-replay quanta",
+               asfcommon::Table::Int(static_cast<long long>(sp.slack_conflict_quanta)),
+               Pct(sp.slack_conflict_quanta, sp.slack_quanta)});
+    st.AddRow({"events batched in-window",
+               asfcommon::Table::Int(static_cast<long long>(sp.slack_batched)),
+               Pct(sp.slack_batched, sp.slack_batched + sp.slack_quanta)});
+    st.AddRow({"journaled dirty lines",
+               asfcommon::Table::Int(static_cast<long long>(sp.slack_journal_lines)), "-"});
+    st.Print();
+    report.Add(st);
+
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAILED: %zu configuration(s) diverged between --slack 0 and --slack %llu "
+                   "(see the slack-vs-exact table)\n",
+                   mismatches, static_cast<unsigned long long>(quantum));
+      return 1;
+    }
+    const double slack_speedup =
+        slackp.wall_seconds > 0.0 ? serial.wall_seconds / slackp.wall_seconds : 0.0;
+    std::printf("slack-check: all %zu digests identical at quantum %llu; wall %.3fs vs "
+                "exact %.3fs (%.2fx)\n",
+                grid.size(), static_cast<unsigned long long>(quantum), slackp.wall_seconds,
+                serial.wall_seconds, slack_speedup);
+    if (host_cpus < 2) {
+      // Informational, mirroring the jobs-speedup note: on a single visible
+      // CPU the quantum mode can only show its batching savings, not a
+      // fan-out win.
+      std::printf("note: single-CPU host; slack speedup reflects batching only\n");
+    }
+    std::printf("\n");
   }
 
   const double speedup =
@@ -374,7 +464,9 @@ int main(int argc, char** argv) {
   asfcommon::Table summary("Self-check summary");
   summary.SetHeader({"metric", "value"});
   summary.AddRow({"host cpus", std::to_string(host_cpus)});
+  summary.AddRow({"host affinity cpus", std::to_string(host_info.affinity_cpus)});
   summary.AddRow({"parallel jobs", std::to_string(parallel_jobs)});
+  summary.AddRow({"slack quantum (parallel pass)", std::to_string(opt.slack)});
   summary.AddRow({"configurations", std::to_string(grid.size())});
   summary.AddRow({"speedup (serial wall / parallel wall)", asfcommon::Table::Num(speedup, 2)});
   summary.AddRow({"determinism", "jobs-invariant (all digests equal)"});

@@ -203,6 +203,7 @@ int main(int argc, char** argv) {
   // Every (schedule, runtime) cell — and the replay re-run, when asked for —
   // is an independent simulation; fan them all out, then format in order.
   harness::SweepRunner sweep(opt.base.jobs);
+  sweep.SetSlackCycles(opt.base.slack);
   for (const NamedSchedule& ns : schedules) {
     for (const NamedRuntime& nr : runtimes) {
       harness::StressConfig sc;

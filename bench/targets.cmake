@@ -40,6 +40,11 @@ set_tests_properties(bench_smoke_litmus_progress bench_smoke_litmus_progress_jso
 # ASF_SANITIZE=ON run this under ASan/UBSan like every other target.
 add_test(NAME litmus_explore_all COMMAND asf_explore --litmus all)
 set_tests_properties(litmus_explore_all PROPERTIES LABELS "litmus")
+# The same matrix on the ASF1 static-set variant: the dirty-read allowed set
+# widens there (every multi-line writer demotes to its unisolated fallback;
+# see FallbackWeaklyIsolated in src/litmus/tests.cc and docs/ROBUSTNESS.md).
+add_test(NAME litmus_explore_asf1 COMMAND asf_explore --litmus all --variant asf1)
+set_tests_properties(litmus_explore_asf1 PROPERTIES LABELS "litmus")
 # Mutation check: with requester-wins deliberately broken for plain loads the
 # dirty-read litmus MUST fail (exit 1), or the harness has lost its teeth.
 add_test(NAME litmus_mutation_check
@@ -67,6 +72,31 @@ set_tests_properties(perf_selfcheck_baseline PROPERTIES LABELS "perf")
 add_test(NAME perf_smoke
          COMMAND perf_selfcheck --quick --gate-check)
 set_tests_properties(perf_smoke PROPERTIES LABELS "perf")
+
+# Bounded-slack tier (`ctest -L slack`, docs/PERFORMANCE.md): the quantum
+# execution mode must stay bit-identical to the exact event loop.
+# slack_check_smoke replays the whole --quick grid at a 256-cycle quantum and
+# hard-fails on any digest mismatch; slack_verify_contended replays a
+# contention-heavy list workload (cross-core aborts, serialize policy — the
+# worst case for the window protocol) exact-vs-slack through asf_explore.
+add_test(NAME slack_check_smoke COMMAND perf_selfcheck --quick --slack-check)
+set_tests_properties(slack_check_smoke PROPERTIES LABELS "slack;perf")
+add_test(NAME slack_verify_contended
+         COMMAND asf_explore --workload intset --structure list --range 64
+                 --update 100 --threads 8 --ops 80 --policy serialize
+                 --slack 4096 --slack-verify 1)
+set_tests_properties(slack_verify_contended PROPERTIES LABELS "slack")
+# Mutation check: with the per-quantum dirty-line journal disabled
+# (ASF_SLACK_NO_JOURNAL=1) the same verify MUST diverge (exit 1) — a slack
+# mode that stays bit-identical without its tear/conflict journal means the
+# journal is dead code and the equivalence gate has lost its teeth.
+add_test(NAME slack_mutation_check
+         COMMAND asf_explore --workload intset --structure list --range 64
+                 --update 100 --threads 8 --ops 80 --policy serialize
+                 --slack 4096 --slack-verify 1)
+set_tests_properties(slack_mutation_check PROPERTIES
+                     ENVIRONMENT "ASF_SLACK_NO_JOURNAL=1"
+                     WILL_FAIL TRUE LABELS "slack")
 
 # bench_diff sanity: a report diffed against itself reports no regressions.
 add_test(NAME bench_diff_selfcheck

@@ -40,6 +40,7 @@ Machine::Machine(const MachineParams& params)
     contexts_.push_back(std::make_unique<AsfContext>(i, params.variant));
     contexts_.back()->BindDirectory(&directory_);
   }
+  scheduler_.SetSlackCycles(params.slack_cycles);
   scheduler_.SetAccessHandler(this);
   mem_.SetListener(this);
 }
@@ -47,6 +48,10 @@ Machine::Machine(const MachineParams& params)
 Machine::~Machine() = default;
 
 uint64_t Machine::AbortVictim(uint32_t core, AbortCause cause) {
+  // Slack mode: a cross-core speculative overlap inside an open quantum
+  // window demotes the window to the exact path (no-op when `core` is the
+  // window owner aborting itself, or when no window is open).
+  scheduler_.NoteCrossCoreAbort(core);
   AsfContext& victim = *contexts_[core];
   const bool had_writes = victim.write_set_lines() > 0;
   victim.Abort(cause);
@@ -201,6 +206,12 @@ AccessOutcome Machine::OnAccess(SimThread& thread, AccessKind kind, uint64_t add
         return {costs.abort_op, true};
       }
     }
+  }
+
+  // Slack mode: journal the window owner's speculatively written lines (the
+  // per-quantum dirty-line journal; inline no-op when no window is open).
+  if (ctx.active() && write_like) {
+    scheduler_.NoteSpeculativeWrite(cid, first, last);
   }
 
   // 3. Timing (caches, TLB, page faults). L1 displacements observed here can

@@ -45,6 +45,12 @@ struct MachineParams {
   // enumerated interleaving and the mmap/munmap of a large reservation
   // dominates its host time.
   uint64_t arena_bytes = 512ull << 20;
+  // Bounded-slack quantum execution (src/sim/slack.h; --slack N in every
+  // bench and asf_explore): cores simulate ahead through quantum windows of
+  // this many cycles, demoted to the exact interleaved path on cross-core
+  // interaction. 0 (the default) keeps the exact single-event loop; results
+  // are bit-identical for every value (perf_selfcheck --slack-check).
+  uint64_t slack_cycles = 0;
   // Mutation hook for the litmus suite (src/litmus): skips requester-wins
   // conflict resolution for *plain loads only*, letting an unannotated read
   // observe another core's uncommitted speculative store (a dirty read).

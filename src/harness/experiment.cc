@@ -164,7 +164,9 @@ IntsetResult RunIntset(const IntsetConfig& cfg) {
 IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
                                const asf::MachineParams& machine_params) {
   ASF_CHECK(cfg.threads >= 1 && cfg.threads <= 8);
-  asf::Machine m(machine_params);
+  asf::MachineParams mp = machine_params;
+  mp.slack_cycles = cfg.slack_cycles;
+  asf::Machine m(mp);
   if (cfg.obs.tracer != nullptr) {
     m.scheduler().SetTracer(cfg.obs.tracer);
   }
@@ -299,6 +301,13 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
   result.host.mem_accesses = fp.accesses;
   result.host.mem_line_hits = fp.line_hits;
   result.host.mem_page_hits = fp.page_hits;
+  const asfsim::SlackStats& ss = m.scheduler().slack_stats();
+  result.host.slack_quanta = ss.quanta;
+  result.host.slack_solo_quanta = ss.solo_quanta;
+  result.host.slack_torn_quanta = ss.torn_quanta;
+  result.host.slack_conflict_quanta = ss.conflict_quanta;
+  result.host.slack_batched = ss.batched_events;
+  result.host.slack_journal_lines = ss.journal_lines;
   const asf::ConflictDirectory::Stats& ds = m.conflict_directory().stats();
   result.host.dir_resolutions = ds.resolutions;
   result.host.dir_gate_skips = ds.gate_skips;

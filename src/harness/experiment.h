@@ -77,6 +77,10 @@ struct IntsetConfig {
   // "exp-backoff:retries=4", "serialize", "adaptive"); empty = the runtime's
   // built-in default. Ignored by kSequential / kGlobalLock.
   std::string contention_policy;
+  // Bounded-slack quantum execution (MachineParams::slack_cycles; --slack N
+  // on every bench). 0 = the exact single-event loop. Any value must produce
+  // bit-identical results; perf_selfcheck --slack-check enforces this.
+  uint64_t slack_cycles = 0;
   ObsHooks obs;
   // Collect per-transaction latency percentiles and the hot-line heatmap for
   // this run (host-side recorders chained in front of obs.tx_sink; fills
@@ -117,6 +121,14 @@ struct HostPerf {
   uint64_t dir_solo_fast_paths = 0; // Single-speculator short circuit taken.
   uint64_t dir_probes = 0;          // Directory line lookups.
   uint64_t dir_probe_hits = 0;      // Lookups that found a record.
+  // Bounded-slack quantum telemetry (asfsim::SlackStats; zero when the run
+  // used the exact loop, i.e. slack_cycles == 0).
+  uint64_t slack_quanta = 0;         // Quantum windows opened.
+  uint64_t slack_solo_quanta = 0;    // Windows with no other in-window event.
+  uint64_t slack_torn_quanta = 0;    // Demoted by a cross-thread wake.
+  uint64_t slack_conflict_quanta = 0;// Demoted by cross-core spec. overlap.
+  uint64_t slack_batched = 0;        // Events consumed at the suspension point.
+  uint64_t slack_journal_lines = 0;  // Dirty lines journaled across quanta.
 };
 
 struct IntsetResult {

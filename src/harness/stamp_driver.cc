@@ -55,7 +55,9 @@ const std::vector<std::string>& StampAppNames() {
 
 StampResult RunStamp(stamp::StampApp& app, const StampConfig& cfg) {
   ASF_CHECK(cfg.threads >= 1 && cfg.threads <= 8);
-  asf::Machine m(PaperMachineParams(cfg.variant, cfg.threads, cfg.timer_interrupts));
+  asf::MachineParams mp = PaperMachineParams(cfg.variant, cfg.threads, cfg.timer_interrupts);
+  mp.slack_cycles = cfg.slack_cycles;
+  asf::Machine m(mp);
   if (cfg.obs.tracer != nullptr) {
     m.scheduler().SetTracer(cfg.obs.tracer);
   }

@@ -30,6 +30,8 @@ struct StampConfig {
   ObsHooks obs;
   // Collect latency percentiles + hot-line heatmap (see IntsetConfig).
   bool collect_latency = false;
+  // Bounded-slack quantum execution (see IntsetConfig::slack_cycles).
+  uint64_t slack_cycles = 0;
 };
 
 struct StampResult {

@@ -60,7 +60,9 @@ std::string StressResult::Digest() const {
 StressResult RunStress(const StressConfig& cfg) {
   const IntsetConfig& ic = cfg.intset;
   ASF_CHECK(ic.threads >= 1 && ic.threads <= 8);
-  asf::Machine m(PaperMachineParams(ic.variant, ic.threads, ic.timer_interrupts));
+  asf::MachineParams mp = PaperMachineParams(ic.variant, ic.threads, ic.timer_interrupts);
+  mp.slack_cycles = ic.slack_cycles;
+  asf::Machine m(mp);
 
   asffault::FaultInjector injector(cfg.schedule, m.scheduler().num_cores());
   m.SetFaultInjector(&injector);

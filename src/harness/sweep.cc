@@ -51,9 +51,13 @@ SweepRunner::SweepRunner(uint32_t jobs) : jobs_(jobs == 0 ? DefaultJobs() : jobs
 size_t SweepRunner::SubmitIntset(const IntsetConfig& cfg) {
   ASF_CHECK_MSG(jobs_ == 1 || (cfg.obs.tracer == nullptr && cfg.obs.tx_sink == nullptr),
                 "obs hooks cannot be shared across parallel sweep jobs");
+  IntsetConfig job_cfg = cfg;
+  if (job_cfg.slack_cycles == 0) {
+    job_cfg.slack_cycles = default_slack_cycles_;
+  }
   intset_results_.emplace_back();
   IntsetResult* slot = &intset_results_.back();
-  queue_.push_back([cfg, slot]() { *slot = RunIntset(cfg); });
+  queue_.push_back([job_cfg, slot]() { *slot = RunIntset(job_cfg); });
   return intset_results_.size() - 1;
 }
 
@@ -61,20 +65,28 @@ size_t SweepRunner::SubmitIntsetOnParams(const IntsetConfig& cfg,
                                          const asf::MachineParams& params) {
   ASF_CHECK_MSG(jobs_ == 1 || (cfg.obs.tracer == nullptr && cfg.obs.tx_sink == nullptr),
                 "obs hooks cannot be shared across parallel sweep jobs");
+  IntsetConfig job_cfg = cfg;
+  if (job_cfg.slack_cycles == 0) {
+    job_cfg.slack_cycles = default_slack_cycles_;
+  }
   intset_results_.emplace_back();
   IntsetResult* slot = &intset_results_.back();
-  queue_.push_back([cfg, params, slot]() { *slot = RunIntsetOnParams(cfg, params); });
+  queue_.push_back([job_cfg, params, slot]() { *slot = RunIntsetOnParams(job_cfg, params); });
   return intset_results_.size() - 1;
 }
 
 size_t SweepRunner::SubmitStamp(const std::string& app_name, const StampConfig& cfg) {
   ASF_CHECK_MSG(jobs_ == 1 || (cfg.obs.tracer == nullptr && cfg.obs.tx_sink == nullptr),
                 "obs hooks cannot be shared across parallel sweep jobs");
+  StampConfig job_cfg = cfg;
+  if (job_cfg.slack_cycles == 0) {
+    job_cfg.slack_cycles = default_slack_cycles_;
+  }
   stamp_results_.emplace_back();
   StampResult* slot = &stamp_results_.back();
-  queue_.push_back([app_name, cfg, slot]() {
+  queue_.push_back([app_name, job_cfg, slot]() {
     auto app = MakeStampApp(app_name);
-    *slot = RunStamp(*app, cfg);
+    *slot = RunStamp(*app, job_cfg);
   });
   return stamp_results_.size() - 1;
 }
@@ -83,9 +95,13 @@ size_t SweepRunner::SubmitStress(const StressConfig& cfg) {
   ASF_CHECK_MSG(jobs_ == 1 ||
                     (cfg.intset.obs.tracer == nullptr && cfg.intset.obs.tx_sink == nullptr),
                 "obs hooks cannot be shared across parallel sweep jobs");
+  StressConfig job_cfg = cfg;
+  if (job_cfg.intset.slack_cycles == 0) {
+    job_cfg.intset.slack_cycles = default_slack_cycles_;
+  }
   stress_results_.emplace_back();
   StressResult* slot = &stress_results_.back();
-  queue_.push_back([cfg, slot]() { *slot = RunStress(cfg); });
+  queue_.push_back([job_cfg, slot]() { *slot = RunStress(job_cfg); });
   return stress_results_.size() - 1;
 }
 

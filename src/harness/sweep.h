@@ -60,6 +60,14 @@ class SweepRunner {
 
   uint32_t jobs() const { return jobs_; }
 
+  // Default bounded-slack quantum applied to every config submitted after
+  // this call that did not set one itself (cfg slack_cycles == 0): the one
+  // line through which every bench plumbs --slack. Results are bit-identical
+  // for every value (see src/sim/slack.h), so this is safe to set
+  // unconditionally from the parsed options.
+  void SetSlackCycles(uint64_t cycles) { default_slack_cycles_ = cycles; }
+  uint64_t slack_cycles() const { return default_slack_cycles_; }
+
   // Each Submit* returns an index into that family's result accessor below.
   // Configs must not carry obs hooks shared with another job; attach
   // observers from inside a custom Submit() job instead (one session per
@@ -83,6 +91,7 @@ class SweepRunner {
 
  private:
   const uint32_t jobs_;
+  uint64_t default_slack_cycles_ = 0;
   std::vector<std::function<void()>> queue_;
   // Deques: growth never moves existing elements, so queued jobs can hold
   // stable result pointers.

@@ -276,10 +276,10 @@ LitmusResult RunLitmus(const LitmusTest& test, const LitmusConfig& cfg) {
     ++result.interleavings;
     ++result.outcomes[one.outcome];
 
-    if (!test.Allowed(cfg.runtime, one.outcome)) {
+    if (!test.Allowed(cfg.runtime, cfg.variant, one.outcome)) {
       std::ostringstream msg;
       msg << "outcome \"" << one.outcome << "\" outside the allowed set ["
-          << test.AllowedSummary(cfg.runtime) << "]";
+          << test.AllowedSummary(cfg.runtime, cfg.variant) << "]";
       if (reported.insert(msg.str()).second) {
         result.violations.push_back(msg.str());
       }

@@ -146,13 +146,18 @@ class LitmusTest {
   // execution).
   virtual std::unique_ptr<Execution> Prepare(asf::Machine& m, asftm::TmRuntime& rt) const = 0;
 
-  // Whether `outcome` is allowed for `kind`. Allowed sets are per runtime:
-  // e.g. the dirty-read partial state is forbidden under strongly isolated
-  // ASF but allowed for the weakly isolated write-through STM.
-  virtual bool Allowed(harness::RuntimeKind kind, const Outcome& outcome) const = 0;
+  // Whether `outcome` is allowed for `kind` on `variant`. Allowed sets are
+  // per runtime *and* per hardware variant: e.g. the dirty-read partial
+  // state is forbidden under strongly isolated ASF but allowed for the
+  // weakly isolated write-through STM — and allowed again for the HTM
+  // runtimes on an ASF1 static-set variant, whose capacity rule forces the
+  // writer into its (unisolated) fallback path on every attempt.
+  virtual bool Allowed(harness::RuntimeKind kind, const asf::AsfVariant& variant,
+                       const Outcome& outcome) const = 0;
 
   // One-line rendering of the allowed set for tables and --litmus output.
-  virtual std::string AllowedSummary(harness::RuntimeKind kind) const = 0;
+  virtual std::string AllowedSummary(harness::RuntimeKind kind,
+                                     const asf::AsfVariant& variant) const = 0;
 
   // Faults injected during every execution (empty = none). Rules should be
   // interleaving-independent (e.g. rate 1.0) so enumeration stays exhaustive

@@ -2,6 +2,7 @@
 #include "src/sim/scheduler.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 namespace asfsim {
@@ -132,14 +133,37 @@ namespace {
 // Test-only global (read once per Scheduler construction, so the hot path
 // stays a plain bool). Default on.
 std::atomic<bool> g_wake_fast_path{true};
+// Mutation hook for the slack digest gates (src/sim/slack.h): snapshot per
+// Scheduler construction, like the speculator gate in src/asf/machine.cc.
+std::atomic<bool> g_slack_journal_disabled{std::getenv("ASF_SLACK_NO_JOURNAL") != nullptr};
 }  // namespace
 
 void Scheduler::SetWakeFastPathForTesting(bool enabled) {
   g_wake_fast_path.store(enabled, std::memory_order_relaxed);
 }
 
+bool SlackJournalDisabled() {
+  return g_slack_journal_disabled.load(std::memory_order_relaxed);
+}
+
+void SetSlackJournalDisabledForTesting(bool disabled) {
+  g_slack_journal_disabled.store(disabled, std::memory_order_relaxed);
+}
+
+void Scheduler::SetSlackCycles(uint64_t cycles) {
+  ASF_CHECK_MSG(threads_.empty(), "SetSlackCycles must run before any thread is spawned");
+  ASF_CHECK_MSG(chooser_ == nullptr || cycles == 0,
+                "slack mode and chooser mode are mutually exclusive");
+  slack_cycles_ = cycles;
+  if (cycles != 0) {
+    slack_pending_.assign(cores_.size(), SlackSlot{});
+  }
+}
+
 void Scheduler::SetChooser(ScheduleChooser* chooser) {
   ASF_CHECK_MSG(threads_.empty(), "SetChooser must run before any thread is spawned");
+  ASF_CHECK_MSG(chooser == nullptr || slack_cycles_ == 0,
+                "slack mode and chooser mode are mutually exclusive");
   chooser_ = chooser;
   if (chooser != nullptr) {
     // Fast paths short-circuit wakes past the event loop; in chooser mode
@@ -149,7 +173,8 @@ void Scheduler::SetChooser(ScheduleChooser* chooser) {
 }
 
 Scheduler::Scheduler(uint32_t num_cores, const CoreParams& params)
-    : wake_fast_path_(g_wake_fast_path.load(std::memory_order_relaxed)) {
+    : wake_fast_path_(g_wake_fast_path.load(std::memory_order_relaxed)),
+      journal_(!SlackJournalDisabled()) {
   cores_.reserve(num_cores);
   for (uint32_t i = 0; i < num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(i, params));
@@ -183,6 +208,21 @@ SimThread& Scheduler::Spawn(Task<void> root) {
 void Scheduler::ScheduleWake(SimThread& t, uint64_t cycle, bool yield) {
   ++t.wake_seq_;
   SchedEvent ev{cycle, next_seq_++, &t, yield};
+  if (slack_cycles_ != 0) {
+    // Slack mode: per-thread pending-event table instead of the heap. The
+    // <=1-pending-event invariant (blocked threads have none; MarkAbort
+    // never schedules a wake) makes the slot exclusive.
+    SlackSlot& slot = slack_pending_[t.id()];
+    ASF_CHECK_MSG(!slot.valid, "thread scheduled twice in slack mode");
+    slot.ev = ev;
+    slot.valid = true;
+    if (window_owner_ != nullptr && &t != window_owner_) {
+      // Cross-thread wake while a window is open (mutex/barrier release by
+      // the owner): the cached horizon may be stale — tear the quantum.
+      journal_.MarkTorn();
+    }
+    return;
+  }
   if (!wake_fast_path_) {
     events_.push(ev);
     return;
@@ -226,6 +266,14 @@ void Scheduler::Run() {
   ASF_CHECK_MSG(!host_busy_.exchange(true, std::memory_order_acquire),
                 "Scheduler::Run entered from two host threads");
   running_ = true;
+  if (slack_cycles_ != 0) {
+    RunSlack();
+    running_ = false;
+    host_busy_.store(false, std::memory_order_release);
+    ASF_CHECK_MSG(finished_count_ == threads_.size(),
+                  "simulation stalled: threads blocked with no pending events (deadlock)");
+    return;
+  }
   while (has_next_ || !events_.empty()) {
     inline_chain_ = 0;  // Control is back in the loop; the host stack is flat.
     SchedEvent ev;
@@ -270,6 +318,64 @@ void Scheduler::Run() {
   host_busy_.store(false, std::memory_order_release);
   ASF_CHECK_MSG(finished_count_ == threads_.size(),
                 "simulation stalled: threads blocked with no pending events (deadlock)");
+}
+
+// Bounded-slack window loop (src/sim/slack.h). Each iteration dispatches
+// the global-minimum event exactly as the default loop would, but first
+// opens a quantum window [W, W + slack) owned by that event's thread and
+// caches the other threads' event horizon; TryConsumeSlackBatch then lets
+// the owner consume its own subsequent wakes at the suspension point while
+// they provably precede the horizon and the window end. A quantum journal
+// demotion (cross-thread wake, cross-core speculative overlap) stops the
+// batch, and the remaining events simply fall through to the next loop
+// iteration — the exact interleaved path; nothing is rolled back, so
+// results are bit-identical to slack 0 by construction.
+void Scheduler::RunSlack() {
+  const size_t n = slack_pending_.size();
+  for (;;) {
+    inline_chain_ = 0;  // Control is back in the loop; the host stack is flat.
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (slack_pending_[i].valid &&
+          (best == n || EventBefore(slack_pending_[i].ev, slack_pending_[best].ev))) {
+        best = i;
+      }
+    }
+    if (best == n) {
+      break;
+    }
+    SchedEvent ev = slack_pending_[best].ev;
+    slack_pending_[best].valid = false;
+    SimThread& t = *ev.thread;
+    if (t.finished_) {
+      continue;
+    }
+    // Open the window: cache the cross-thread horizon once. A solo quantum
+    // has no other pending event before the window end — the common case
+    // the active-speculator telemetry predicts (~70% of conflict
+    // resolutions see no other active speculator).
+    window_owner_ = &t;
+    window_end_ = ev.cycle + slack_cycles_;
+    window_other_valid_ = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (i != best && slack_pending_[i].valid &&
+          (!window_other_valid_ || EventBefore(slack_pending_[i].ev, window_other_min_))) {
+        window_other_min_ = slack_pending_[i].ev;
+        window_other_valid_ = true;
+      }
+    }
+    const bool solo = !window_other_valid_ || window_other_min_.cycle >= window_end_;
+    journal_.Open();
+    ++slack_stats_.quanta;
+    slack_stats_.solo_quanta += solo ? 1 : 0;
+    ++slack_stats_.loop_events;
+    OnWake(t, ev.cycle);
+    // Close the window and fold the journal into the telemetry.
+    slack_stats_.torn_quanta += journal_.torn() ? 1 : 0;
+    slack_stats_.conflict_quanta += journal_.conflicted() ? 1 : 0;
+    slack_stats_.journal_lines += journal_.dirty_lines();
+    window_owner_ = nullptr;
+  }
 }
 
 uint64_t Scheduler::MaxCycle() const {

@@ -34,6 +34,7 @@
 #include "src/common/abort_cause.h"
 #include "src/common/defs.h"
 #include "src/sim/core.h"
+#include "src/sim/slack.h"
 #include "src/sim/task.h"
 #include "src/sim/trace.h"
 
@@ -409,6 +410,37 @@ class Scheduler {
   // detach (fast paths stay off for this scheduler's lifetime).
   void SetChooser(ScheduleChooser* chooser);
 
+  // --- Bounded-slack quantum execution (src/sim/slack.h) -------------------
+  //
+  // Enables quantum windows of `cycles` simulated cycles: the thread owning
+  // the global-minimum event may consume its own subsequent wakes at the
+  // suspension point for as long as they provably precede every other
+  // thread's next event (horizon cached at window open; the QuantumJournal
+  // demotes a window whose horizon may have gone stale). Must be set before
+  // any thread is spawned and is mutually exclusive with chooser mode.
+  // 0 (the default) keeps the exact single-event loop. Results are
+  // bit-identical for every value — enforced by perf_selfcheck
+  // --slack-check and tests/slack_equivalence_test.cc.
+  void SetSlackCycles(uint64_t cycles);
+  uint64_t slack_cycles() const { return slack_cycles_; }
+  const SlackStats& slack_stats() const { return slack_stats_; }
+
+  // Machine-model notifications feeding the per-quantum journal (no-ops in
+  // exact mode). `core` is the issuing/victim core of the event.
+  void NoteSpeculativeWrite(uint32_t core, uint64_t first_line, uint64_t last_line) {
+    if (window_owner_ == nullptr || window_owner_->id() != core) {
+      return;
+    }
+    for (uint64_t line = first_line; line <= last_line; ++line) {
+      journal_.RecordDirtyLine(line);
+    }
+  }
+  void NoteCrossCoreAbort(uint32_t victim_core) {
+    if (window_owner_ != nullptr && window_owner_->id() != victim_core) {
+      journal_.MarkConflict();
+    }
+  }
+
  private:
   friend class SimThread;
 
@@ -430,6 +462,9 @@ class Scheduler {
   // to Run() (which resets the counter), bounding host stack depth in any
   // build while keeping >95% of eligible wakes inline.
   bool TryConsumeSlot(SimThread& t) {
+    if (slack_cycles_ != 0) {
+      return TryConsumeSlackBatch(t);
+    }
     if (!has_next_ || next_.thread != &t || t.abort_requested_ ||
         inline_chain_ >= kMaxInlineChain) {
       return false;
@@ -441,9 +476,35 @@ class Scheduler {
     return true;
   }
 
+  // Slack-mode analog of the slot consumption above: the window owner may
+  // consume its own just-scheduled wake without returning to the loop iff
+  // the wake provably precedes every other thread's next event. The
+  // comparison is against the horizon CACHED at window open — sound only
+  // while the quantum journal is clean (see src/sim/slack.h): a cross-
+  // thread wake scheduled by the owner mid-window may precede the cached
+  // horizon, so a torn (or conflict-demoted) window stops batching and the
+  // remaining events replay through the exact interleaved path in Run().
+  bool TryConsumeSlackBatch(SimThread& t) {
+    if (window_owner_ != &t || t.abort_requested_ || journal_.demoted() ||
+        inline_chain_ >= kMaxInlineChain) {
+      return false;
+    }
+    SlackSlot& slot = slack_pending_[t.id()];
+    if (!slot.valid || slot.ev.cycle >= window_end_ ||
+        (window_other_valid_ && !EventBefore(slot.ev, window_other_min_))) {
+      return false;
+    }
+    slot.valid = false;
+    ++inline_chain_;
+    ++slack_stats_.batched_events;
+    t.core_->AdvanceTo(slot.ev.cycle);
+    return true;
+  }
+
   void ProcessAccess(SimThread& t, const SimThread::PendingOp& op);
   void DoControlAbort(SimThread& t);
   void ResumeThread(SimThread& t);
+  void RunSlack();
 
   AccessHandler* handler_ = nullptr;
   Tracer* tracer_ = nullptr;
@@ -468,6 +529,23 @@ class Scheduler {
   // scratch buffer for the drained pending set.
   ScheduleChooser* chooser_ = nullptr;
   std::vector<SchedEvent> eligible_;
+  // --- Bounded-slack quantum state (src/sim/slack.h) -----------------------
+  // In slack mode the heap+slot are bypassed entirely: every non-blocked,
+  // non-finished thread has at most one pending event (blocked threads have
+  // none; MarkAbort never schedules a wake), so a per-thread table replaces
+  // the priority queue and the window loop scans it (threads <= cores <= 8).
+  struct SlackSlot {
+    SchedEvent ev;
+    bool valid = false;
+  };
+  uint64_t slack_cycles_ = 0;
+  std::vector<SlackSlot> slack_pending_;
+  SimThread* window_owner_ = nullptr;   // Non-null while a window is open.
+  uint64_t window_end_ = 0;             // Exclusive end cycle of the window.
+  SchedEvent window_other_min_;         // Cached cross-thread horizon.
+  bool window_other_valid_ = false;
+  QuantumJournal journal_;
+  SlackStats slack_stats_;
   // Guards against two host threads driving the same scheduler (the sweep
   // engine runs one Machine per job; sharing one is a bug). See Run().
   std::atomic<bool> host_busy_{false};

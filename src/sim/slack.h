@@ -1,0 +1,124 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Bounded-slack quantum execution support for sim::Scheduler.
+//
+// In slack mode (Scheduler::SetSlackCycles(N), N > 0) the event loop runs
+// quantum windows: when the global-minimum event belongs to thread T at
+// cycle W, T owns the window [W, W + N) and may consume its own subsequent
+// wakes at the suspension point — without returning to the event loop or
+// re-scanning the other threads' pending events — for as long as every
+// consumed event provably precedes every other thread's next event. The
+// other-threads horizon is computed ONCE at window open and then cached,
+// which is what makes the window cheap; the QuantumJournal below is what
+// makes the cached horizon sound:
+//
+//  * Tear detection. The only way a new cross-thread event can appear while
+//    a window is open is the owner itself waking another thread (SimMutex
+//    release, SimBarrier release — blocked threads have no pending event;
+//    MarkAbort never schedules a wake). Such a wake may precede the cached
+//    horizon, so the journal marks the quantum TORN and the batch fast path
+//    refuses further consumption; the remaining events replay through the
+//    exact interleaved path. Dropping this check (the
+//    ASF_SLACK_NO_JOURNAL mutation hook) lets the owner run ahead of a
+//    thread it just woke — a genuine ordering violation that the
+//    slack-vs-exact digest gates catch (tests/slack_equivalence_test.cc,
+//    perf_selfcheck --slack-check).
+//
+//  * Conflict demotion. When the owner's access aborts a remote speculative
+//    region (requester-wins victim or an L1 displacement of a remote
+//    tracked line), two cores touched overlapping speculative state inside
+//    one quantum. The journal marks the quantum CONFLICTED and demotes it
+//    to the exact path as well — conservative (the victim's pending event
+//    never moves, so batching would still be order-exact), but it bounds
+//    how far a core may run ahead of a region it just killed, and it is
+//    the per-quantum conflict-replay rate the perf telemetry reports.
+//
+// The journal also records the owner's speculatively written lines per
+// quantum (the dirty-line journal): on a conflicted quantum these are the
+// lines whose overlap demoted the window, surfaced as telemetry.
+//
+// Because every batched event precedes the (sound) horizon, a slack run
+// processes the identical event sequence as --slack 0 — no state is ever
+// rolled back; "replay through the exact serial path" simply means the
+// window closes and the ordinary loop resumes. Digest equality over the
+// whole perf_selfcheck grid is enforced by --slack-check.
+#ifndef SRC_SIM_SLACK_H_
+#define SRC_SIM_SLACK_H_
+
+#include <cstdint>
+
+#include "src/common/flat_table.h"
+
+namespace asfsim {
+
+// Host-side quantum telemetry (zero simulated cost; never part of digests).
+struct SlackStats {
+  uint64_t quanta = 0;            // Windows opened.
+  uint64_t solo_quanta = 0;       // No other thread had an event in-window.
+  uint64_t torn_quanta = 0;       // Ended early by a cross-thread wake.
+  uint64_t conflict_quanta = 0;   // Demoted by cross-core speculative overlap.
+  uint64_t batched_events = 0;    // Events consumed at the suspension point.
+  uint64_t loop_events = 0;       // Events dispatched by the window loop.
+  uint64_t journal_lines = 0;     // Dirty lines recorded across all quanta.
+};
+
+// Mutation hook (tests only; env ASF_SLACK_NO_JOURNAL=1 or the setter):
+// disables the per-quantum journal so torn/conflicted quanta are no longer
+// demoted to the exact path. This breaks the cached-horizon soundness
+// argument on purpose — the slack-vs-exact digest gates must then fail, or
+// they have lost their teeth. Snapshotted per Scheduler construction, like
+// asf::SpeculatorGateDisabled.
+bool SlackJournalDisabled();
+void SetSlackJournalDisabledForTesting(bool disabled);
+
+// Per-quantum safety record. One instance per Scheduler, reset at window
+// open. All methods are host-side and cost zero simulated cycles.
+class QuantumJournal {
+ public:
+  explicit QuantumJournal(bool enabled) : enabled_(enabled) {}
+
+  void Open() {
+    torn_ = false;
+    conflicted_ = false;
+    lines_.Clear();
+  }
+
+  // A wake was scheduled for a thread other than the window owner: the
+  // cached horizon may now be stale, so the window must stop batching.
+  void MarkTorn() {
+    if (enabled_) {
+      torn_ = true;
+    }
+  }
+
+  // The owner's access rolled back a remote speculative region: two cores
+  // touched overlapping speculative state within this quantum.
+  void MarkConflict() {
+    if (enabled_) {
+      conflicted_ = true;
+    }
+  }
+
+  // Records a speculatively written line of the window owner.
+  void RecordDirtyLine(uint64_t line) {
+    if (enabled_) {
+      lines_.Insert(line);
+    }
+  }
+
+  bool torn() const { return torn_; }
+  bool conflicted() const { return conflicted_; }
+  // The window must fall back to the exact interleaved path.
+  bool demoted() const { return torn_ || conflicted_; }
+  size_t dirty_lines() const { return lines_.size(); }
+  bool enabled() const { return enabled_; }
+
+ private:
+  const bool enabled_;
+  bool torn_ = false;
+  bool conflicted_ = false;
+  asfcommon::FlatSet64 lines_;
+};
+
+}  // namespace asfsim
+
+#endif  // SRC_SIM_SLACK_H_

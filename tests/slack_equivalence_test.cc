@@ -1,0 +1,162 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Slack-vs-exact equivalence suite (src/sim/slack.h): bounded-slack quantum
+// execution must be a pure host-side optimization — result digests, TxStats,
+// latency percentiles, and heatmaps bit-identical to the exact single-event
+// loop for every runtime, hardware variant, and quantum length. Also proves
+// the per-quantum journal has teeth: with the journal mutated away
+// (SetSlackJournalDisabledForTesting) the digests must diverge.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/harness/experiment.h"
+#include "src/sim/slack.h"
+
+namespace harness {
+namespace {
+
+IntsetConfig BaseConfig() {
+  IntsetConfig cfg;
+  cfg.structure = "rb";
+  cfg.key_range = 512;
+  cfg.update_pct = 40;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 120;
+  cfg.seed = 11;
+  cfg.collect_latency = true;
+  return cfg;
+}
+
+IntsetResult RunWithSlack(IntsetConfig cfg, uint64_t slack) {
+  cfg.slack_cycles = slack;
+  return RunIntset(cfg);
+}
+
+// Bit-identity across every simulated observable. Host-side telemetry
+// (HostPerf) is intentionally excluded: the slack run reports quanta and
+// batch counters the exact run cannot have.
+void ExpectIdentical(const IntsetResult& exact, const IntsetResult& slack,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(exact.measure_cycles, slack.measure_cycles);
+  EXPECT_EQ(exact.committed_tx, slack.committed_tx);
+  EXPECT_EQ(exact.tm.tx_started, slack.tm.tx_started);
+  EXPECT_EQ(exact.tm.hw_attempts, slack.tm.hw_attempts);
+  EXPECT_EQ(exact.tm.stm_attempts, slack.tm.stm_attempts);
+  EXPECT_EQ(exact.tm.serial_attempts, slack.tm.serial_attempts);
+  EXPECT_EQ(exact.tm.hw_commits, slack.tm.hw_commits);
+  EXPECT_EQ(exact.tm.serial_commits, slack.tm.serial_commits);
+  EXPECT_EQ(exact.tm.stm_commits, slack.tm.stm_commits);
+  EXPECT_EQ(exact.tm.seq_commits, slack.tm.seq_commits);
+  EXPECT_EQ(exact.tm.backoff_cycles, slack.tm.backoff_cycles);
+  EXPECT_EQ(exact.tm.aborts, slack.tm.aborts);
+  EXPECT_EQ(exact.asf.speculates, slack.asf.speculates);
+  EXPECT_EQ(exact.asf.commits, slack.asf.commits);
+  EXPECT_EQ(exact.asf.aborts, slack.asf.aborts);
+  EXPECT_EQ(exact.breakdown.cycles, slack.breakdown.cycles);
+  // Latency percentiles and the full histogram (operator== is memberwise).
+  EXPECT_TRUE(exact.latency == slack.latency);
+  EXPECT_EQ(exact.latency.Percentile(0.5), slack.latency.Percentile(0.5));
+  EXPECT_EQ(exact.latency.Percentile(0.99), slack.latency.Percentile(0.99));
+  EXPECT_TRUE(exact.heatmap == slack.heatmap);
+}
+
+TEST(SlackEquivalence, AllRuntimesAllVariantsRandomQuanta) {
+  const RuntimeKind runtimes[] = {RuntimeKind::kAsfTm,      RuntimeKind::kTinyStm,
+                                  RuntimeKind::kSequential, RuntimeKind::kGlobalLock,
+                                  RuntimeKind::kPhasedTm,   RuntimeKind::kLockElision};
+  const asf::AsfVariant variants[] = {asf::AsfVariant::Llb8(), asf::AsfVariant::Llb256(),
+                                      asf::AsfVariant::Llb8WithL1(),
+                                      asf::AsfVariant::Asf1Llb256()};
+  const uint64_t quanta[] = {1, 16, 256, 4096};
+  // Deterministic "random" quantum per (runtime, variant) cell, so every
+  // cell still covers the full sweep across the two loops over time.
+  asfcommon::Rng rng(20260809);
+  for (RuntimeKind rt : runtimes) {
+    for (const asf::AsfVariant& v : variants) {
+      IntsetConfig cfg = BaseConfig();
+      cfg.runtime = rt;
+      cfg.variant = v;
+      if (rt == RuntimeKind::kSequential) {
+        cfg.threads = 1;  // Uninstrumented runtime is single-thread only.
+      }
+      const uint64_t q = quanta[rng.NextBelow(4)];
+      char label[128];
+      std::snprintf(label, sizeof(label), "%s / %s / slack=%llu", RuntimeKindName(rt),
+                    v.Name().c_str(), static_cast<unsigned long long>(q));
+      IntsetResult exact = RunWithSlack(cfg, 0);
+      IntsetResult slack = RunWithSlack(cfg, q);
+      ExpectIdentical(exact, slack, label);
+      EXPECT_GT(slack.host.slack_quanta, 0u) << label;
+      EXPECT_EQ(exact.host.slack_quanta, 0u) << label;
+    }
+  }
+}
+
+TEST(SlackEquivalence, BatchingActuallyFires) {
+  // The mode must not silently degenerate to one-event windows: with a
+  // generous quantum most windows are solo and batch multiple events.
+  IntsetConfig cfg = BaseConfig();
+  IntsetResult r = RunWithSlack(cfg, 4096);
+  EXPECT_GT(r.host.slack_quanta, 0u);
+  EXPECT_GT(r.host.slack_solo_quanta, 0u);
+  EXPECT_GT(r.host.slack_batched, r.host.slack_quanta)
+      << "windows averaged less than one batched event each";
+}
+
+TEST(SlackEquivalence, ContendedRunJournalsAndDemotes) {
+  // Under heavy write contention quanta must record dirty lines and some
+  // windows must be demoted (torn by barrier/mutex wakes at minimum).
+  IntsetConfig cfg = BaseConfig();
+  cfg.structure = "list";
+  cfg.key_range = 64;
+  cfg.update_pct = 100;
+  cfg.threads = 8;
+  cfg.ops_per_thread = 80;
+  IntsetResult exact = RunWithSlack(cfg, 0);
+  IntsetResult slack = RunWithSlack(cfg, 1024);
+  ExpectIdentical(exact, slack, "contended list");
+  EXPECT_GT(slack.host.slack_journal_lines, 0u);
+  EXPECT_GT(slack.host.slack_torn_quanta + slack.host.slack_conflict_quanta, 0u);
+}
+
+// Restores the journal on every exit path: a mutation leak here would
+// silently invalidate every later slack test in the process.
+class JournalMutation {
+ public:
+  JournalMutation() { asfsim::SetSlackJournalDisabledForTesting(true); }
+  ~JournalMutation() { asfsim::SetSlackJournalDisabledForTesting(false); }
+};
+
+TEST(SlackEquivalence, DroppedJournalDiverges) {
+  // Mutation analysis: without the per-quantum journal the cached horizon
+  // is unsound (the owner runs ahead of threads it just woke), so a
+  // contended run must produce a different interleaving — observable as a
+  // digest divergence. If this test ever fails, the slack digest gates
+  // (--slack-check, the WILL_FAIL ctest) have lost their teeth.
+  IntsetConfig cfg = BaseConfig();
+  cfg.structure = "list";
+  cfg.key_range = 64;
+  cfg.update_pct = 100;
+  cfg.threads = 8;
+  cfg.ops_per_thread = 80;
+  cfg.runtime = RuntimeKind::kAsfTm;
+  cfg.contention_policy = "serialize";  // Mutex-heavy: many cross-thread wakes.
+  IntsetResult exact = RunWithSlack(cfg, 0);
+  IntsetResult mutated;
+  {
+    JournalMutation mutation;
+    mutated = RunWithSlack(cfg, 4096);
+  }
+  EXPECT_NE(exact.measure_cycles, mutated.measure_cycles)
+      << "journal-free slack run still matched the exact interleaving; "
+         "the mutation gate is toothless";
+  // And with the journal restored the same config is bit-identical again.
+  IntsetResult sound = RunWithSlack(cfg, 4096);
+  ExpectIdentical(exact, sound, "journal restored");
+}
+
+}  // namespace
+}  // namespace harness

@@ -47,11 +47,29 @@ struct Args {
   }
 };
 
+// Order-sensitive result fingerprints for --slack-verify (same shape as
+// bench/perf_selfcheck digests: wall-clock independent).
+std::string IntsetDigest(const harness::IntsetResult& r) {
+  return std::to_string(r.committed_tx) + ":" + std::to_string(r.measure_cycles) + ":" +
+         std::to_string(r.tm.TotalAttempts()) + ":" + std::to_string(r.tm.TotalAborts());
+}
+
+std::string StampDigest(const harness::StampResult& r) {
+  return std::to_string(r.exec_cycles) + ":" + std::to_string(r.tm.TotalAttempts()) + ":" +
+         std::to_string(r.tm.TotalAborts()) + ":" + std::to_string(r.work_cycles);
+}
+
 void Usage() {
   std::printf(
       "asf_explore --workload intset|stamp [options]\n"
-      "  common:  --runtime asf|stm|seq|lock|phased   --variant llb8|llb256|llb8-l1|llb256-l1\n"
+      "  common:  --runtime asf|stm|seq|lock|phased\n"
+      "           --variant llb8|llb256|llb8-l1|llb256-l1|asf1\n"
       "           --threads N (1..8)   --seed N   --no-timer\n"
+      "           --slack N      bounded-slack quantum cycles (0 = exact event loop;\n"
+      "                          results are identical for every value)\n"
+      "           --slack-verify 1  run the configuration twice — exact and with the\n"
+      "                          --slack quantum (default 256) — and fail on any\n"
+      "                          result-digest divergence\n"
       "           --reps N       repeat the run N times with seeds seed, seed+1, ...\n"
       "                          and report per-rep plus mean results\n"
       "           --jobs N       host threads for --reps fan-out (default: all cores)\n"
@@ -111,6 +129,11 @@ asf::AsfVariant ParseVariant(const std::string& s) {
   }
   if (s == "llb256-l1") {
     return asf::AsfVariant::Llb256WithL1();
+  }
+  if (s == "asf1") {
+    // ASF1 proposal revision: LLB-256 with the static protected-set
+    // restriction (no dynamic growth after the first memory access).
+    return asf::AsfVariant::Asf1Llb256();
   }
   std::fprintf(stderr, "unknown variant '%s'\n", s.c_str());
   std::exit(2);
@@ -229,10 +252,11 @@ int main(int argc, char** argv) {
   }
 
   // Reject misspelled keys instead of silently falling back to defaults.
-  static const char* kKnownKeys[] = {"workload", "runtime", "variant", "threads",  "seed",
-                                     "trace",    "report",  "reps",    "jobs",     "structure",
-                                     "range",    "update",  "ops",     "policy",   "schedule",
-                                     "app",      "scale",   "litmus",  "break-rw", "prune"};
+  static const char* kKnownKeys[] = {"workload", "runtime", "variant",  "threads",  "seed",
+                                     "trace",    "report",  "reps",     "jobs",     "structure",
+                                     "range",    "update",  "ops",      "policy",   "schedule",
+                                     "app",      "scale",   "litmus",   "break-rw", "prune",
+                                     "slack",    "slack-verify"};
   for (const auto& [key, value] : args.kv) {
     bool known = false;
     for (const char* k : kKnownKeys) {
@@ -296,7 +320,7 @@ int main(int argc, char** argv) {
         for (const auto& [outcome, count] : r.outcomes) {
           std::printf("    %-28s x%lu\n", outcome.c_str(), count);
         }
-        std::printf("    allowed: %s\n", t->AllowedSummary(rk).c_str());
+        std::printf("    allowed: %s\n", t->AllowedSummary(rk, variant).c_str());
         for (const std::string& v : r.violations) {
           std::printf("    VIOLATION: %s\n", v.c_str());
         }
@@ -308,6 +332,8 @@ int main(int argc, char** argv) {
   }
   std::string trace_path = args.Get("trace", "");
   std::string report_path = args.Get("report", "");
+  const uint64_t slack = args.GetInt("slack", 0);
+  const bool slack_verify = args.GetInt("slack-verify", 0) != 0;
   std::string policy = args.Get("policy", "");
   std::string schedule_arg = args.Get("schedule", "");
   uint32_t jobs = static_cast<uint32_t>(args.GetInt("jobs", 0));
@@ -346,6 +372,39 @@ int main(int argc, char** argv) {
     cfg.seed = seed;
     cfg.timer_interrupts = timer;
     cfg.contention_policy = policy;
+    cfg.slack_cycles = slack;
+
+    // Slack-verify mode: the same configuration through the exact loop and
+    // the bounded-slack quantum mode must produce identical digests (the
+    // slack_mutation_check ctest runs this under ASF_SLACK_NO_JOURNAL=1 and
+    // expects the divergence to be caught here).
+    if (slack_verify) {
+      if (!schedule_arg.empty() || reps > 1 || !trace_path.empty() || !report_path.empty()) {
+        std::fprintf(stderr, "--slack-verify is a single plain run; drop "
+                             "--schedule/--reps/--trace/--report\n");
+        return 2;
+      }
+      const uint64_t quantum = slack != 0 ? slack : 256;
+      harness::IntsetConfig exact_cfg = cfg;
+      exact_cfg.slack_cycles = 0;
+      harness::IntsetConfig slack_cfg = cfg;
+      slack_cfg.slack_cycles = quantum;
+      harness::IntsetResult exact = harness::RunIntset(exact_cfg);
+      harness::IntsetResult slacked = harness::RunIntset(slack_cfg);
+      const std::string da = IntsetDigest(exact);
+      const std::string db = IntsetDigest(slacked);
+      std::printf("slack-verify intset %s | %u threads | %s | quantum %lu\n",
+                  cfg.structure.c_str(), threads, harness::RuntimeKindName(runtime), quantum);
+      std::printf("  exact: %s\n  slack: %s\n", da.c_str(), db.c_str());
+      if (da != db) {
+        std::fprintf(stderr, "FAILED: slack quantum %lu diverged from the exact loop\n",
+                     quantum);
+        return 1;
+      }
+      std::printf("slack-verify: digests identical (%lu quanta, %lu batched events)\n",
+                  slacked.host.slack_quanta, slacked.host.slack_batched);
+      return 0;
+    }
 
     if (!schedule_arg.empty()) {
       // Fault-schedule mode: the run goes through the stress harness, which
@@ -450,10 +509,38 @@ int main(int argc, char** argv) {
     cfg.scale = static_cast<uint32_t>(args.GetInt("scale", 1));
     cfg.seed = seed;
     cfg.timer_interrupts = timer;
+    cfg.slack_cycles = slack;
     if (!schedule_arg.empty()) {
       // The STAMP driver injects exactly like the intset stress harness
       // (docs/ROBUSTNESS.md): per-access strikes, reported as kFaultInjected.
       cfg.schedule = LoadSchedule(schedule_arg);
+    }
+    if (slack_verify) {
+      if (!schedule_arg.empty() || reps > 1 || !trace_path.empty() || !report_path.empty()) {
+        std::fprintf(stderr, "--slack-verify is a single plain run; drop "
+                             "--schedule/--reps/--trace/--report\n");
+        return 2;
+      }
+      const uint64_t quantum = slack != 0 ? slack : 256;
+      harness::StampConfig exact_cfg = cfg;
+      exact_cfg.slack_cycles = 0;
+      harness::StampConfig slack_cfg = cfg;
+      slack_cfg.slack_cycles = quantum;
+      auto exact_app = harness::MakeStampApp(app_name);
+      harness::StampResult exact = harness::RunStamp(*exact_app, exact_cfg);
+      harness::StampResult slacked = harness::RunStamp(*app, slack_cfg);
+      const std::string da = StampDigest(exact);
+      const std::string db = StampDigest(slacked);
+      std::printf("slack-verify stamp %s | %u threads | %s | quantum %lu\n", app_name.c_str(),
+                  threads, harness::RuntimeKindName(runtime), quantum);
+      std::printf("  exact: %s\n  slack: %s\n", da.c_str(), db.c_str());
+      if (da != db) {
+        std::fprintf(stderr, "FAILED: slack quantum %lu diverged from the exact loop\n",
+                     quantum);
+        return 1;
+      }
+      std::printf("slack-verify: digests identical\n");
+      return 0;
     }
 
     if (reps > 1) {

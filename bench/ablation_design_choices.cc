@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner sweep(opt.jobs);
   sweep.SetSlackCycles(opt.slack);
+  sweep.SetSlackJobs(opt.slack_jobs);
 
   // ---- Submission phase: every cell of every study, in display order. ----
   for (int serial : {1, 0}) {

@@ -33,11 +33,14 @@ struct Options {
   uint64_t seed = 0;         // Override the benchmark's base seed (0 = keep).
   uint32_t jobs = 0;         // Host-parallel sweep jobs (0 = hardware_concurrency).
   uint64_t slack = 0;        // Bounded-slack quantum cycles (0 = exact loop).
+  uint32_t slack_jobs = 1;   // Host workers planning slack windows inside one
+                             // machine (1 = serial slack; needs --slack).
 };
 
 inline void PrintUsage(const char* prog, std::FILE* out) {
   std::fprintf(out,
-               "usage: %s [--quick] [--csv] [--json <path>] [--seed <n>] [--jobs <n>] [--slack <n>]\n"
+               "usage: %s [--quick] [--csv] [--json <path>] [--seed <n>] [--jobs <n>] [--slack <n>]"
+               " [--slack-jobs <n>]\n"
                "  --quick        reduced op counts (smoke runs)\n"
                "  --csv          emit CSV after the human-readable tables\n"
                "  --json <path>  write a machine-readable JSON run report\n"
@@ -45,7 +48,10 @@ inline void PrintUsage(const char* prog, std::FILE* out) {
                "  --jobs <n>     host threads for the sweep (default: all cores;\n"
                "                 results are identical for every job count)\n"
                "  --slack <n>    bounded-slack quantum cycles (0 = exact event loop;\n"
-               "                 results are identical for every value)\n",
+               "                 results are identical for every value)\n"
+               "  --slack-jobs <n>  host workers planning slack windows inside each\n"
+               "                 machine (1 = serial slack engine; no-op without\n"
+               "                 --slack; results are identical for every value)\n",
                prog);
 }
 
@@ -105,6 +111,20 @@ inline Options ParseArgs(int argc, char** argv) {
                      argv[0], argv[i]);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--slack-jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --slack-jobs requires a numeric operand\n", argv[0]);
+        PrintUsage(argv[0], stderr);
+        std::exit(2);
+      }
+      char* end = nullptr;
+      unsigned long long sj = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || sj == 0 || sj > 64) {
+        std::fprintf(stderr, "%s: --slack-jobs operand must be an integer in [1, 64], got '%s'\n",
+                     argv[0], argv[i]);
+        std::exit(2);
+      }
+      opt.slack_jobs = static_cast<uint32_t>(sj);
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       PrintUsage(argv[0], stdout);
       std::exit(0);
@@ -220,6 +240,7 @@ class JsonReport {
     w.KV("quick", opt_.quick);
     w.KV("seed", opt_.seed);
     w.KV("slack", opt_.slack);
+    w.KV("slack_jobs", static_cast<uint64_t>(opt_.slack_jobs));
     // Host header: throughput rows are only comparable across machines with
     // the same visible-CPU counts (see QueryHostInfo).
     const HostInfo host = QueryHostInfo();

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner sweep(opt.jobs);
   sweep.SetSlackCycles(opt.slack);
+  sweep.SetSlackJobs(opt.slack_jobs);
   for (const std::string& app_name : harness::StampAppNames()) {
     harness::StampConfig cfg;
     cfg.runtime = harness::RuntimeKind::kSequential;

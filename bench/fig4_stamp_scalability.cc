@@ -90,6 +90,7 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner sweep(opt.jobs);
   sweep.SetSlackCycles(opt.slack);
+  sweep.SetSlackJobs(opt.slack_jobs);
   for (const std::string& app_name : harness::StampAppNames()) {
     for (const Series& s : series) {
       for (uint32_t threads : benchutil::ThreadCounts()) {

@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
   // identical for every --jobs value.
   harness::SweepRunner sweep(opt.jobs);
   sweep.SetSlackCycles(opt.slack);
+  sweep.SetSlackJobs(opt.slack_jobs);
   for (const Panel& panel : panels) {
     for (const auto& variant : variants) {
       for (uint32_t threads : benchutil::ThreadCounts()) {

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner sweep(opt.jobs);
   sweep.SetSlackCycles(opt.slack);
+  sweep.SetSlackJobs(opt.slack_jobs);
   for (const auto& variant : {asf::AsfVariant::Llb8(), asf::AsfVariant::Llb256()}) {
     for (bool early_release : {false, true}) {
       for (uint64_t size : sizes) {

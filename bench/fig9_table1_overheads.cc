@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner sweep(opt.jobs);
   sweep.SetSlackCycles(opt.slack);
+  sweep.SetSlackJobs(opt.slack_jobs);
   for (const Workload& w : workloads) {
     sweep.SubmitIntset(MakeConfig(w, harness::RuntimeKind::kAsfTm, ops, opt.seed));
     sweep.SubmitIntset(MakeConfig(w, harness::RuntimeKind::kTinyStm, ops, opt.seed));

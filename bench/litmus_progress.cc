@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
 
   harness::SweepRunner sweep(opt.jobs);
   sweep.SetSlackCycles(opt.slack);
+  sweep.SetSlackJobs(opt.slack_jobs);
   for (const Adversary& adv : kAdversaries) {
     for (const Contender& con : kContenders) {
       harness::StressConfig sc;

@@ -94,11 +94,12 @@ std::vector<harness::IntsetConfig> BuildGrid(bool quick, uint64_t seed) {
 }
 
 PassResult RunPass(const std::vector<harness::IntsetConfig>& grid, uint32_t jobs,
-                   uint64_t slack_cycles = 0) {
+                   uint64_t slack_cycles = 0, uint32_t slack_jobs = 1) {
   PassResult pass;
   auto start = std::chrono::steady_clock::now();
   harness::SweepRunner sweep(jobs);
   sweep.SetSlackCycles(slack_cycles);
+  sweep.SetSlackJobs(slack_jobs);
   for (const harness::IntsetConfig& cfg : grid) {
     sweep.SubmitIntset(cfg);
   }
@@ -125,6 +126,16 @@ PassResult RunPass(const std::vector<harness::IntsetConfig>& grid, uint32_t jobs
     pass.host.slack_conflict_quanta += r.host.slack_conflict_quanta;
     pass.host.slack_batched += r.host.slack_batched;
     pass.host.slack_journal_lines += r.host.slack_journal_lines;
+    pass.host.slack_plan_forks += r.host.slack_plan_forks;
+    pass.host.slack_plan_events += r.host.slack_plan_events;
+    pass.host.slack_sharded_windows += r.host.slack_sharded_windows;
+    pass.host.slack_overlay_resolves += r.host.slack_overlay_resolves;
+    if (pass.host.slack_worker_planned.size() < r.host.slack_worker_planned.size()) {
+      pass.host.slack_worker_planned.resize(r.host.slack_worker_planned.size(), 0);
+    }
+    for (size_t w = 0; w < r.host.slack_worker_planned.size(); ++w) {
+      pass.host.slack_worker_planned[w] += r.host.slack_worker_planned[w];
+    }
     pass.digests.push_back(DigestOf(r));
   }
   return pass;
@@ -143,6 +154,35 @@ std::string Pct(uint64_t part, uint64_t whole) {
   }
   return asfcommon::Table::Num(100.0 * static_cast<double>(part) / static_cast<double>(whole), 1) +
          "%";
+}
+
+// Host-parallel slack-planning telemetry for one pass: pool fork/join count,
+// snapshot volume, how the sharded merge resolved, and the per-worker planned
+// event share (the occupancy view the CI smoke run watches). Printed in every
+// run — all-zero rows simply mean the pass ran with --slack-jobs 1 (or slack
+// disabled), so a silently-dead pool is visible as a regression.
+asfcommon::Table OccupancyTable(const std::string& title, const harness::HostPerf& hp) {
+  asfcommon::Table t(title);
+  t.SetHeader({"metric", "value", "share"});
+  t.AddRow({"plan fork/join epochs",
+            asfcommon::Table::Int(static_cast<long long>(hp.slack_plan_forks)), "-"});
+  t.AddRow({"events snapshotted into plans",
+            asfcommon::Table::Int(static_cast<long long>(hp.slack_plan_events)), "-"});
+  t.AddRow({"sharded windows dispatched",
+            asfcommon::Table::Int(static_cast<long long>(hp.slack_sharded_windows)),
+            Pct(hp.slack_sharded_windows, hp.slack_quanta)});
+  t.AddRow({"overlay-only merge resolves",
+            asfcommon::Table::Int(static_cast<long long>(hp.slack_overlay_resolves)), "-"});
+  uint64_t planned_total = 0;
+  for (uint64_t w : hp.slack_worker_planned) {
+    planned_total += w;
+  }
+  for (size_t w = 0; w < hp.slack_worker_planned.size(); ++w) {
+    t.AddRow({"worker " + std::to_string(w) + " planned events",
+              asfcommon::Table::Int(static_cast<long long>(hp.slack_worker_planned[w])),
+              Pct(hp.slack_worker_planned[w], planned_total)});
+  }
+  return t;
 }
 
 // Compares this run's digest table against a previously written JSON report.
@@ -234,9 +274,16 @@ int main(int argc, char** argv) {
   // --slack, default 256 cycles) and fails if any digest differs from the
   // exact serial pass; it also prints the quantum telemetry and the
   // slack-vs-exact digest table.
+  // --slack-par-check is the host-parallel analogue: it reruns the grid in
+  // quantum mode at --slack-jobs 1, 2 and 4 (planning fanned out over a
+  // worker pool inside each machine) and hard-fails unless every grid digest
+  // is bit-identical to the exact serial pass for every fan-out. It also
+  // reports the jobs>1 wall-clock overhead against jobs=1 — the number the
+  // <=10%-oversubscribed budget is judged on for single-CPU hosts.
   std::string baseline_path;
   bool gate_check = false;
   bool slack_check = false;
+  bool slack_par_check = false;
   std::vector<char*> filtered;
   filtered.reserve(static_cast<size_t>(argc));
   filtered.push_back(argv[0]);
@@ -251,6 +298,8 @@ int main(int argc, char** argv) {
       gate_check = true;
     } else if (std::strcmp(argv[i], "--slack-check") == 0) {
       slack_check = true;
+    } else if (std::strcmp(argv[i], "--slack-par-check") == 0) {
+      slack_par_check = true;
     } else {
       filtered.push_back(argv[i]);
     }
@@ -279,17 +328,17 @@ int main(int argc, char** argv) {
   const asfcommon::FramePool::Stats frames_before = asfcommon::FramePool::ForThread().stats();
   const PassResult serial = RunPass(grid, 1);
   const asfcommon::FramePool::Stats frames_after = asfcommon::FramePool::ForThread().stats();
-  const PassResult parallel = RunPass(grid, parallel_jobs, opt.slack);
+  const PassResult parallel = RunPass(grid, parallel_jobs, opt.slack, opt.slack_jobs);
 
-  // Determinism gate: neither the fan-out nor a --slack quantum may change a
-  // single result.
+  // Determinism gate: neither the fan-out, nor a --slack quantum, nor a
+  // --slack-jobs planning pool may change a single result.
   for (size_t i = 0; i < grid.size(); ++i) {
     if (serial.digests[i] != parallel.digests[i]) {
       std::fprintf(stderr,
-                   "FAILED: config %zu diverged between --jobs 1 and --jobs %u (slack %llu)\n"
-                   "  serial:   %s\n  parallel: %s\n",
+                   "FAILED: config %zu diverged between --jobs 1 and --jobs %u (slack %llu, "
+                   "slack-jobs %u)\n  serial:   %s\n  parallel: %s\n",
                    i, parallel_jobs, static_cast<unsigned long long>(opt.slack),
-                   serial.digests[i].c_str(), parallel.digests[i].c_str());
+                   opt.slack_jobs, serial.digests[i].c_str(), parallel.digests[i].c_str());
       return 1;
     }
   }
@@ -381,6 +430,79 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // Parallel-slack equivalence: rerun the whole grid in quantum mode at
+  // --slack-jobs 1, 2 and 4 and hard-fail unless every digest matches the
+  // exact serial pass at every fan-out. The sweep itself runs at --jobs 1
+  // here so the planning pool is the only host parallelism in the measured
+  // pass — on a single-CPU host that makes the jobs>1-vs-jobs=1 wall-clock
+  // ratio a pure oversubscription-overhead number (the <=10% budget); on a
+  // multi-core host it is the planning speedup.
+  if (slack_par_check) {
+    const uint64_t quantum = opt.slack != 0 ? opt.slack : 256;
+    const uint32_t kParJobs[] = {1, 2, 4};
+    std::vector<PassResult> par_passes;
+    for (uint32_t sj : kParJobs) {
+      par_passes.push_back(RunPass(grid, 1, quantum, sj));
+    }
+
+    asfcommon::Table pd("Parallel-slack digests (quantum " + std::to_string(quantum) +
+                        " cycles, slack-jobs 1/2/4 vs exact)");
+    pd.SetHeader({"configuration", "exact", "jobs 1", "jobs 2", "jobs 4", "match"});
+    size_t mismatches = 0;
+    for (size_t i = 0; i < grid.size(); ++i) {
+      bool match = true;
+      for (const PassResult& p : par_passes) {
+        match = match && serial.digests[i] == p.digests[i];
+      }
+      mismatches += match ? 0 : 1;
+      pd.AddRow({ConfigLabel(grid[i]), serial.digests[i], par_passes[0].digests[i],
+                 par_passes[1].digests[i], par_passes[2].digests[i], match ? "yes" : "NO"});
+    }
+    pd.Print();
+    report.Add(pd);
+
+    asfcommon::Table occ4 =
+        OccupancyTable("Parallel slack planning (--slack-par-check, slack-jobs 4)",
+                       par_passes[2].host);
+    occ4.Print();
+    report.Add(occ4);
+
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAILED: %zu configuration(s) diverged across --slack-jobs {1,2,4} at "
+                   "quantum %llu (see the parallel-slack table)\n",
+                   mismatches, static_cast<unsigned long long>(quantum));
+      return 1;
+    }
+
+    asfcommon::Table ov("Parallel-slack overhead (vs --slack-jobs 1, sweep --jobs 1)");
+    ov.SetHeader({"slack-jobs", "wall s", "overhead", "plan forks", "sharded windows"});
+    const double base_wall = par_passes[0].wall_seconds;
+    for (size_t j = 0; j < par_passes.size(); ++j) {
+      const PassResult& p = par_passes[j];
+      const double ratio = base_wall > 0.0 ? p.wall_seconds / base_wall : 0.0;
+      ov.AddRow({std::to_string(kParJobs[j]), asfcommon::Table::Num(p.wall_seconds, 3),
+                 j == 0 ? "-" : asfcommon::Table::Num(100.0 * (ratio - 1.0), 1) + "%",
+                 asfcommon::Table::Int(static_cast<long long>(p.host.slack_plan_forks)),
+                 asfcommon::Table::Int(static_cast<long long>(p.host.slack_sharded_windows))});
+    }
+    ov.Print();
+    report.Add(ov);
+
+    std::printf("slack-par-check: all %zu digests identical across --slack-jobs {1,2,4} at "
+                "quantum %llu\n",
+                grid.size(), static_cast<unsigned long long>(quantum));
+    if (host_cpus < 2) {
+      // Same framing as the other single-CPU notes: only the overhead bound
+      // is provable here; a planning speedup needs real cores (the JSON
+      // header records cpus/affinity so baselines stay comparable).
+      std::printf(
+          "note: single-CPU host; jobs>1 rows measure oversubscription overhead "
+          "(budget <=10%%), not speedup\n");
+    }
+    std::printf("\n");
+  }
+
   const double speedup =
       parallel.wall_seconds > 0.0 ? serial.wall_seconds / parallel.wall_seconds : 0.0;
 
@@ -454,6 +576,17 @@ int main(int argc, char** argv) {
   dir.Print();
   report.Add(dir);
 
+  // Parallel slack-planning telemetry (parallel pass). Printed in every run —
+  // including --quick — so the CI smoke run sees worker occupancy drop to
+  // zero the moment a change stops exercising the sharded backend.
+  // Fixed title (no slack-jobs value): reports from different fan-outs must
+  // stay table-matched for bench_diff, which reads the fan-out from the JSON
+  // header instead.
+  asfcommon::Table occ =
+      OccupancyTable("Parallel slack planning (parallel pass)", parallel.host);
+  occ.Print();
+  report.Add(occ);
+
   asfcommon::Table digests(kDigestTableTitle);
   digests.SetHeader({"configuration", "digest (tx:cycles:attempts:aborts)"});
   for (size_t i = 0; i < grid.size(); ++i) {
@@ -467,6 +600,7 @@ int main(int argc, char** argv) {
   summary.AddRow({"host affinity cpus", std::to_string(host_info.affinity_cpus)});
   summary.AddRow({"parallel jobs", std::to_string(parallel_jobs)});
   summary.AddRow({"slack quantum (parallel pass)", std::to_string(opt.slack)});
+  summary.AddRow({"slack jobs (parallel pass)", std::to_string(opt.slack_jobs)});
   summary.AddRow({"configurations", std::to_string(grid.size())});
   summary.AddRow({"speedup (serial wall / parallel wall)", asfcommon::Table::Num(speedup, 2)});
   summary.AddRow({"determinism", "jobs-invariant (all digests equal)"});

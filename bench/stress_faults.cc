@@ -204,6 +204,7 @@ int main(int argc, char** argv) {
   // is an independent simulation; fan them all out, then format in order.
   harness::SweepRunner sweep(opt.base.jobs);
   sweep.SetSlackCycles(opt.base.slack);
+  sweep.SetSlackJobs(opt.base.slack_jobs);
   for (const NamedSchedule& ns : schedules) {
     for (const NamedRuntime& nr : runtimes) {
       harness::StressConfig sc;

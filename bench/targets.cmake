@@ -98,6 +98,34 @@ set_tests_properties(slack_mutation_check PROPERTIES
                      ENVIRONMENT "ASF_SLACK_NO_JOURNAL=1"
                      WILL_FAIL TRUE LABELS "slack")
 
+# Host-parallel slack tier (`ctest -L slack_par`; subset of `-L slack`, so
+# the TSan build covers it too): planning windows on a worker pool must stay
+# bit-identical to both the exact loop and the serial slack backend.
+# slack_par_check_smoke replays the --quick grid at --slack-jobs {1,2,4} and
+# hard-fails on any digest mismatch, printing the worker-occupancy table;
+# slack_par_verify sweeps the contended asf_explore config across thread
+# counts x fan-outs.
+add_test(NAME slack_par_check_smoke
+         COMMAND perf_selfcheck --quick --slack 256 --slack-jobs 2 --slack-par-check)
+set_tests_properties(slack_par_check_smoke PROPERTIES LABELS "slack_par;slack;perf")
+add_test(NAME slack_par_verify
+         COMMAND asf_explore --workload intset --structure list --range 64
+                 --update 100 --threads 8 --ops 80 --policy serialize
+                 --slack 4096 --slack-jobs 4 --slack-verify 1)
+set_tests_properties(slack_par_verify PROPERTIES LABELS "slack_par;slack")
+# Mutation check: with the cross-partition horizon dropped
+# (ASF_SLACK_NO_BARRIER=1) the same verify MUST diverge (exit 1). The sweep
+# includes --slack-jobs >= 2 because the mutation is deliberately a no-op on
+# the jobs=1 scan backend (which never consults partitions) — a divergence
+# there would mean the serial path regressed, not that the barrier matters.
+add_test(NAME slack_par_mutation_check
+         COMMAND asf_explore --workload intset --structure list --range 64
+                 --update 100 --threads 8 --ops 80 --policy serialize
+                 --slack 4096 --slack-jobs 4 --slack-verify 1)
+set_tests_properties(slack_par_mutation_check PROPERTIES
+                     ENVIRONMENT "ASF_SLACK_NO_BARRIER=1"
+                     WILL_FAIL TRUE LABELS "slack_par;slack")
+
 # bench_diff sanity: a report diffed against itself reports no regressions.
 add_test(NAME bench_diff_selfcheck
          COMMAND bench_diff ${CMAKE_BINARY_DIR}/bench/perf_selfcheck.smoke.json

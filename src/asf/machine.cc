@@ -41,6 +41,7 @@ Machine::Machine(const MachineParams& params)
     contexts_.back()->BindDirectory(&directory_);
   }
   scheduler_.SetSlackCycles(params.slack_cycles);
+  scheduler_.SetSlackJobs(params.slack_jobs);
   scheduler_.SetAccessHandler(this);
   mem_.SetListener(this);
 }
@@ -182,7 +183,7 @@ AccessOutcome Machine::OnAccess(SimThread& thread, AccessKind kind, uint64_t add
         ev.mode = asfobs::TxMode::kHardware;
         ev.cause = AbortCause::kContention;
         ev.attempt = scheduler_.thread(v).core().attempt_seq();
-        ev.arg0 = line;
+        ev.arg0 = ObsLine(line);
         ev.arg1 = asfobs::PackConflictEdge(cid, r->writer == v, write_like);
         tx_sink_->OnTxEvent(ev);
       }

@@ -51,6 +51,15 @@ struct MachineParams {
   // interaction. 0 (the default) keeps the exact single-event loop; results
   // are bit-identical for every value (perf_selfcheck --slack-check).
   uint64_t slack_cycles = 0;
+  // Host-parallel slack planning (src/sim/slack_pool.h; --slack-jobs N in
+  // every bench and asf_explore): partitions the simulated threads across
+  // this many host workers that plan quantum windows behind a fork/join
+  // barrier — the only path that speeds up a *single* large-machine run, as
+  // opposed to the sweep engine's per-(config,seed) --jobs fan-out. 0/1 (the
+  // default) keep the serial slack engine; a no-op unless slack_cycles is
+  // also set. Results are bit-identical for every value (perf_selfcheck
+  // --slack-par-check, tests/slack_parallel_test.cc).
+  uint32_t slack_jobs = 1;
   // Mutation hook for the litmus suite (src/litmus): skips requester-wins
   // conflict resolution for *plain loads only*, letting an unannotated read
   // observe another core's uncommitted speculative store (a dirty read).
@@ -84,6 +93,21 @@ class Machine : public asfsim::AccessHandler, public asfmem::MemEventListener {
   // Arena for all simulation-visible data (see src/common/arena.h): using it
   // makes experiments bit-for-bit reproducible across runs.
   asfcommon::SimArena& arena() { return arena_; }
+  // Observability address normalization: events that name cache lines
+  // (kConflictEdge) carry them arena-relative, because the arena's absolute
+  // base is the one thing host mmap history moves between otherwise
+  // identical runs — the *relative* layout is deterministic by construction
+  // (src/common/arena.h). Rebasing at the source keeps live recorders,
+  // offline replays, and trace exports consistent with each other, and
+  // makes heatmaps bit-identical across runs whatever ran before in the
+  // process (e.g. a slack planning pool whose cached thread stacks shifted
+  // the next arena's placement). Lines outside the arena (runtime metadata
+  // in host statics) pass through absolute.
+  uint64_t ObsLine(uint64_t line) const {
+    const uint64_t base = arena_.base() >> asfcommon::kCacheLineShift;
+    const uint64_t count = arena_.capacity() >> asfcommon::kCacheLineShift;
+    return line >= base && line - base < count ? line - base : line;
+  }
   AsfContext& context(uint32_t core) { return *contexts_[core]; }
   // The speculative-line directory shared by all contexts (telemetry and
   // coherence introspection; contexts keep it up to date themselves).

@@ -166,6 +166,7 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
   ASF_CHECK(cfg.threads >= 1 && cfg.threads <= 8);
   asf::MachineParams mp = machine_params;
   mp.slack_cycles = cfg.slack_cycles;
+  mp.slack_jobs = cfg.slack_jobs;
   asf::Machine m(mp);
   if (cfg.obs.tracer != nullptr) {
     m.scheduler().SetTracer(cfg.obs.tracer);
@@ -189,8 +190,13 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
     // Named-region attribution for the heatmap: the one resident image the
     // harness can name is the hash bucket array. Lines outside registered
     // regions report "-".
+    // Registered arena-relative: conflict-edge events carry arena-relative
+    // lines (Machine::ObsLine), so region bounds must live in the same
+    // coordinate space.
     auto* hs = static_cast<intset::HashSet*>(set.get());
-    heatmap_rec.regions().Register("hash:table", reinterpret_cast<uint64_t>(hs->table_data()),
+    heatmap_rec.regions().Register("hash:table",
+                                   reinterpret_cast<uint64_t>(hs->table_data()) -
+                                       m.arena().base(),
                                    hs->table_bytes());
   }
 
@@ -308,6 +314,11 @@ IntsetResult RunIntsetOnParams(const IntsetConfig& cfg,
   result.host.slack_conflict_quanta = ss.conflict_quanta;
   result.host.slack_batched = ss.batched_events;
   result.host.slack_journal_lines = ss.journal_lines;
+  result.host.slack_plan_forks = ss.plan_forks;
+  result.host.slack_plan_events = ss.plan_events;
+  result.host.slack_sharded_windows = ss.sharded_windows;
+  result.host.slack_overlay_resolves = ss.overlay_resolves;
+  result.host.slack_worker_planned = ss.worker_planned;
   const asf::ConflictDirectory::Stats& ds = m.conflict_directory().stats();
   result.host.dir_resolutions = ds.resolutions;
   result.host.dir_gate_skips = ds.gate_skips;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/asf/machine.h"
 #include "src/common/abort_cause.h"
@@ -81,6 +82,11 @@ struct IntsetConfig {
   // on every bench). 0 = the exact single-event loop. Any value must produce
   // bit-identical results; perf_selfcheck --slack-check enforces this.
   uint64_t slack_cycles = 0;
+  // Host-parallel slack planning (MachineParams::slack_jobs; --slack-jobs N
+  // on every bench). 0/1 = the serial slack engine; a no-op unless
+  // slack_cycles is set. Bit-identical for every value (perf_selfcheck
+  // --slack-par-check).
+  uint32_t slack_jobs = 1;
   ObsHooks obs;
   // Collect per-transaction latency percentiles and the hot-line heatmap for
   // this run (host-side recorders chained in front of obs.tx_sink; fills
@@ -129,6 +135,13 @@ struct HostPerf {
   uint64_t slack_conflict_quanta = 0;// Demoted by cross-core spec. overlap.
   uint64_t slack_batched = 0;        // Events consumed at the suspension point.
   uint64_t slack_journal_lines = 0;  // Dirty lines journaled across quanta.
+  // Host-parallel slack planning telemetry (sharded backend; zero unless
+  // slack_jobs > 1 — see src/sim/slack_pool.h).
+  uint64_t slack_plan_forks = 0;       // Fork/join plan epochs on the pool.
+  uint64_t slack_plan_events = 0;      // Events snapshotted into plans.
+  uint64_t slack_sharded_windows = 0;  // Windows dispatched via merge.
+  uint64_t slack_overlay_resolves = 0; // Merges served by the overlay alone.
+  std::vector<uint64_t> slack_worker_planned;  // Per-worker occupancy.
 };
 
 struct IntsetResult {

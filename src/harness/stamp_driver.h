@@ -32,6 +32,8 @@ struct StampConfig {
   bool collect_latency = false;
   // Bounded-slack quantum execution (see IntsetConfig::slack_cycles).
   uint64_t slack_cycles = 0;
+  // Host-parallel slack planning (see IntsetConfig::slack_jobs).
+  uint32_t slack_jobs = 1;
 };
 
 struct StampResult {

@@ -55,6 +55,9 @@ size_t SweepRunner::SubmitIntset(const IntsetConfig& cfg) {
   if (job_cfg.slack_cycles == 0) {
     job_cfg.slack_cycles = default_slack_cycles_;
   }
+  if (job_cfg.slack_jobs <= 1) {
+    job_cfg.slack_jobs = default_slack_jobs_;
+  }
   intset_results_.emplace_back();
   IntsetResult* slot = &intset_results_.back();
   queue_.push_back([job_cfg, slot]() { *slot = RunIntset(job_cfg); });
@@ -69,6 +72,9 @@ size_t SweepRunner::SubmitIntsetOnParams(const IntsetConfig& cfg,
   if (job_cfg.slack_cycles == 0) {
     job_cfg.slack_cycles = default_slack_cycles_;
   }
+  if (job_cfg.slack_jobs <= 1) {
+    job_cfg.slack_jobs = default_slack_jobs_;
+  }
   intset_results_.emplace_back();
   IntsetResult* slot = &intset_results_.back();
   queue_.push_back([job_cfg, params, slot]() { *slot = RunIntsetOnParams(job_cfg, params); });
@@ -81,6 +87,9 @@ size_t SweepRunner::SubmitStamp(const std::string& app_name, const StampConfig& 
   StampConfig job_cfg = cfg;
   if (job_cfg.slack_cycles == 0) {
     job_cfg.slack_cycles = default_slack_cycles_;
+  }
+  if (job_cfg.slack_jobs <= 1) {
+    job_cfg.slack_jobs = default_slack_jobs_;
   }
   stamp_results_.emplace_back();
   StampResult* slot = &stamp_results_.back();
@@ -98,6 +107,9 @@ size_t SweepRunner::SubmitStress(const StressConfig& cfg) {
   StressConfig job_cfg = cfg;
   if (job_cfg.intset.slack_cycles == 0) {
     job_cfg.intset.slack_cycles = default_slack_cycles_;
+  }
+  if (job_cfg.intset.slack_jobs <= 1) {
+    job_cfg.intset.slack_jobs = default_slack_jobs_;
   }
   stress_results_.emplace_back();
   StressResult* slot = &stress_results_.back();

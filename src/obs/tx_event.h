@@ -75,7 +75,10 @@ struct TxEvent {
   //   kFallbackTransition: arg0 = source TxMode.
   //   kBackoffEnd:         arg0 = cycles waited.
   //   kConflictEdge:       arg0 = cache-line number (address >> 6) of the
-  //                        contended line; arg1 packs the edge descriptor:
+  //                        contended line, arena-relative when the line lies
+  //                        in the machine's SimArena (Machine::ObsLine) so
+  //                        heatmaps are reproducible across host runs;
+  //                        arg1 packs the edge descriptor:
   //                        bits [7:0] aggressor core, bit 8 set when the
   //                        victim held the line as a writer (clear: reader),
   //                        bit 9 set when the aggressor access was

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/sim/slack_pool.h"
+
 namespace asfsim {
 
 using asfcommon::AbortCause;
@@ -136,6 +138,10 @@ std::atomic<bool> g_wake_fast_path{true};
 // Mutation hook for the slack digest gates (src/sim/slack.h): snapshot per
 // Scheduler construction, like the speculator gate in src/asf/machine.cc.
 std::atomic<bool> g_slack_journal_disabled{std::getenv("ASF_SLACK_NO_JOURNAL") != nullptr};
+// Mutation hook for the sharded-slack digest gates: drops the cross-partition
+// horizon merge at window boundaries (src/sim/slack.h). Same snapshot
+// discipline as the journal hook above.
+std::atomic<bool> g_slack_barrier_disabled{std::getenv("ASF_SLACK_NO_BARRIER") != nullptr};
 }  // namespace
 
 void Scheduler::SetWakeFastPathForTesting(bool enabled) {
@@ -150,6 +156,14 @@ void SetSlackJournalDisabledForTesting(bool disabled) {
   g_slack_journal_disabled.store(disabled, std::memory_order_relaxed);
 }
 
+bool SlackBarrierDisabled() {
+  return g_slack_barrier_disabled.load(std::memory_order_relaxed);
+}
+
+void SetSlackBarrierDisabledForTesting(bool disabled) {
+  g_slack_barrier_disabled.store(disabled, std::memory_order_relaxed);
+}
+
 void Scheduler::SetSlackCycles(uint64_t cycles) {
   ASF_CHECK_MSG(threads_.empty(), "SetSlackCycles must run before any thread is spawned");
   ASF_CHECK_MSG(chooser_ == nullptr || cycles == 0,
@@ -158,6 +172,11 @@ void Scheduler::SetSlackCycles(uint64_t cycles) {
   if (cycles != 0) {
     slack_pending_.assign(cores_.size(), SlackSlot{});
   }
+}
+
+void Scheduler::SetSlackJobs(uint32_t jobs) {
+  ASF_CHECK_MSG(threads_.empty(), "SetSlackJobs must run before any thread is spawned");
+  slack_jobs_ = jobs == 0 ? 1 : jobs;
 }
 
 void Scheduler::SetChooser(ScheduleChooser* chooser) {
@@ -174,7 +193,8 @@ void Scheduler::SetChooser(ScheduleChooser* chooser) {
 
 Scheduler::Scheduler(uint32_t num_cores, const CoreParams& params)
     : wake_fast_path_(g_wake_fast_path.load(std::memory_order_relaxed)),
-      journal_(!SlackJournalDisabled()) {
+      journal_(!SlackJournalDisabled()),
+      slack_barrier_disabled_(SlackBarrierDisabled()) {
   cores_.reserve(num_cores);
   for (uint32_t i = 0; i < num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(i, params));
@@ -216,6 +236,7 @@ void Scheduler::ScheduleWake(SimThread& t, uint64_t cycle, bool yield) {
     ASF_CHECK_MSG(!slot.valid, "thread scheduled twice in slack mode");
     slot.ev = ev;
     slot.valid = true;
+    MarkSlackDirty(t.id());
     if (window_owner_ != nullptr && &t != window_owner_) {
       // Cross-thread wake while a window is open (mutex/barrier release by
       // the owner): the cached horizon may be stale — tear the quantum.
@@ -330,7 +351,22 @@ void Scheduler::Run() {
 // batch, and the remaining events simply fall through to the next loop
 // iteration — the exact interleaved path; nothing is rolled back, so
 // results are bit-identical to slack 0 by construction.
+//
+// Two interchangeable backends feed the loop the (minimum, horizon) pair:
+// the serial scan (slack_jobs <= 1: two O(n) passes over the pending
+// table, PR 8's engine verbatim) and the sharded merge (slack_jobs > 1:
+// partition snapshots planned on the host worker pool + dirty overlay).
+// Both compute identical values, so backend choice never changes results.
 void Scheduler::RunSlack() {
+  const size_t n = threads_.size();
+  if (slack_jobs_ > 1 && n > 1) {
+    RunSlackSharded();
+  } else {
+    RunSlackScan();
+  }
+}
+
+void Scheduler::RunSlackScan() {
   const size_t n = slack_pending_.size();
   for (;;) {
     inline_chain_ = 0;  // Control is back in the loop; the host stack is flat.
@@ -376,6 +412,153 @@ void Scheduler::RunSlack() {
     slack_stats_.journal_lines += journal_.dirty_lines();
     window_owner_ = nullptr;
   }
+}
+
+// Rebuilds every partition's sorted snapshot on the worker pool. Workers
+// read the pending table concurrently but write only their own partition —
+// the fork/join barrier in SlackWorkerPool::Run supplies the ordering (see
+// slack_pool.h). The replan interval backs off geometrically: each epoch
+// doubles it up to a cap, so a run of W windows pays O(log W + W/cap)
+// fork/joins total. The backoff is unconditional by design — a fork/join
+// epoch costs two host context switches whenever the workers share the
+// coordinator's CPU, while a stale snapshot costs almost nothing (resolves
+// fall through to the dirty overlay, the same cheap serial scan the kScan
+// backend runs), and any freshness-based feedback signal is self-defeating:
+// replanning often keeps the snapshot fresh, which then reads as "plans are
+// paying off". Correctness never depends on snapshot age, only the
+// plan-speedup opportunity does, and the cap bounds that staleness. Purely
+// a function of simulation state, so the epoch schedule (and the occupancy
+// telemetry) is reproducible run over run.
+void Scheduler::ReplanShards() {
+  replan_interval_ = std::min<uint64_t>(replan_interval_ * 2, 65536);
+  windows_since_plan_ = 0;
+  const size_t jobs = slack_parts_.size();
+  slack_pool_->Run([this, jobs](size_t w) {
+    SlackPartition& part = slack_parts_[w];
+    part.sorted.clear();
+    part.cursor = 0;
+    for (size_t tid = w; tid < slack_pending_.size(); tid += jobs) {
+      if (slack_pending_[tid].valid) {
+        part.sorted.push_back(slack_pending_[tid].ev);
+      }
+    }
+    std::sort(part.sorted.begin(), part.sorted.end(),
+              [](const SchedEvent& a, const SchedEvent& b) { return EventBefore(a, b); });
+    part.planned += part.sorted.size();
+  });
+  ++slack_stats_.plan_forks;
+  for (size_t w = 0; w < jobs; ++w) {
+    slack_stats_.plan_events += slack_parts_[w].sorted.size();
+    slack_stats_.worker_planned[w] = slack_parts_[w].planned;
+  }
+  std::fill(slack_dirty_.begin(), slack_dirty_.end(), uint8_t{0});
+  slack_dirty_count_ = 0;
+}
+
+bool Scheduler::ShardedMinPending(uint32_t exclude, bool owner_partition_only,
+                                  SchedEvent* out) {
+  const size_t jobs = slack_parts_.size();
+  size_t first_part = 0;
+  size_t last_part = jobs;
+  if (owner_partition_only) {
+    // ASF_SLACK_NO_BARRIER mutation: the horizon ignores every partition but
+    // the owner's — the deliberate soundness hole the digest gates must
+    // catch. Never used for the dispatch minimum, so dispatch stays exact.
+    first_part = exclude % jobs;
+    last_part = first_part + 1;
+  }
+  bool found = false;
+  SchedEvent best{};
+  for (size_t p = first_part; p < last_part; ++p) {
+    SlackPartition& part = slack_parts_[p];
+    // Snapshot entries of dirty threads are dead (their live slot is
+    // authoritative); skipping is permanent because a thread stays dirty
+    // until the next plan epoch rebuilds the snapshot.
+    while (part.cursor < part.sorted.size() &&
+           slack_dirty_[part.sorted[part.cursor].thread->id()]) {
+      ++part.cursor;
+    }
+    if (part.cursor < part.sorted.size()) {
+      const SchedEvent& ev = part.sorted[part.cursor];
+      if (ev.thread->id() != exclude && (!found || EventBefore(ev, best))) {
+        best = ev;
+        found = true;
+      }
+    }
+  }
+  const bool snapshot_hit = found;
+  // Dirty overlay: threads whose slot mutated since the plan epoch.
+  for (size_t tid = 0; tid < slack_dirty_.size(); ++tid) {
+    if (!slack_dirty_[tid] || tid == exclude || !slack_pending_[tid].valid) {
+      continue;
+    }
+    if (owner_partition_only && tid % jobs != first_part) {
+      continue;
+    }
+    if (!found || EventBefore(slack_pending_[tid].ev, best)) {
+      best = slack_pending_[tid].ev;
+      found = true;
+    }
+  }
+  if (found) {
+    *out = best;
+    if (!snapshot_hit) {
+      ++slack_stats_.overlay_resolves;
+    }
+  }
+  return found;
+}
+
+// Sharded window loop: identical window semantics to RunSlackScan, with the
+// (minimum, horizon) pair resolved by ShardedMinPending over the worker-
+// planned partition snapshots. Simulated coroutines still execute only on
+// this (coordinating) host thread — host parallelism covers planning, which
+// is what keeps every digest bit-identical and the mode TSan-clean.
+void Scheduler::RunSlackSharded() {
+  const size_t n = slack_pending_.size();
+  const size_t jobs = std::min<size_t>(slack_jobs_, threads_.size());
+  slack_sharded_ = true;
+  slack_parts_.assign(jobs, SlackPartition{});
+  slack_stats_.worker_planned.assign(jobs, 0);
+  // Everything starts dirty; the first window forces the initial plan epoch.
+  slack_dirty_.assign(n, 1);
+  slack_dirty_count_ = n;
+  windows_since_plan_ = replan_interval_ = 1;
+  slack_pool_ = std::make_unique<SlackWorkerPool>(jobs);
+  for (;;) {
+    inline_chain_ = 0;  // Control is back in the loop; the host stack is flat.
+    if (slack_dirty_count_ > 0 && windows_since_plan_ >= replan_interval_) {
+      ReplanShards();
+    }
+    ++windows_since_plan_;
+    SchedEvent ev;
+    if (!ShardedMinPending(kNoExclude, /*owner_partition_only=*/false, &ev)) {
+      break;
+    }
+    SimThread& t = *ev.thread;
+    slack_pending_[t.id()].valid = false;
+    MarkSlackDirty(t.id());
+    if (t.finished_) {
+      continue;
+    }
+    window_owner_ = &t;
+    window_end_ = ev.cycle + slack_cycles_;
+    window_other_valid_ =
+        ShardedMinPending(t.id(), slack_barrier_disabled_, &window_other_min_);
+    const bool solo = !window_other_valid_ || window_other_min_.cycle >= window_end_;
+    journal_.Open();
+    ++slack_stats_.quanta;
+    slack_stats_.solo_quanta += solo ? 1 : 0;
+    ++slack_stats_.loop_events;
+    ++slack_stats_.sharded_windows;
+    OnWake(t, ev.cycle);
+    slack_stats_.torn_quanta += journal_.torn() ? 1 : 0;
+    slack_stats_.conflict_quanta += journal_.conflicted() ? 1 : 0;
+    slack_stats_.journal_lines += journal_.dirty_lines();
+    window_owner_ = nullptr;
+  }
+  slack_sharded_ = false;
+  slack_pool_.reset();
 }
 
 uint64_t Scheduler::MaxCycle() const {

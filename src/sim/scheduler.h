@@ -42,6 +42,7 @@ namespace asfsim {
 
 class Scheduler;
 class SimThread;
+class SlackWorkerPool;
 
 // One pending wake-up. `seq` is the global schedule order and breaks cycle
 // ties, so (cycle, seq) is a strict total order over all events ever queued —
@@ -425,6 +426,21 @@ class Scheduler {
   uint64_t slack_cycles() const { return slack_cycles_; }
   const SlackStats& slack_stats() const { return slack_stats_; }
 
+  // Host-parallel slack planning (src/sim/slack_pool.h): partitions the
+  // simulated threads across `jobs` host workers (tid % jobs) that snapshot
+  // their partitions' pending events into sorted plans at fork/join epochs;
+  // the window loop then resolves the dispatch minimum and the cross-thread
+  // horizon by merging the partition heads with a dirty-thread overlay.
+  // The merged values equal the serial scans' values exactly, so results
+  // stay bit-identical for every `jobs` — enforced by perf_selfcheck
+  // --slack-par-check and tests/slack_parallel_test.cc. Must be set before
+  // any thread is spawned; 0/1 keep the serial slack engine (no pool, no
+  // host threads); a no-op unless slack_cycles is also set. Composes with
+  // the sweep engine's per-(config,seed) --jobs: that fans out machines,
+  // this parallelizes planning inside one machine.
+  void SetSlackJobs(uint32_t jobs);
+  uint32_t slack_jobs() const { return slack_jobs_; }
+
   // Machine-model notifications feeding the per-quantum journal (no-ops in
   // exact mode). `core` is the issuing/victim core of the event.
   void NoteSpeculativeWrite(uint32_t core, uint64_t first_line, uint64_t last_line) {
@@ -495,16 +511,41 @@ class Scheduler {
       return false;
     }
     slot.valid = false;
+    MarkSlackDirty(t.id());
     ++inline_chain_;
     ++slack_stats_.batched_events;
     t.core_->AdvanceTo(slot.ev.cycle);
     return true;
   }
 
+  // Sharded slack mode: records that thread `tid`'s pending slot mutated
+  // since the last plan epoch, so its snapshot entries are dead and its live
+  // slot is authoritative (the dirty overlay). Invariant: at any time,
+  // {non-dirty threads' snapshot entries} ∪ {dirty threads' live slots}
+  // is exactly the live pending-event table — which is why the merged
+  // minimum below equals the serial scan's minimum, event for event.
+  void MarkSlackDirty(uint32_t tid) {
+    if (slack_sharded_ && !slack_dirty_[tid]) {
+      slack_dirty_[tid] = 1;
+      ++slack_dirty_count_;
+    }
+  }
+
   void ProcessAccess(SimThread& t, const SimThread::PendingOp& op);
   void DoControlAbort(SimThread& t);
   void ResumeThread(SimThread& t);
   void RunSlack();
+  void RunSlackScan();
+  void RunSlackSharded();
+  // Rebuilds every partition's sorted snapshot on the worker pool (fork/join)
+  // and clears the dirty overlay; adapts the replan interval to how much
+  // batching the previous plan bought.
+  void ReplanShards();
+  // Minimum pending event via snapshot-head merge + dirty overlay, excluding
+  // thread `exclude` (kNoExclude for none). When `owner_partition_only` is
+  // set (the ASF_SLACK_NO_BARRIER mutation), only `exclude`'s own partition
+  // is consulted — a deliberate soundness hole. Returns false if empty.
+  bool ShardedMinPending(uint32_t exclude, bool owner_partition_only, SchedEvent* out);
 
   AccessHandler* handler_ = nullptr;
   Tracer* tracer_ = nullptr;
@@ -546,6 +587,26 @@ class Scheduler {
   bool window_other_valid_ = false;
   QuantumJournal journal_;
   SlackStats slack_stats_;
+  // --- Host-parallel slack planning (src/sim/slack_pool.h) -----------------
+  // Partition p owns threads with id % jobs == p. Snapshots are rebuilt at
+  // plan epochs on the worker pool; `cursor` skips consumed/stale heads.
+  struct SlackPartition {
+    std::vector<SchedEvent> sorted;  // (cycle, seq)-ascending plan snapshot.
+    size_t cursor = 0;               // First possibly-live snapshot entry.
+    uint64_t planned = 0;            // Lifetime events planned (occupancy).
+  };
+  static constexpr uint32_t kNoExclude = UINT32_MAX;
+  uint32_t slack_jobs_ = 1;
+  bool slack_sharded_ = false;      // True while RunSlackSharded drives.
+  const bool slack_barrier_disabled_;  // ASF_SLACK_NO_BARRIER mutation hook.
+  std::unique_ptr<SlackWorkerPool> slack_pool_;
+  std::vector<SlackPartition> slack_parts_;
+  std::vector<uint8_t> slack_dirty_;   // Per-thread: slot mutated since plan.
+  size_t slack_dirty_count_ = 0;
+  uint64_t windows_since_plan_ = 0;
+  uint64_t replan_interval_ = 1;       // Geometric backoff, doubled per plan
+                                       // epoch up to a cap (see
+                                       // ReplanShards); deterministic.
   // Guards against two host threads driving the same scheduler (the sweep
   // engine runs one Machine per job; sharing one is a bug). See Run().
   std::atomic<bool> host_busy_{false};

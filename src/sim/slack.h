@@ -41,10 +41,26 @@
 // rolled back; "replay through the exact serial path" simply means the
 // window closes and the ordinary loop resumes. Digest equality over the
 // whole perf_selfcheck grid is enforced by --slack-check.
+//
+// Host-parallel planning (Scheduler::SetSlackJobs(J), J > 1): simulated
+// threads are partitioned across J host workers (tid % J); at plan epochs
+// the workers snapshot their partitions' pending events into (cycle, seq)-
+// sorted arrays behind a fork/join barrier (src/sim/slack_pool.h), and the
+// window loop resolves the global minimum and the cross-thread horizon by
+// merging the partition heads with a dirty-thread overlay (threads whose
+// slot mutated since the snapshot are read live). The merged values are
+// exactly the values the serial O(n) scans compute, so dispatch order —
+// and therefore every digest, latency histogram, and heatmap — is
+// bit-identical across every J, including J = 1 (which bypasses the pool
+// entirely and IS the serial slack engine). Simulated coroutines always
+// execute on the coordinating host thread: host parallelism covers window
+// *planning* only, which is what keeps shared simulation state single-
+// writer and the whole mode TSan-clean even when J exceeds the host CPUs.
 #ifndef SRC_SIM_SLACK_H_
 #define SRC_SIM_SLACK_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/common/flat_table.h"
 
@@ -59,6 +75,14 @@ struct SlackStats {
   uint64_t batched_events = 0;    // Events consumed at the suspension point.
   uint64_t loop_events = 0;       // Events dispatched by the window loop.
   uint64_t journal_lines = 0;     // Dirty lines recorded across all quanta.
+  // --- Host-parallel planning (sharded backend; zero unless slack_jobs > 1).
+  uint64_t plan_forks = 0;        // Fork/join plan epochs across the pool.
+  uint64_t plan_events = 0;       // Events snapshotted into partition plans.
+  uint64_t sharded_windows = 0;   // Windows dispatched via snapshot merge.
+  uint64_t overlay_resolves = 0;  // Min resolutions served by the dirty
+                                  // overlay alone (all snapshot heads stale).
+  std::vector<uint64_t> worker_planned;  // Per-worker planned-event counts
+                                         // (the occupancy telemetry).
 };
 
 // Mutation hook (tests only; env ASF_SLACK_NO_JOURNAL=1 or the setter):
@@ -69,6 +93,19 @@ struct SlackStats {
 // asf::SpeculatorGateDisabled.
 bool SlackJournalDisabled();
 void SetSlackJournalDisabledForTesting(bool disabled);
+
+// Mutation hook (tests only; env ASF_SLACK_NO_BARRIER=1 or the setter):
+// in sharded mode (slack_jobs > 1) the cross-thread horizon is computed from
+// the window owner's own partition only — the cross-partition merge at the
+// window boundary is skipped, so the owner batches straight past other
+// partitions' earlier events. The host-side fork/join barrier itself stays
+// up (the mutation must be a deterministic ordering violation, not a data
+// race), the dispatch minimum stays exact (no stall), and the slack-vs-exact
+// digest gates must fail on contended runs — mirroring the journal mutation
+// above. Snapshotted per Scheduler construction. No effect when
+// slack_jobs <= 1.
+bool SlackBarrierDisabled();
+void SetSlackBarrierDisabledForTesting(bool disabled);
 
 // Per-quantum safety record. One instance per Scheduler, reset at window
 // open. All methods are host-side and cost zero simulated cycles.

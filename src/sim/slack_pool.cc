@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+#include "src/sim/slack_pool.h"
+
+namespace asfsim {
+
+SlackWorkerPool::SlackWorkerPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+SlackWorkerPool::~SlackWorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void SlackWorkerPool::Run(const PlanFn& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  remaining_ = threads_.size();
+  ++epoch_;
+  ++forks_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+}
+
+void SlackWorkerPool::WorkerMain(size_t index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const PlanFn* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      fn = fn_;
+    }
+    // The plan body runs unlocked so workers overlap; each worker touches
+    // only its own partition's plan arrays (see slack_pool.h).
+    (*fn)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace asfsim

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Persistent host worker pool for bounded-slack window planning.
+//
+// One pool per Scheduler in sharded slack mode (SetSlackJobs(J), J > 1).
+// The pool implements a classic fork/join barrier over J persistent host
+// threads: Run(fn) wakes every worker, runs fn(worker_index) on each
+// concurrently, and returns only after the last worker finished. The
+// coordinator (the host thread driving Scheduler::RunSlack) is blocked for
+// the whole span of Run, so workers may read simulation state — the
+// per-thread pending-event table in particular — without synchronization
+// beyond the barrier itself: every worker write happens-before the
+// coordinator's wakeup via the pool mutex, and workers write only to their
+// own partition's plan arrays. This is the property that keeps sharded
+// slack mode TSan-clean (-DASF_SANITIZE=thread, ctest -L slack_par) even
+// when J exceeds the host CPU count.
+//
+// Workers sleep on a condition variable between plan epochs, so an
+// oversubscribed pool (J workers on a 1-CPU host) costs two cv transitions
+// per epoch and nothing in between — the adaptive replan interval in
+// Scheduler::RunSlackSharded bounds the epoch rate, which is what keeps the
+// measured oversubscription overhead within the perf_selfcheck budget.
+#ifndef SRC_SIM_SLACK_POOL_H_
+#define SRC_SIM_SLACK_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asfsim {
+
+class SlackWorkerPool {
+ public:
+  using PlanFn = std::function<void(size_t worker)>;
+
+  explicit SlackWorkerPool(size_t workers);
+  ~SlackWorkerPool();
+
+  SlackWorkerPool(const SlackWorkerPool&) = delete;
+  SlackWorkerPool& operator=(const SlackWorkerPool&) = delete;
+
+  // Fork/join: runs fn(w) on worker w for every w in [0, workers())
+  // concurrently and returns when all of them finished. The caller must not
+  // mutate state read by fn until Run returns (it is blocked anyway).
+  void Run(const PlanFn& fn);
+
+  size_t workers() const { return threads_.size(); }
+  uint64_t forks() const { return forks_; }
+
+ private:
+  void WorkerMain(size_t index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const PlanFn* fn_ = nullptr;  // Valid only while an epoch is in flight.
+  uint64_t epoch_ = 0;
+  size_t remaining_ = 0;
+  bool stop_ = false;
+  uint64_t forks_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace asfsim
+
+#endif  // SRC_SIM_SLACK_POOL_H_

@@ -1,0 +1,212 @@
+// Copyright (c) 2026 The asf-tm-stack Authors. All rights reserved.
+// Host-parallel slack-planning equivalence suite (src/sim/slack_pool.h):
+// fanning the window planning out over a worker pool must be a pure
+// host-side optimization — result digests, TxStats, latency percentiles,
+// and heatmaps bit-identical to the exact loop AND to the serial slack
+// backend for every runtime, hardware variant, and fan-out, including
+// fan-outs that oversubscribe a single-CPU host. Also proves the window
+// barrier has teeth: with the cross-partition horizon mutated away
+// (SetSlackBarrierDisabledForTesting) a contended sharded run must diverge,
+// while the jobs=1 scan backend — which never consults partitions — must
+// not change at all.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/harness/experiment.h"
+#include "src/sim/slack.h"
+
+namespace harness {
+namespace {
+
+IntsetConfig BaseConfig() {
+  IntsetConfig cfg;
+  cfg.structure = "rb";
+  cfg.key_range = 512;
+  cfg.update_pct = 40;
+  cfg.threads = 4;
+  cfg.ops_per_thread = 120;
+  cfg.seed = 11;
+  cfg.collect_latency = true;
+  return cfg;
+}
+
+// Heavily contended variant: short list, all-update mix, serialize policy.
+// Cross-thread wakes every few windows, so the sharded merge, the dirty
+// overlay, and the horizon barrier are all load-bearing.
+IntsetConfig ContendedConfig() {
+  IntsetConfig cfg = BaseConfig();
+  cfg.structure = "list";
+  cfg.key_range = 64;
+  cfg.update_pct = 100;
+  cfg.threads = 8;
+  cfg.ops_per_thread = 80;
+  cfg.contention_policy = "serialize";
+  return cfg;
+}
+
+IntsetResult RunWith(IntsetConfig cfg, uint64_t slack, uint32_t jobs) {
+  cfg.slack_cycles = slack;
+  cfg.slack_jobs = jobs;
+  return RunIntset(cfg);
+}
+
+// Bit-identity across every simulated observable (host telemetry excluded:
+// the planning pool reports fork/occupancy counters the reference run cannot
+// have).
+void ExpectIdentical(const IntsetResult& a, const IntsetResult& b, const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.measure_cycles, b.measure_cycles);
+  EXPECT_EQ(a.committed_tx, b.committed_tx);
+  EXPECT_EQ(a.tm.tx_started, b.tm.tx_started);
+  EXPECT_EQ(a.tm.hw_attempts, b.tm.hw_attempts);
+  EXPECT_EQ(a.tm.stm_attempts, b.tm.stm_attempts);
+  EXPECT_EQ(a.tm.serial_attempts, b.tm.serial_attempts);
+  EXPECT_EQ(a.tm.hw_commits, b.tm.hw_commits);
+  EXPECT_EQ(a.tm.serial_commits, b.tm.serial_commits);
+  EXPECT_EQ(a.tm.stm_commits, b.tm.stm_commits);
+  EXPECT_EQ(a.tm.seq_commits, b.tm.seq_commits);
+  EXPECT_EQ(a.tm.backoff_cycles, b.tm.backoff_cycles);
+  EXPECT_EQ(a.tm.aborts, b.tm.aborts);
+  EXPECT_EQ(a.asf.speculates, b.asf.speculates);
+  EXPECT_EQ(a.asf.commits, b.asf.commits);
+  EXPECT_EQ(a.asf.aborts, b.asf.aborts);
+  EXPECT_EQ(a.breakdown.cycles, b.breakdown.cycles);
+  EXPECT_TRUE(a.latency == b.latency);
+  EXPECT_EQ(a.latency.Percentile(0.5), b.latency.Percentile(0.5));
+  EXPECT_EQ(a.latency.Percentile(0.99), b.latency.Percentile(0.99));
+  EXPECT_TRUE(a.heatmap == b.heatmap);
+}
+
+// The serial-slack telemetry must also be invariant under the fan-out: the
+// sharded backend opens the same windows in the same order, so it demotes
+// and batches identically — only the planning counters may differ.
+void ExpectSlackTelemetryIdentical(const IntsetResult& a, const IntsetResult& b,
+                                   const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.host.slack_quanta, b.host.slack_quanta);
+  EXPECT_EQ(a.host.slack_solo_quanta, b.host.slack_solo_quanta);
+  EXPECT_EQ(a.host.slack_torn_quanta, b.host.slack_torn_quanta);
+  EXPECT_EQ(a.host.slack_conflict_quanta, b.host.slack_conflict_quanta);
+  EXPECT_EQ(a.host.slack_batched, b.host.slack_batched);
+  EXPECT_EQ(a.host.slack_journal_lines, b.host.slack_journal_lines);
+}
+
+TEST(SlackParallel, AllRuntimesAllVariantsRandomJobs) {
+  const RuntimeKind runtimes[] = {RuntimeKind::kAsfTm,      RuntimeKind::kTinyStm,
+                                  RuntimeKind::kSequential, RuntimeKind::kGlobalLock,
+                                  RuntimeKind::kPhasedTm,   RuntimeKind::kLockElision};
+  const asf::AsfVariant variants[] = {asf::AsfVariant::Llb8(), asf::AsfVariant::Llb256(),
+                                      asf::AsfVariant::Llb8WithL1(),
+                                      asf::AsfVariant::Asf1Llb256()};
+  const uint32_t jobs_choices[] = {1, 2, 4, 8};  // 8 oversubscribes any host.
+  const uint64_t quanta[] = {16, 256, 4096};
+  // Deterministic "random" (jobs, quantum) per (runtime, variant) cell, so
+  // the grid still covers the full cross product across runs over time.
+  asfcommon::Rng rng(20260809);
+  for (RuntimeKind rt : runtimes) {
+    for (const asf::AsfVariant& v : variants) {
+      IntsetConfig cfg = BaseConfig();
+      cfg.runtime = rt;
+      cfg.variant = v;
+      if (rt == RuntimeKind::kSequential) {
+        cfg.threads = 1;  // Uninstrumented runtime is single-thread only.
+      }
+      const uint32_t jobs = jobs_choices[rng.NextBelow(4)];
+      const uint64_t q = quanta[rng.NextBelow(3)];
+      char label[128];
+      std::snprintf(label, sizeof(label), "%s / %s / slack=%llu jobs=%u", RuntimeKindName(rt),
+                    v.Name().c_str(), static_cast<unsigned long long>(q), jobs);
+      IntsetResult exact = RunWith(cfg, 0, 1);
+      IntsetResult par = RunWith(cfg, q, jobs);
+      ExpectIdentical(exact, par, label);
+      EXPECT_GT(par.host.slack_quanta, 0u) << label;
+      if (jobs > 1 && cfg.threads > 1) {
+        // The sharded backend must actually have driven the run.
+        EXPECT_GT(par.host.slack_plan_forks, 0u) << label;
+        EXPECT_GT(par.host.slack_sharded_windows, 0u) << label;
+        EXPECT_EQ(par.host.slack_worker_planned.size(),
+                  std::min<size_t>(jobs, cfg.threads))
+            << label;
+      } else {
+        EXPECT_EQ(par.host.slack_plan_forks, 0u) << label;
+        EXPECT_EQ(par.host.slack_sharded_windows, 0u) << label;
+      }
+    }
+  }
+}
+
+TEST(SlackParallel, ContendedRunEveryFanOutBitIdentical) {
+  // The whole fan-out ladder on one contended config, latency and heatmap
+  // included. jobs=8 equals the simulated thread count — on the single-CPU
+  // CI host that is the maximum oversubscription the engine can produce.
+  IntsetConfig cfg = ContendedConfig();
+  IntsetResult exact = RunWith(cfg, 0, 1);
+  for (uint32_t jobs : {1u, 2u, 4u, 8u}) {
+    IntsetResult par = RunWith(cfg, 1024, jobs);
+    ExpectIdentical(exact, par, "contended jobs=" + std::to_string(jobs));
+  }
+}
+
+TEST(SlackParallel, JobsOneIsTheSerialSlackBackend) {
+  // --slack-jobs 1 must be the PR-8 serial scan backend verbatim: identical
+  // results, identical demotion/batching telemetry, and zero planning
+  // counters (no pool was ever created).
+  IntsetConfig cfg = ContendedConfig();
+  IntsetResult serial = RunWith(cfg, 1024, 1);
+  IntsetResult dflt = [&cfg] {
+    IntsetConfig c = cfg;
+    c.slack_cycles = 1024;  // slack_jobs left at its default (1).
+    return RunIntset(c);
+  }();
+  ExpectIdentical(serial, dflt, "explicit jobs=1 vs default");
+  ExpectSlackTelemetryIdentical(serial, dflt, "explicit jobs=1 vs default");
+  EXPECT_EQ(serial.host.slack_plan_forks, 0u);
+  EXPECT_EQ(serial.host.slack_sharded_windows, 0u);
+  EXPECT_EQ(serial.host.slack_overlay_resolves, 0u);
+  EXPECT_TRUE(serial.host.slack_worker_planned.empty());
+
+  // And the sharded backend demotes/batches exactly like the serial one.
+  IntsetResult par = RunWith(cfg, 1024, 4);
+  ExpectIdentical(serial, par, "jobs=4 vs jobs=1");
+  ExpectSlackTelemetryIdentical(serial, par, "jobs=4 vs jobs=1");
+}
+
+// Restores the barrier on every exit path: a mutation leak here would
+// silently invalidate every later slack test in the process.
+class BarrierMutation {
+ public:
+  BarrierMutation() { asfsim::SetSlackBarrierDisabledForTesting(true); }
+  ~BarrierMutation() { asfsim::SetSlackBarrierDisabledForTesting(false); }
+};
+
+TEST(SlackParallel, DroppedBarrierDivergesOnlyWhenSharded) {
+  // Mutation analysis: with the horizon restricted to the window owner's own
+  // partition the owner batches past wakes other partitions had already
+  // scheduled, so a contended sharded run must change its interleaving —
+  // observable as a cycle-count divergence. The jobs=1 scan backend never
+  // consults partitions, so the same mutation must leave it bit-identical:
+  // that asymmetry is what the ASF_SLACK_NO_BARRIER WILL_FAIL ctest keys on.
+  IntsetConfig cfg = ContendedConfig();
+  IntsetResult exact = RunWith(cfg, 0, 1);
+  IntsetResult mutated_scan;
+  IntsetResult mutated_sharded;
+  {
+    BarrierMutation mutation;
+    mutated_scan = RunWith(cfg, 4096, 1);
+    mutated_sharded = RunWith(cfg, 4096, 2);
+  }
+  ExpectIdentical(exact, mutated_scan, "mutation is a no-op at jobs=1");
+  EXPECT_NE(exact.measure_cycles, mutated_sharded.measure_cycles)
+      << "barrier-free sharded run still matched the exact interleaving; "
+         "the mutation gate is toothless";
+  // With the barrier restored the same config is bit-identical again.
+  IntsetResult sound = RunWith(cfg, 4096, 2);
+  ExpectIdentical(exact, sound, "barrier restored");
+}
+
+}  // namespace
+}  // namespace harness

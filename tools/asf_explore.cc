@@ -67,9 +67,14 @@ void Usage() {
       "           --threads N (1..8)   --seed N   --no-timer\n"
       "           --slack N      bounded-slack quantum cycles (0 = exact event loop;\n"
       "                          results are identical for every value)\n"
-      "           --slack-verify 1  run the configuration twice — exact and with the\n"
-      "                          --slack quantum (default 256) — and fail on any\n"
-      "                          result-digest divergence\n"
+      "           --slack-jobs N host workers planning slack windows inside the\n"
+      "                          machine (1 = serial slack engine; no-op without\n"
+      "                          --slack; results are identical for every value)\n"
+      "           --slack-verify 1  sweep the configuration across the exact loop and\n"
+      "                          the --slack quantum (default 256) over thread counts\n"
+      "                          up to --threads and slack-jobs {1, 2, 4} (or the\n"
+      "                          given --slack-jobs) and fail on any result-digest\n"
+      "                          divergence\n"
       "           --reps N       repeat the run N times with seeds seed, seed+1, ...\n"
       "                          and report per-rep plus mean results\n"
       "           --jobs N       host threads for --reps fan-out (default: all cores)\n"
@@ -256,7 +261,7 @@ int main(int argc, char** argv) {
                                      "trace",    "report",  "reps",     "jobs",     "structure",
                                      "range",    "update",  "ops",      "policy",   "schedule",
                                      "app",      "scale",   "litmus",   "break-rw", "prune",
-                                     "slack",    "slack-verify"};
+                                     "slack",    "slack-verify", "slack-jobs"};
   for (const auto& [key, value] : args.kv) {
     bool known = false;
     for (const char* k : kKnownKeys) {
@@ -333,7 +338,22 @@ int main(int argc, char** argv) {
   std::string trace_path = args.Get("trace", "");
   std::string report_path = args.Get("report", "");
   const uint64_t slack = args.GetInt("slack", 0);
+  const uint32_t slack_jobs = static_cast<uint32_t>(args.GetInt("slack-jobs", 1));
   const bool slack_verify = args.GetInt("slack-verify", 0) != 0;
+  if (slack_jobs == 0 || slack_jobs > 64) {
+    std::fprintf(stderr, "--slack-jobs must be in [1, 64]\n");
+    return 2;
+  }
+  // Slack-jobs values exercised by --slack-verify: the serial engine plus
+  // the sharded backend at 2 and 4 workers by default, or exactly the
+  // requested fan-out when --slack-jobs was given.
+  std::vector<uint32_t> verify_jobs = {1, 2, 4};
+  if (args.kv.count("slack-jobs") != 0) {
+    verify_jobs = {1};
+    if (slack_jobs > 1) {
+      verify_jobs.push_back(slack_jobs);
+    }
+  }
   std::string policy = args.Get("policy", "");
   std::string schedule_arg = args.Get("schedule", "");
   uint32_t jobs = static_cast<uint32_t>(args.GetInt("jobs", 0));
@@ -373,11 +393,15 @@ int main(int argc, char** argv) {
     cfg.timer_interrupts = timer;
     cfg.contention_policy = policy;
     cfg.slack_cycles = slack;
+    cfg.slack_jobs = slack_jobs;
 
-    // Slack-verify mode: the same configuration through the exact loop and
-    // the bounded-slack quantum mode must produce identical digests (the
+    // Slack-verify mode: the same configuration through the exact loop, the
+    // serial slack engine, and the sharded (host-parallel) slack engine must
+    // produce identical digests — swept over thread counts up to --threads
+    // and over the slack-jobs fan-outs in `verify_jobs`. The
     // slack_mutation_check ctest runs this under ASF_SLACK_NO_JOURNAL=1 and
-    // expects the divergence to be caught here).
+    // slack_par_mutation_check under ASF_SLACK_NO_BARRIER=1; both mutations
+    // must make a digest diverge here or the gate has lost its teeth.
     if (slack_verify) {
       if (!schedule_arg.empty() || reps > 1 || !trace_path.empty() || !report_path.empty()) {
         std::fprintf(stderr, "--slack-verify is a single plain run; drop "
@@ -385,24 +409,49 @@ int main(int argc, char** argv) {
         return 2;
       }
       const uint64_t quantum = slack != 0 ? slack : 256;
-      harness::IntsetConfig exact_cfg = cfg;
-      exact_cfg.slack_cycles = 0;
-      harness::IntsetConfig slack_cfg = cfg;
-      slack_cfg.slack_cycles = quantum;
-      harness::IntsetResult exact = harness::RunIntset(exact_cfg);
-      harness::IntsetResult slacked = harness::RunIntset(slack_cfg);
-      const std::string da = IntsetDigest(exact);
-      const std::string db = IntsetDigest(slacked);
-      std::printf("slack-verify intset %s | %u threads | %s | quantum %lu\n",
-                  cfg.structure.c_str(), threads, harness::RuntimeKindName(runtime), quantum);
-      std::printf("  exact: %s\n  slack: %s\n", da.c_str(), db.c_str());
-      if (da != db) {
-        std::fprintf(stderr, "FAILED: slack quantum %lu diverged from the exact loop\n",
-                     quantum);
-        return 1;
+      std::vector<uint32_t> verify_threads;
+      for (uint32_t tc : {1u, 2u, 4u, 8u}) {
+        if (tc <= threads) {
+          verify_threads.push_back(tc);
+        }
       }
-      std::printf("slack-verify: digests identical (%lu quanta, %lu batched events)\n",
-                  slacked.host.slack_quanta, slacked.host.slack_batched);
+      if (verify_threads.empty() || verify_threads.back() != threads) {
+        verify_threads.push_back(threads);
+      }
+      std::printf("slack-verify intset %s | up to %u threads | %s | quantum %lu\n",
+                  cfg.structure.c_str(), threads, harness::RuntimeKindName(runtime), quantum);
+      uint64_t quanta = 0;
+      uint64_t batched = 0;
+      uint64_t plan_forks = 0;
+      for (uint32_t tc : verify_threads) {
+        harness::IntsetConfig exact_cfg = cfg;
+        exact_cfg.threads = tc;
+        exact_cfg.slack_cycles = 0;
+        exact_cfg.slack_jobs = 1;
+        const std::string da = IntsetDigest(harness::RunIntset(exact_cfg));
+        for (uint32_t sj : verify_jobs) {
+          harness::IntsetConfig slack_cfg = exact_cfg;
+          slack_cfg.slack_cycles = quantum;
+          slack_cfg.slack_jobs = sj;
+          harness::IntsetResult slacked = harness::RunIntset(slack_cfg);
+          const std::string db = IntsetDigest(slacked);
+          std::printf("  threads %u | slack-jobs %u | exact %s | slack %s\n", tc, sj,
+                      da.c_str(), db.c_str());
+          if (da != db) {
+            std::fprintf(stderr,
+                         "FAILED: slack quantum %lu (slack-jobs %u, %u threads) "
+                         "diverged from the exact loop\n",
+                         quantum, sj, tc);
+            return 1;
+          }
+          quanta += slacked.host.slack_quanta;
+          batched += slacked.host.slack_batched;
+          plan_forks += slacked.host.slack_plan_forks;
+        }
+      }
+      std::printf("slack-verify: digests identical (%lu quanta, %lu batched events, "
+                  "%lu plan forks)\n",
+                  quanta, batched, plan_forks);
       return 0;
     }
 
@@ -510,6 +559,7 @@ int main(int argc, char** argv) {
     cfg.seed = seed;
     cfg.timer_interrupts = timer;
     cfg.slack_cycles = slack;
+    cfg.slack_jobs = slack_jobs;
     if (!schedule_arg.empty()) {
       // The STAMP driver injects exactly like the intset stress harness
       // (docs/ROBUSTNESS.md): per-access strikes, reported as kFaultInjected.
@@ -524,20 +574,38 @@ int main(int argc, char** argv) {
       const uint64_t quantum = slack != 0 ? slack : 256;
       harness::StampConfig exact_cfg = cfg;
       exact_cfg.slack_cycles = 0;
-      harness::StampConfig slack_cfg = cfg;
-      slack_cfg.slack_cycles = quantum;
+      exact_cfg.slack_jobs = 1;
       auto exact_app = harness::MakeStampApp(app_name);
       harness::StampResult exact = harness::RunStamp(*exact_app, exact_cfg);
-      harness::StampResult slacked = harness::RunStamp(*app, slack_cfg);
       const std::string da = StampDigest(exact);
-      const std::string db = StampDigest(slacked);
       std::printf("slack-verify stamp %s | %u threads | %s | quantum %lu\n", app_name.c_str(),
                   threads, harness::RuntimeKindName(runtime), quantum);
-      std::printf("  exact: %s\n  slack: %s\n", da.c_str(), db.c_str());
-      if (da != db) {
-        std::fprintf(stderr, "FAILED: slack quantum %lu diverged from the exact loop\n",
-                     quantum);
-        return 1;
+      // STAMP apps are single-use: the parsed --slack-jobs run reuses `app`,
+      // the other fan-outs build fresh instances.
+      bool reused_app = false;
+      for (uint32_t sj : verify_jobs) {
+        harness::StampConfig slack_cfg = cfg;
+        slack_cfg.slack_cycles = quantum;
+        slack_cfg.slack_jobs = sj;
+        std::unique_ptr<stamp::StampApp> fresh;
+        stamp::StampApp* run_app = nullptr;
+        if (!reused_app) {
+          reused_app = true;
+          run_app = app.get();
+        } else {
+          fresh = harness::MakeStampApp(app_name);
+          run_app = fresh.get();
+        }
+        harness::StampResult slacked = harness::RunStamp(*run_app, slack_cfg);
+        const std::string db = StampDigest(slacked);
+        std::printf("  slack-jobs %u | exact %s | slack %s\n", sj, da.c_str(), db.c_str());
+        if (da != db) {
+          std::fprintf(stderr,
+                       "FAILED: slack quantum %lu (slack-jobs %u) diverged from the "
+                       "exact loop\n",
+                       quantum, sj);
+          return 1;
+        }
       }
       std::printf("slack-verify: digests identical\n");
       return 0;

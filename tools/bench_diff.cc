@@ -25,7 +25,19 @@
 //
 // Wall-clock columns ("wall s") and absolute counters are reported but never
 // gate: on shared hosts they are noisy, and a counter change always shows up
-// in a digest or rate anyway.
+// in a digest or rate anyway. That covers the parallel-slack planning
+// telemetry (plan forks, sharded windows, per-worker occupancy shares):
+// informational, since the fork schedule legitimately moves with the replan
+// backoff.
+//
+// Digest tables are the exception to all thresholds: any table whose title
+// contains "digest" (the per-configuration result digests, the slack-vs-exact
+// and slack-jobs grids) gates every cell on exact string equality — those
+// rows carry the simulator's bit-identity claim, and "close" is a failure.
+// The report headers' "slack" / "slack_jobs" modes are printed when they
+// differ between the two reports, but do not relax the digest gate: quantum
+// and planning fan-out are exactly the knobs digests must be invariant to.
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,8 +81,17 @@ int VerdictRank(const std::string& v) {
   return 3;  // Unknown verdicts rank worst; json_check rejects them anyway.
 }
 
+// Slack-mode header of one report: the bounded-slack quantum and the
+// planning fan-out the run used. Compared informationally — results must be
+// identical across all of them, so a difference explains wall-clock deltas
+// but never excuses a digest shift.
+struct SlackMode {
+  uint64_t slack = 0;
+  uint64_t slack_jobs = 1;
+};
+
 bool LoadReport(const char* path, std::vector<Table>* out, std::string* benchmark,
-                std::vector<ProgressEntry>* progress) {
+                std::vector<ProgressEntry>* progress, SlackMode* mode) {
   std::string text;
   std::string error;
   if (!asfobs::ReadTextFile(path, &text, &error)) {
@@ -85,6 +106,14 @@ bool LoadReport(const char* path, std::vector<Table>* out, std::string* benchmar
   const asfobs::JsonValue* bench = root.Get("benchmark");
   if (bench != nullptr && bench->IsString()) {
     *benchmark = bench->AsString();
+  }
+  const asfobs::JsonValue* slack = root.Get("slack");
+  if (slack != nullptr) {
+    mode->slack = slack->AsUInt();
+  }
+  const asfobs::JsonValue* slack_jobs = root.Get("slack_jobs");
+  if (slack_jobs != nullptr) {
+    mode->slack_jobs = slack_jobs->AsUInt();
   }
   const asfobs::JsonValue* tables = root.Get("tables");
   if (tables == nullptr || !tables->IsArray()) {
@@ -189,6 +218,18 @@ double LatencyGateScale(const std::string& header) {
   return 0.0;
 }
 
+// Digest tables carry the bit-identity claim: every cell — numeric-looking
+// or not — gates on exact string equality, with no threshold. Matched by
+// title so the gate covers the per-configuration digests, the slack-vs-exact
+// grid, and the slack-jobs parallel grid alike.
+bool IsDigestTable(const std::string& title) {
+  std::string lower = title;
+  for (char& ch : lower) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return lower.find("digest") != std::string::npos;
+}
+
 const Table* FindTable(const std::vector<Table>& tables, const std::string& title) {
   for (const Table& t : tables) {
     if (t.title == title) {
@@ -257,14 +298,28 @@ int main(int argc, char** argv) {
   std::string new_bench;
   std::vector<ProgressEntry> old_progress;
   std::vector<ProgressEntry> new_progress;
-  if (!LoadReport(old_path, &old_tables, &old_bench, &old_progress) ||
-      !LoadReport(new_path, &new_tables, &new_bench, &new_progress)) {
+  SlackMode old_mode;
+  SlackMode new_mode;
+  if (!LoadReport(old_path, &old_tables, &old_bench, &old_progress, &old_mode) ||
+      !LoadReport(new_path, &new_tables, &new_bench, &new_progress, &new_mode)) {
     return 2;
   }
   if (old_bench != new_bench) {
     std::fprintf(stderr, "bench_diff: reports are from different benchmarks (%s vs %s)\n",
                  old_bench.c_str(), new_bench.c_str());
     return 2;
+  }
+  if (old_mode.slack != new_mode.slack || old_mode.slack_jobs != new_mode.slack_jobs) {
+    // Informational by design: wall-clock columns may differ for this
+    // reason, but digests must not — bit-identity across slack modes is the
+    // property the digest gate below enforces.
+    std::printf(
+        "note: slack modes differ (slack %llu jobs %llu -> slack %llu jobs %llu); "
+        "wall-clock deltas expected, digest deltas still gate\n",
+        static_cast<unsigned long long>(old_mode.slack),
+        static_cast<unsigned long long>(old_mode.slack_jobs),
+        static_cast<unsigned long long>(new_mode.slack),
+        static_cast<unsigned long long>(new_mode.slack_jobs));
   }
 
   int regressions = 0;
@@ -279,6 +334,7 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("== %s ==\n", nt.title.c_str());
+    const bool digest_table = IsDigestTable(nt.title);
     for (const auto& nrow : nt.rows) {
       if (nrow.empty()) {
         continue;
@@ -292,6 +348,14 @@ int main(int argc, char** argv) {
         const std::string& header = c < nt.header.size() ? nt.header[c] : "";
         const std::string& ov = (*orow)[c];
         const std::string& nv = nrow[c];
+        if (digest_table) {
+          if (ov != nv) {
+            std::printf("  %-40s %-14s %s -> %s  DIGEST SHIFT  REGRESSION\n", nrow[0].c_str(),
+                        header.c_str(), ov.c_str(), nv.c_str());
+            ++regressions;
+          }
+          continue;
+        }
         double od = 0.0;
         double nd = 0.0;
         if (ParseNum(ov, &od) && ParseNum(nv, &nd)) {
